@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Time-travel debugging: find when a distributed run goes wrong.
+
+A small "leader election" protocol between two guests develops a fault at
+a random point in its run (a corrupted counter).  Using the time-travel
+controller we checkpoint the run periodically, notice the fault, roll
+back, bisect to the checkpoint just before the corruption, and replay
+forward with a perturbation that patches the fault — creating a new branch
+in the execution tree, exactly the workflow §6 describes.
+
+Run:  python examples/time_travel_debugging.py
+"""
+
+import random
+
+from repro.guest import GuestKernel
+from repro.hw import Machine
+from repro.net import LinkShape, install_shaped_link
+from repro.sim import Simulator
+from repro.timetravel import Perturbation, TimeTravelController
+from repro.units import MBPS, MS, SECOND
+
+
+class ElectionRun:
+    """A replayable two-node protocol run (ReplayableRun interface)."""
+
+    FAULT_AT = 4_300 * MS           # the bug manifests here
+
+    def __init__(self, seed, perturbations):
+        self.sim = Simulator()
+        self.rng = random.Random(seed)
+        self.perturbations = sorted(perturbations,
+                                    key=lambda p: p.at_virtual_ns)
+        self.kernels = []
+        for i in range(2):
+            machine = Machine(self.sim, f"n{i}", rng=random.Random(seed + i))
+            self.kernels.append(GuestKernel(self.sim, machine, f"n{i}",
+                                            rng=random.Random(seed + 10 + i)))
+        install_shaped_link(self.sim, self.kernels[0].host,
+                            self.kernels[1].host,
+                            LinkShape(bandwidth_bps=100 * MBPS),
+                            rng=random.Random(seed + 99))
+        self.term = 0
+        self.healthy = True
+        self.kernels[0].spawn(self._leader_loop, name="leader")
+
+    def _leader_loop(self, k):
+        while True:
+            yield k.sleep(100 * MS)
+            patched = any(p.name == "patch" and p.at_virtual_ns <= k.now()
+                          for p in self.perturbations)
+            if k.now() >= self.FAULT_AT and not patched:
+                self.healthy = False       # the corruption
+            self.term += 1 if self.healthy else -7
+
+    # -- ReplayableRun ---------------------------------------------------------
+
+    def virtual_now(self):
+        return self.sim.now
+
+    def advance_to(self, virtual_ns):
+        if virtual_ns > self.sim.now:
+            self.sim.run(until=virtual_ns)
+
+    def state_digest(self):
+        return (self.sim.now, self.term, self.healthy)
+
+    def snapshot_bytes(self):
+        return 64 * 1024 * 1024
+
+
+def main() -> None:
+    ctl = TimeTravelController(ElectionRun, seed=42,
+                               storage_budget_bytes=146_000_000_000)
+
+    # Record the original run with frequent checkpoints.
+    nodes = []
+    for second in range(1, 9):
+        ctl.run_to(second * SECOND)
+        nodes.append(ctl.checkpoint(label=f"t={second}s"))
+    run = ctl.active_run
+    print(f"original run: term={run.term} healthy={run.healthy} "
+          f"({len(ctl.tree)} checkpoints, "
+          f"{ctl.tree.storage_used_bytes / 1e9:.1f} GB of snapshots)")
+    assert not run.healthy, "the fault should have manifested"
+
+    # Bisect backwards for the last healthy checkpoint.
+    lo, hi = 0, len(nodes) - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        state = ctl.travel_to(nodes[mid].node_id).state_digest()
+        print(f"  inspecting {nodes[mid].label}: "
+              f"term={state[1]} healthy={state[2]}")
+        if state[2]:
+            lo = mid + 1
+        else:
+            hi = mid
+    culprit = nodes[lo]
+    print(f"fault first visible at {culprit.label}")
+
+    # Roll back to just before it and replay with a patch: a new branch.
+    before = nodes[lo - 1]
+    ctl.travel_to(before.node_id)
+    ctl.perturb(Perturbation(before.virtual_time_ns + 1 * MS, "patch"))
+    ctl.run_to(8 * SECOND)
+    patched = ctl.checkpoint(label="patched-run")
+    state = ctl.active_run.state_digest()
+    print(f"patched replay: term={state[1]} healthy={state[2]}")
+    assert state[2]
+
+    # The history is now a tree: the original continuation and the patched
+    # branch both descend from the same checkpoint.
+    siblings = ctl.tree.node(before.node_id).children
+    print(f"checkpoint {before.label} now has {len(siblings)} children "
+          f"(original timeline + patched branch)")
+    assert len(siblings) == 2
+    print("OK: rolled back, bisected, and branched a repaired timeline.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""repro: a simulation-based reproduction of "Transparent Checkpoints of
+Closed Distributed Systems in Emulab" (Burtsev et al., EuroSys 2009).
+
+Subpackages, bottom-up: :mod:`repro.sim` (DES kernel), :mod:`repro.hw`,
+:mod:`repro.clocksync`, :mod:`repro.net`, :mod:`repro.guest`,
+:mod:`repro.xen`, :mod:`repro.storage`, :mod:`repro.testbed`,
+:mod:`repro.checkpoint` (the paper's contribution), :mod:`repro.swap`,
+:mod:`repro.timetravel`, :mod:`repro.workloads`, :mod:`repro.analysis`.
+"""
+
+__version__ = "1.0.0"

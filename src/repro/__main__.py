@@ -1,0 +1,120 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands:
+
+* ``info``      — package, subsystem, and experiment-index summary
+* ``selftest``  — a fast end-to-end smoke test (swap in a two-node
+                  experiment, checkpoint it under traffic, verify
+                  transparency); exits non-zero on failure
+* ``results``   — print the benchmark result tables recorded under
+                  ``benchmarks/results/``
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+
+def cmd_info(_args) -> int:
+    import repro
+
+    subsystems = [
+        ("repro.sim", "deterministic discrete-event kernel"),
+        ("repro.hw", "CPUs, disks, oscillators, machines"),
+        ("repro.clocksync", "drifting clocks + NTP discipline"),
+        ("repro.net", "links, Dummynet, delay nodes, LANs, TCP/UDP"),
+        ("repro.guest", "guest kernel + the temporal firewall"),
+        ("repro.xen", "hypervisor, devices, live local checkpoint"),
+        ("repro.storage", "branching COW stores, transfers"),
+        ("repro.testbed", "Emulab: experiments, mapping, services"),
+        ("repro.checkpoint", "coordinated transparent checkpoint + baselines"),
+        ("repro.swap", "stateful swapping + timestamp transduction"),
+        ("repro.timetravel", "checkpoint trees, replay, exploration"),
+        ("repro.workloads", "one workload per paper experiment"),
+    ]
+    print(f"repro {repro.__version__} — Transparent Checkpoints of Closed "
+          f"Distributed Systems in Emulab (EuroSys 2009)")
+    print()
+    for name, blurb in subsystems:
+        print(f"  {name:<18} {blurb}")
+    print()
+    print("experiments: Figures 4-9, §7.2 swapping, §5.1 free-block "
+          "elimination, ablations")
+    print("run them:    pytest benchmarks/ --benchmark-only -s")
+    return 0
+
+
+def cmd_selftest(_args) -> int:
+    from repro.sim import Simulator
+    from repro.testbed import (Emulab, ExperimentSpec, LinkSpec, NodeSpec,
+                               TestbedConfig)
+    from repro.units import MB, MBPS, MS, SECOND
+    from repro.workloads import IperfSession
+
+    print("building a two-node experiment ...")
+    sim = Simulator()
+    testbed = Emulab(sim, TestbedConfig(num_machines=4, seed=1))
+    for cache in testbed.image_caches.values():
+        cache.preload("FC4-STD")
+    exp = testbed.define_experiment(ExperimentSpec(
+        "selftest",
+        nodes=[NodeSpec("node0", memory_bytes=64 * MB),
+               NodeSpec("node1", memory_bytes=64 * MB)],
+        links=[LinkSpec("l0", "node0", "node1",
+                        bandwidth_bps=100 * MBPS, delay_ns=5 * MS)]))
+    sim.run(until=exp.swap_in())
+    print(f"swapped in at t={sim.now / 1e9:.1f}s on "
+          f"{sorted(exp.placement.machines_used)}")
+    # Pace the sender below the shaped 100 Mbps link so the only possible
+    # source of TCP damage is the checkpoint itself.
+    session = IperfSession(exp.kernel("node0"), exp.kernel("node1"),
+                           app_rate_bytes_per_s=11 * MB)
+    session.start()
+    sim.run(until=sim.now + 12 * SECOND)    # past the slow-start transient
+    stats = session.sender_stats()
+    retx_before = stats.retransmits
+    result = sim.run(until=exp.coordinator.checkpoint_scheduled())
+    sim.run(until=sim.now + 5 * SECOND)
+    session.stop()
+    sim.run(until=sim.now + 200 * MS)
+    print(f"checkpoint: suspend skew {result.suspend_skew_ns / 1000:.0f} us, "
+          f"{result.core_packets_captured} packets captured in the core")
+    print(f"TCP across the checkpoint: "
+          f"{stats.retransmits - retx_before} new retransmits, "
+          f"{stats.timeouts} timeouts")
+    ok = (stats.retransmits == retx_before and stats.timeouts == 0 and
+          session.bytes_received > 10 * MB)
+    print("selftest:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def cmd_results(_args) -> int:
+    results_dir = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))), "benchmarks", "results")
+    if not os.path.isdir(results_dir):
+        print("no benchmark results yet; run "
+              "`pytest benchmarks/ --benchmark-only -s`")
+        return 1
+    for name in sorted(os.listdir(results_dir)):
+        with open(os.path.join(results_dir, name)) as fh:
+            print(fh.read())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", help="package and experiment summary")
+    sub.add_parser("selftest", help="fast end-to-end smoke test")
+    sub.add_parser("results", help="print recorded benchmark tables")
+    args = parser.parse_args(argv)
+    return {"info": cmd_info, "selftest": cmd_selftest,
+            "results": cmd_results}[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

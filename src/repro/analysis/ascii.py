@@ -1,0 +1,85 @@
+"""ASCII rendering of time series, for benchmark reports.
+
+The paper's figures are throughput-vs-time plots; the benchmark harness
+renders the same series as compact ASCII charts into its result files so
+the *shape* (steady line, dips at checkpoints, recovery) is reviewable
+without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 72,
+              lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """One-line sparkline, resampled to ``width`` columns."""
+    if not values:
+        return ""
+    resampled = _resample(list(values), width)
+    lo = min(resampled) if lo is None else lo
+    hi = max(resampled) if hi is None else hi
+    span = (hi - lo) or 1.0
+    out = []
+    for v in resampled:
+        idx = int((v - lo) / span * (len(_BARS) - 1))
+        out.append(_BARS[max(0, min(len(_BARS) - 1, idx))])
+    return "".join(out)
+
+
+def timeseries_chart(series: Sequence[Tuple[float, float]],
+                     width: int = 72, height: int = 8,
+                     title: str = "", unit: str = "",
+                     marks: Sequence[float] = ()) -> str:
+    """A small multi-row chart; ``marks`` draws vertical event markers.
+
+    ``series`` is (time, value); ``marks`` are times (e.g. checkpoint
+    instants) rendered as ``|`` on a marker row under the plot.
+    """
+    if not series:
+        return f"{title}: (no data)"
+    times = [t for t, _v in series]
+    values = [v for _t, v in series]
+    resampled = _resample(values, width)
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = lo + span * (level - 0.5) / height
+        row = "".join("█" if v >= threshold else " " for v in resampled)
+        label = f"{lo + span * level / height:8.1f} |" if level in (
+            1, height) else "         |"
+        rows.append(label + row)
+    # Marker row.
+    t0, t1 = times[0], times[-1]
+    marker = [" "] * width
+    for mark in marks:
+        if t0 <= mark <= t1 and t1 > t0:
+            pos = int((mark - t0) / (t1 - t0) * (width - 1))
+            marker[pos] = "|"
+    lines = []
+    if title:
+        lines.append(f"{title} ({unit})" if unit else title)
+    lines.extend(rows)
+    if any(m != " " for m in marker):
+        lines.append("  ckpts  :" + "".join(marker))
+    return "\n".join(lines)
+
+
+def _resample(values: List[float], width: int) -> List[float]:
+    """Average-pool a series down (or repeat up) to ``width`` points."""
+    n = len(values)
+    if n == width:
+        return values
+    if n < width:
+        return [values[int(i * n / width)] for i in range(width)]
+    out = []
+    for i in range(width):
+        start = i * n // width
+        end = max(start + 1, (i + 1) * n // width)
+        chunk = values[start:end]
+        out.append(sum(chunk) / len(chunk))
+    return out

@@ -1,0 +1,62 @@
+"""Metric helpers shared by tests, benchmarks, and examples."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100), linear interpolation."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not (0.0 <= q <= 100.0):
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def bucket_series(samples: Iterable[Tuple[int, int]], bucket_ns: int,
+                  start_ns: int = 0) -> List[Tuple[int, int]]:
+    """Sum (time, value) samples into fixed buckets: (bucket start, sum)."""
+    buckets: dict = {}
+    for t, v in samples:
+        key = start_ns + ((t - start_ns) // bucket_ns) * bucket_ns
+        buckets[key] = buckets.get(key, 0) + v
+    return sorted(buckets.items())
+
+
+def fraction_within(values: Sequence[float], target: float,
+                    tolerance: float) -> float:
+    """Fraction of values within +-tolerance of target."""
+    if not values:
+        return 0.0
+    return sum(1 for v in values if abs(v - target) <= tolerance) / len(values)
+
+
+def ratio(new: float, base: float) -> float:
+    """``new / base`` with a guard against division by zero."""
+    if base == 0:
+        raise ValueError("baseline is zero")
+    return new / base

@@ -1,0 +1,63 @@
+"""Paper-vs-measured report tables for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass
+class Row:
+    metric: str
+    paper: str
+    measured: str
+    note: str = ""
+
+
+@dataclass
+class ExperimentReport:
+    """One figure/table reproduction, rendered as an aligned text table."""
+
+    experiment: str
+    rows: List[Row] = field(default_factory=list)
+
+    def add(self, metric: str, paper: str, measured: str,
+            note: str = "") -> None:
+        self.rows.append(Row(metric, paper, measured, note))
+
+    def render(self) -> str:
+        headers = ("metric", "paper", "measured", "note")
+        table = [headers] + [(r.metric, r.paper, r.measured, r.note)
+                             for r in self.rows]
+        widths = [max(len(row[i]) for row in table)
+                  for i in range(len(headers))]
+        lines = [f"== {self.experiment} =="]
+        for i, row in enumerate(table):
+            lines.append("  ".join(cell.ljust(widths[j])
+                                   for j, cell in enumerate(row)).rstrip())
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+    def emit(self) -> None:
+        print("\n" + self.render() + "\n")
+
+
+def fmt_ms(ns: float) -> str:
+    return f"{ns / 1e6:.2f} ms"
+
+
+def fmt_us(ns: float) -> str:
+    return f"{ns / 1e3:.0f} us"
+
+
+def fmt_s(ns: float) -> str:
+    return f"{ns / 1e9:.1f} s"
+
+
+def fmt_mbps(value: float) -> str:
+    return f"{value:.2f} MB/s"
+
+
+def fmt_pct(fraction: float) -> str:
+    return f"{fraction * 100:.1f}%"

@@ -1,0 +1,13 @@
+"""Distributed transparent checkpointing — the paper's core contribution."""
+
+from repro.checkpoint.bus import Barrier, BusMessage, NotificationBus
+from repro.checkpoint.coordinator import (CoordinatedResult, Coordinator,
+                                          DelayNodeAgent, NodeAgent)
+from repro.checkpoint.baselines import (NaiveCheckpointer, RemusCheckpointer,
+                                        UncoordinatedRunner)
+
+__all__ = [
+    "Barrier", "BusMessage", "NotificationBus", "CoordinatedResult",
+    "Coordinator", "DelayNodeAgent", "NodeAgent", "NaiveCheckpointer",
+    "RemusCheckpointer", "UncoordinatedRunner",
+]

@@ -1,0 +1,186 @@
+"""Baseline checkpointers the paper argues against (§3, §8).
+
+Three comparators for the ablation benchmarks:
+
+* :class:`NaiveCheckpointer` — suspends execution but **not time** (no
+  temporal firewall).  The guest observes the downtime: sleeping loops see
+  giant iterations, expired TCP retransmit timers fire on resume.
+* :class:`UncoordinatedRunner` — every node checkpoints on its own
+  schedule (no clock-synchronized trigger, no delay-node capture).  While
+  one node is down its peers keep running: packet delays, NIC-ring replay
+  logs, retransmissions.
+* :class:`RemusCheckpointer` — Remus-style continuous checkpointing with
+  buffered output commit (Cully 2008): every epoch the domain's outbound
+  packets are held until the epoch's state is committed, adding up to one
+  epoch of latency and a release burst — "background state-saving and
+  buffered I/O may harm realism" (§8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import CheckpointError
+from repro.net.packet import Packet
+from repro.sim.core import Simulator
+from repro.units import MB, MS, transfer_time_ns
+from repro.xen.checkpoint import CheckpointConfig, LocalCheckpointer
+from repro.xen.hypervisor import Domain
+
+
+class NaiveCheckpointer:
+    """Stops the guest without virtualizing time (no temporal firewall).
+
+    The suspension is externally identical to the transparent checkpoint —
+    same downtime, same device handling — but the virtual clock and guest
+    TSC keep running, so the guest wakes up ``downtime`` in its own future:
+    timers have expired en masse and ``gettimeofday`` jumps.
+    """
+
+    def __init__(self, domain: Domain,
+                 config: CheckpointConfig = CheckpointConfig()) -> None:
+        self.domain = domain
+        self.sim: Simulator = domain.sim
+        self.config = config
+        self.downtimes: List[int] = []
+
+    def checkpoint(self):
+        """Run one non-transparent checkpoint; returns a sim process."""
+        return self.sim.process(self.run())
+
+    def run(self):
+        domain = self.domain
+        kernel = domain.kernel
+        cfg = self.config
+        # Live pre-copy, identical to the transparent implementation.
+        if cfg.live:
+            duration = transfer_time_ns(domain.memory_bytes, cfg.copy_rate_bps)
+            share = cfg.dom0_weight / (1.0 + cfg.dom0_weight)
+            kernel.cpu_outside(int(duration * share), weight=cfg.dom0_weight)
+            yield self.sim.timeout(duration)
+        # Suspend devices and execution — but NOT the clock.
+        for nic in domain.nics:
+            nic.suspend()
+        for vbd in domain.vbds:
+            yield from vbd.suspend_after_drain()
+        kernel.stop_user_execution()
+        kernel.stop_kernel_execution()
+        kernel.timers.freeze()
+        suspended_at = self.sim.now
+        dirty = (int(domain.memory_bytes * cfg.dirty_fraction)
+                 if cfg.live else domain.memory_bytes)
+        yield self.sim.timeout(transfer_time_ns(max(1, dirty),
+                                                cfg.copy_rate_bps))
+        yield self.sim.timeout(cfg.device_overhead_ns)
+        downtime = self.sim.now - suspended_at
+        self.downtimes.append(downtime)
+        # Resume.  The virtual clock never froze: expired timers fire
+        # immediately, and guest time has visibly jumped.
+        kernel.timers.thaw()
+        kernel.resume_kernel_execution()
+        kernel.resume_user_execution()
+        for vbd in domain.vbds:
+            vbd.resume()
+        replayed = 0
+        for nic in domain.nics:
+            replayed += nic.resume()
+        return downtime, replayed
+
+
+@dataclass
+class UncoordinatedRunner:
+    """Periodic independent checkpoints on a set of nodes.
+
+    Each node checkpoints every ``period_ns``, with node *i* phase-shifted
+    by ``i * stagger_ns``.  No clock synchronization, no coordinated
+    suspend, no delay-node capture — the §3.2 anomalies follow.
+    """
+
+    sim: Simulator
+    checkpointers: List[LocalCheckpointer]
+    period_ns: int
+    stagger_ns: int = 250 * MS
+    started: bool = field(default=False, init=False)
+    rounds: int = field(default=0, init=False)
+
+    def start(self, rounds: int = 1) -> List:
+        """Run ``rounds`` checkpoints on every node; returns the processes."""
+        if self.started:
+            raise CheckpointError("runner already started")
+        self.started = True
+        procs = []
+        for i, ckpt in enumerate(self.checkpointers):
+            procs.append(self.sim.process(self._node_loop(i, ckpt, rounds)))
+        return procs
+
+    def _node_loop(self, index: int, ckpt: LocalCheckpointer, rounds: int):
+        yield self.sim.timeout(index * self.stagger_ns)
+        for _ in range(rounds):
+            yield from ckpt.run()
+            yield self.sim.timeout(self.period_ns)
+
+
+class RemusCheckpointer:
+    """Continuous high-frequency checkpointing with buffered output.
+
+    While running, all outbound packets of the domain's NICs are held in a
+    commit buffer; at every epoch boundary the epoch's dirty state is
+    copied (a short stop-and-copy) and the buffer is released.  Latency
+    grows by up to one epoch plus the commit time; packets leave in bursts.
+    """
+
+    def __init__(self, domain: Domain, epoch_ns: int = 25 * MS,
+                 dirty_per_epoch_bytes: int = 4 * MB,
+                 copy_rate_bps: int = 400 * MB) -> None:
+        self.domain = domain
+        self.sim: Simulator = domain.sim
+        self.epoch_ns = epoch_ns
+        self.dirty_per_epoch_bytes = dirty_per_epoch_bytes
+        self.copy_rate_bps = copy_rate_bps
+        self._buffer: List[tuple] = []
+        self._running = False
+        self.epochs = 0
+        self.packets_buffered = 0
+
+    def start(self) -> None:
+        """Begin continuous checkpointing."""
+        if self._running:
+            raise CheckpointError("Remus already running")
+        self._running = True
+        for nic in self.domain.nics:
+            nic.iface.tx_interceptor = self._intercept(nic.iface)
+        self.sim.process(self._epoch_loop())
+
+    def stop(self) -> None:
+        """Stop after the current epoch (buffer is flushed)."""
+        self._running = False
+
+    def _intercept(self, iface):
+        def hold(packet: Packet) -> bool:
+            if not self._running:
+                return False
+            self._buffer.append((iface, packet))
+            self.packets_buffered += 1
+            return True
+        return hold
+
+    def _epoch_loop(self):
+        kernel = self.domain.kernel
+        while self._running:
+            yield self.sim.timeout(self.epoch_ns)
+            # Commit: brief stop-and-copy of the epoch's dirty pages.
+            commit_ns = transfer_time_ns(self.dirty_per_epoch_bytes,
+                                         self.copy_rate_bps)
+            kernel.cpu_outside(commit_ns // 2, weight=0.5)
+            yield self.sim.timeout(commit_ns)
+            self.epochs += 1
+            self._flush()
+        self._flush()
+        for nic in self.domain.nics:
+            nic.iface.tx_interceptor = None
+
+    def _flush(self) -> None:
+        buffered, self._buffer = self._buffer, []
+        for iface, packet in buffered:
+            iface.send_raw(packet)

@@ -1,0 +1,95 @@
+"""Publish-subscribe checkpoint notification bus (§4.3).
+
+Emulab's dedicated control network reaches every node with low latency; on
+top of it the paper builds a fast notification bus: any node can publish,
+all subscribers receive.  Delivery is point-to-point with independent path
+delays, so an event-driven "checkpoint now" is received with per-node skew
+equal to the control network's delivery jitter — which is exactly why the
+paper prefers clock-scheduled checkpoints.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.clocksync.ntp import PathDelayModel
+from repro.sim.core import Simulator
+
+
+@dataclass
+class BusMessage:
+    """One delivered notification."""
+
+    topic: str
+    payload: Any
+    publisher: str
+    published_at: int
+    delivered_at: int = 0
+
+
+class NotificationBus:
+    """Control-network publish/subscribe."""
+
+    def __init__(self, sim: Simulator, rng: Optional[random.Random] = None,
+                 path: PathDelayModel = PathDelayModel()) -> None:
+        self.sim = sim
+        self.rng = rng or random.Random(0)
+        self.path = path
+        self._subscribers: Dict[str, List[tuple]] = {}
+        self.published = 0
+        self.delivered = 0
+
+    def subscribe(self, topic: str, subscriber: str,
+                  handler: Callable[[BusMessage], None]) -> None:
+        """Receive every future message on ``topic``."""
+        self._subscribers.setdefault(topic, []).append((subscriber, handler))
+
+    def unsubscribe(self, topic: str, subscriber: str) -> None:
+        """Stop receiving ``topic`` (all handlers for this subscriber)."""
+        entries = self._subscribers.get(topic, [])
+        self._subscribers[topic] = [e for e in entries if e[0] != subscriber]
+
+    def publish(self, topic: str, payload: Any = None,
+                publisher: str = "") -> int:
+        """Send ``payload`` to all subscribers of ``topic``.
+
+        Returns the number of deliveries scheduled.  Each delivery takes an
+        independent control-network path delay.
+        """
+        self.published += 1
+        published_at = self.sim.now
+        scheduled = 0
+        for _name, handler in self._subscribers.get(topic, ()):
+            delay = self.path.sample_oneway(self.rng)
+            message = BusMessage(topic, payload, publisher, published_at)
+
+            def deliver(message=message, handler=handler) -> None:
+                message.delivered_at = self.sim.now
+                self.delivered += 1
+                handler(message)
+
+            self.sim.call_in(delay, deliver)
+            scheduled += 1
+        return scheduled
+
+
+class Barrier:
+    """Counts arrivals; fires an event when everyone has reported."""
+
+    def __init__(self, sim: Simulator, expected: int) -> None:
+        if expected < 0:
+            raise ValueError(f"expected must be >= 0, got {expected}")
+        self.sim = sim
+        self.expected = expected
+        self.arrived: List[Any] = []
+        self.event = sim.event()
+        if expected == 0:
+            self.event.succeed([])
+
+    def arrive(self, who: Any = None) -> None:
+        """Report one participant done."""
+        self.arrived.append(who)
+        if len(self.arrived) == self.expected and not self.event.triggered:
+            self.event.succeed(list(self.arrived))

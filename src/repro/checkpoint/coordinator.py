@@ -1,0 +1,289 @@
+"""Coordinated distributed checkpoint (§4.3–4.4).
+
+The protocol reconciles two requirements: atomicity across the network
+(every node suspends at "the same" instant) and capturing the network core
+(delay nodes serialize their Dummynet state).  It runs in four rounds over
+the notification bus:
+
+1. ``prepare`` — every node agent pre-copies its domain's memory (live);
+   delay-node agents have nothing to pre-copy.  Each replies ``ready``.
+2. ``suspend_at T`` — the coordinator picks a wall-clock deadline ``T``
+   (its own NTP-disciplined clock plus a margin) and publishes it.  Each
+   agent arms a local timer against its *own* disciplined clock, so the
+   realized suspend skew equals the residual clock-synchronization error —
+   the paper's transparency bound.  (``checkpoint_now`` instead suspends on
+   message receipt: skew = control-network delivery jitter.)
+3. Agents suspend, save, and report ``saved``; the coordinator's barrier
+   waits for all of them.
+4. ``resume`` — all agents thaw on receipt, so resume skew is again one
+   bus-delivery jitter.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.checkpoint.bus import Barrier, BusMessage, NotificationBus
+from repro.clocksync.clock import SystemClock
+from repro.errors import CheckpointError
+from repro.net.delaynode import DelayNode, DelayNodeSnapshot
+from repro.sim.core import Simulator
+from repro.units import MS, US
+from repro.xen.checkpoint import CheckpointResult, LocalCheckpointer
+
+
+class NodeAgent:
+    """Checkpoint agent running in dom0 of one experiment node."""
+
+    def __init__(self, sim: Simulator, name: str,
+                 checkpointer: LocalCheckpointer, clock: SystemClock,
+                 bus: NotificationBus, session: str = "ckpt") -> None:
+        self.sim = sim
+        self.name = name
+        self.checkpointer = checkpointer
+        self.clock = clock
+        self.bus = bus
+        self.session = session
+        self.last_result: Optional[CheckpointResult] = None
+        self._started = 0
+        self._precopy = (0, 0)
+        self._saved = None
+        bus.subscribe(f"{session}/prepare", name, self._on_prepare)
+        bus.subscribe(f"{session}/suspend_at", name, self._on_suspend_at)
+        bus.subscribe(f"{session}/now", name, self._on_now)
+        bus.subscribe(f"{session}/resume", name, self._on_resume)
+
+    # -- round 1: prepare -----------------------------------------------------
+
+    def _on_prepare(self, _msg: BusMessage) -> None:
+        self.sim.process(self._prepare())
+
+    def _prepare(self):
+        self._started = self.sim.now
+        self._precopy = yield from self.checkpointer.precopy()
+        self.bus.publish(f"{self.session}/ready", self.name,
+                         publisher=self.name)
+
+    # -- round 2: suspend -------------------------------------------------------
+
+    def _on_suspend_at(self, msg: BusMessage) -> None:
+        deadline_local = msg.payload
+        delay = self.clock.ns_until_local(deadline_local)
+        self.sim.call_in(delay, lambda: self.sim.process(self._suspend()))
+
+    def _on_now(self, _msg: BusMessage) -> None:
+        self.sim.process(self._suspend())
+
+    def _suspend(self):
+        self._saved = yield from self.checkpointer.suspend_and_save()
+        self.bus.publish(f"{self.session}/saved", self.name,
+                         publisher=self.name)
+
+    # -- round 4: resume ----------------------------------------------------------
+
+    def _on_resume(self, _msg: BusMessage) -> None:
+        self.sim.process(self._resume())
+
+    def _resume(self):
+        if self._saved is None:
+            raise CheckpointError(f"{self.name}: resume before save")
+        snapshot, dirty = self._saved
+        memory_copied, precopy_ns = self._precopy
+        result = yield from self.checkpointer.resume(
+            self._started, precopy_ns, memory_copied, snapshot, dirty)
+        self.checkpointer.results.append(result)
+        self.last_result = result
+        self._saved = None
+        self.bus.publish(f"{self.session}/resumed", self.name,
+                         publisher=self.name)
+
+    # -- metrics -----------------------------------------------------------------
+
+    @property
+    def frozen_at(self) -> int:
+        return self.checkpointer.domain.kernel.firewall.last_clock_frozen_at_ns
+
+    @property
+    def thawed_at(self) -> int:
+        return self.checkpointer.domain.kernel.firewall.last_clock_thawed_at_ns
+
+
+class DelayNodeAgent:
+    """Checkpoint agent on a delay node (Dummynet serializer, §4.4)."""
+
+    #: cost of serializing pipe state non-destructively
+    SERIALIZE_COST_NS = 300 * US
+
+    def __init__(self, sim: Simulator, name: str, delay_node: DelayNode,
+                 clock: SystemClock, bus: NotificationBus,
+                 session: str = "ckpt") -> None:
+        self.sim = sim
+        self.name = name
+        self.delay_node = delay_node
+        self.clock = clock
+        self.bus = bus
+        self.session = session
+        self.last_snapshot: Optional[DelayNodeSnapshot] = None
+        self.frozen_at = 0
+        self.thawed_at = 0
+        bus.subscribe(f"{session}/prepare", name, self._on_prepare)
+        bus.subscribe(f"{session}/suspend_at", name, self._on_suspend_at)
+        bus.subscribe(f"{session}/now", name, self._on_now)
+        bus.subscribe(f"{session}/resume", name, self._on_resume)
+
+    def _on_prepare(self, _msg: BusMessage) -> None:
+        # Dummynet state is tiny; nothing to pre-copy.
+        self.bus.publish(f"{self.session}/ready", self.name,
+                         publisher=self.name)
+
+    def _on_suspend_at(self, msg: BusMessage) -> None:
+        delay = self.clock.ns_until_local(msg.payload)
+        self.sim.call_in(delay, lambda: self.sim.process(self._suspend()))
+
+    def _on_now(self, _msg: BusMessage) -> None:
+        self.sim.process(self._suspend())
+
+    def _suspend(self):
+        self.delay_node.freeze()
+        self.frozen_at = self.sim.now
+        yield self.sim.timeout(self.SERIALIZE_COST_NS)
+        self.last_snapshot = self.delay_node.capture_state()
+        self.bus.publish(f"{self.session}/saved", self.name,
+                         publisher=self.name)
+
+    def _on_resume(self, _msg: BusMessage) -> None:
+        self.delay_node.thaw()
+        self.thawed_at = self.sim.now
+        self.bus.publish(f"{self.session}/resumed", self.name,
+                         publisher=self.name)
+
+
+@dataclass
+class CoordinatedResult:
+    """Metrics of one distributed checkpoint."""
+
+    scheduled_deadline_local_ns: Optional[int]
+    node_results: Dict[str, CheckpointResult]
+    delay_snapshots: Dict[str, DelayNodeSnapshot]
+    suspend_skew_ns: int
+    resume_skew_ns: int
+    core_packets_captured: int
+    endpoint_packets_replayed: int
+    wall_duration_ns: int
+
+
+class Coordinator:
+    """Runs coordinated checkpoints over a set of agents."""
+
+    def __init__(self, sim: Simulator, bus: NotificationBus,
+                 server_clock: SystemClock,
+                 node_agents: List[NodeAgent],
+                 delay_agents: Optional[List[DelayNodeAgent]] = None,
+                 margin_ns: int = 100 * MS, session: str = "ckpt") -> None:
+        self.sim = sim
+        self.bus = bus
+        self.server_clock = server_clock
+        self.node_agents = node_agents
+        self.delay_agents = delay_agents or []
+        self.margin_ns = margin_ns
+        self.session = session
+        self.results: List[CoordinatedResult] = []
+        self._ready: Optional[Barrier] = None
+        self._saved: Optional[Barrier] = None
+        self._resumed: Optional[Barrier] = None
+        total = len(node_agents) + len(self.delay_agents)
+
+        def arrive(barrier_name):
+            def handler(message):
+                barrier = getattr(self, barrier_name)
+                if barrier is not None:
+                    barrier.arrive(message.payload)
+            return handler
+
+        bus.subscribe(f"{session}/ready", f"coordinator/{session}",
+                      arrive("_ready"))
+        bus.subscribe(f"{session}/saved", f"coordinator/{session}",
+                      arrive("_saved"))
+        bus.subscribe(f"{session}/resumed", f"coordinator/{session}",
+                      arrive("_resumed"))
+        self._participants = total
+
+    def detach(self) -> None:
+        """Stop listening on the bus (when replaced by another coordinator).
+
+        Note: unsubscribing removes every handler registered under the
+        subscriber name "coordinator", so detach the old coordinator
+        *before* constructing its replacement.
+        """
+        for topic in (f"{self.session}/ready", f"{self.session}/saved",
+                      f"{self.session}/resumed"):
+            self.bus.unsubscribe(topic, f"coordinator/{self.session}")
+
+    # -- public API ------------------------------------------------------------------
+
+    def checkpoint_scheduled(self):
+        """Start a clock-scheduled checkpoint; returns a sim process."""
+        return self.sim.process(self._run(scheduled=True))
+
+    def checkpoint_now(self):
+        """Start an event-driven checkpoint; returns a sim process."""
+        return self.sim.process(self._run(scheduled=False))
+
+    # -- protocol ---------------------------------------------------------------------
+
+    def _run(self, scheduled: bool):
+        started = self.sim.now
+        self._ready = Barrier(self.sim, self._participants)
+        self._saved = Barrier(self.sim, self._participants)
+        self._resumed = Barrier(self.sim, self._participants)
+
+        # Round 1: prepare (pre-copy).
+        self.bus.publish(f"{self.session}/prepare",
+                         publisher="coordinator")
+        yield self._ready.event
+
+        # Round 2: trigger the synchronized suspend.
+        deadline = None
+        if scheduled:
+            deadline = self.server_clock.read() + self.margin_ns
+            self.bus.publish(f"{self.session}/suspend_at", deadline,
+                             publisher="coordinator")
+        else:
+            self.bus.publish(f"{self.session}/now",
+                             publisher="coordinator")
+
+        # Round 3: barrier on saved.
+        yield self._saved.event
+
+        # Round 4: resume everyone.
+        self.bus.publish(f"{self.session}/resume",
+                         publisher="coordinator")
+        yield self._resumed.event
+
+        result = self._collect(deadline, started)
+        self.results.append(result)
+        return result
+
+    def _collect(self, deadline, started) -> CoordinatedResult:
+        freeze_times = ([a.frozen_at for a in self.node_agents] +
+                        [a.frozen_at for a in self.delay_agents])
+        thaw_times = ([a.thawed_at for a in self.node_agents] +
+                      [a.thawed_at for a in self.delay_agents])
+        node_results = {a.name: a.last_result for a in self.node_agents}
+        delay_snaps = {a.name: a.last_snapshot for a in self.delay_agents}
+        return CoordinatedResult(
+            scheduled_deadline_local_ns=deadline,
+            node_results=node_results,
+            delay_snapshots=delay_snaps,
+            suspend_skew_ns=max(freeze_times) - min(freeze_times)
+            if freeze_times else 0,
+            resume_skew_ns=max(thaw_times) - min(thaw_times)
+            if thaw_times else 0,
+            core_packets_captured=sum(
+                s.packets_in_flight for s in delay_snaps.values() if s),
+            endpoint_packets_replayed=sum(
+                r.replayed_packets for r in node_results.values() if r),
+            wall_duration_ns=self.sim.now - started,
+        )

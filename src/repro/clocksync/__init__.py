@@ -1,0 +1,10 @@
+"""Drifting clocks and NTP-style discipline."""
+
+from repro.clocksync.clock import SystemClock
+from repro.clocksync.ntp import (NTPClient, NTPSample, NTPServer,
+                                 PathDelayModel, worst_pairwise_skew_ns)
+
+__all__ = [
+    "SystemClock", "NTPClient", "NTPSample", "NTPServer",
+    "PathDelayModel", "worst_pairwise_skew_ns",
+]

@@ -1,0 +1,98 @@
+"""System clocks derived from drifting oscillators.
+
+A :class:`SystemClock` is what ``gettimeofday`` reads on a node: the
+hardware oscillator calibrated against its *nominal* frequency, so the
+oscillator's ppm error becomes clock drift.  NTP (see
+:mod:`repro.clocksync.ntp`) disciplines the clock by stepping/slewing its
+offset and trimming a frequency correction, exactly like ``adjtimex``.
+
+``error_ns()`` reports the clock's deviation from true simulated time; the
+distributed checkpoint's suspend skew is bounded by the worst pairwise
+difference of these errors — the paper's stated transparency limit.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ClockError
+from repro.sim.core import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with repro.hw
+    from repro.hw.tsc import Oscillator
+
+
+class SystemClock:
+    """A settable, slewable clock counting nanoseconds since the epoch."""
+
+    def __init__(self, sim: Simulator, oscillator: "Oscillator",
+                 initial_offset_ns: int = 0) -> None:
+        self.sim = sim
+        self.oscillator = oscillator
+        self._base_local = sim.now + initial_offset_ns
+        self._base_ticks = oscillator.read()
+        self._freq_correction_ppm = 0.0
+        self.steps = 0
+        self.slews = 0
+
+    # -- reading --------------------------------------------------------------
+
+    def read(self) -> int:
+        """Current local time in nanoseconds."""
+        delta_ticks = self.oscillator.read() - self._base_ticks
+        delta_ns = self.oscillator.ticks_to_ns(delta_ticks)
+        corrected = delta_ns * (1.0 + self._freq_correction_ppm * 1e-6)
+        return self._base_local + int(corrected)
+
+    def error_ns(self) -> int:
+        """Deviation from true time (positive = clock runs ahead)."""
+        return self.read() - self.sim.now
+
+    @property
+    def frequency_correction_ppm(self) -> float:
+        """Current discipline frequency trim."""
+        return self._freq_correction_ppm
+
+    # -- discipline -------------------------------------------------------------
+
+    def _rebase(self, new_local: int) -> None:
+        self._base_local = new_local
+        self._base_ticks = self.oscillator.read()
+
+    def step(self, delta_ns: int) -> None:
+        """Jump the clock by ``delta_ns`` immediately."""
+        self._rebase(self.read() + delta_ns)
+        self.steps += 1
+
+    def slew(self, delta_ns: int) -> None:
+        """Apply a gradual correction.
+
+        The fluid model applies it at rebase time; distinguishing step from
+        slew matters for accounting (NTP policy thresholds), not mechanics.
+        """
+        self._rebase(self.read() + delta_ns)
+        self.slews += 1
+
+    def adjust_frequency(self, delta_ppm: float) -> None:
+        """Trim the clock frequency by ``delta_ppm`` (cumulative)."""
+        new = self._freq_correction_ppm + delta_ppm
+        if abs(new) > 500.0:
+            raise ClockError(f"frequency correction {new} ppm out of range")
+        self._rebase(self.read())
+        self._freq_correction_ppm = new
+
+    # -- scheduling against local time -------------------------------------------
+
+    def ns_until_local(self, local_deadline_ns: int) -> int:
+        """True-time delay until this clock reads ``local_deadline_ns``.
+
+        Used to arm "checkpoint at time t" timers: each node converts the
+        agreed local deadline into its own true-time delay, so firing skew
+        between nodes equals their clock disagreement.
+        """
+        remaining_local = local_deadline_ns - self.read()
+        if remaining_local <= 0:
+            return 0
+        rate = (1.0 + self.oscillator.drift_ppm * 1e-6) * \
+               (1.0 + self._freq_correction_ppm * 1e-6)
+        return max(0, int(remaining_local / rate))

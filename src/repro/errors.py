@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was used incorrectly."""
+
+
+class ResourceError(SimulationError):
+    """Invalid use of a simulated resource (double release, etc.)."""
+
+
+class ClockError(ReproError):
+    """Invalid clock operation (e.g. reading a frozen raw time source)."""
+
+
+class FirewallViolation(ReproError):
+    """An inside-firewall activity ran while the temporal firewall was up.
+
+    This is the transparency contract of the paper's temporal firewall: if
+    this is ever raised, checkpoint activity leaked into the guest.
+    """
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be taken or restored."""
+
+
+class NetworkError(ReproError):
+    """Invalid network configuration or use."""
+
+
+class StorageError(ReproError):
+    """Invalid storage configuration or use."""
+
+
+class TestbedError(ReproError):
+    """Invalid testbed / experiment operation."""
+
+
+class SwapError(TestbedError):
+    """Stateful swap-out/swap-in failure."""
+
+
+class TimeTravelError(ReproError):
+    """Invalid time-travel navigation."""

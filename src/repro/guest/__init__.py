@@ -1,0 +1,14 @@
+"""Guest kernel models: virtual time, temporal firewall, threads."""
+
+from repro.guest.activities import Activity, GateTable, INSIDE_FIREWALL
+from repro.guest.firewall import FirewallState, TemporalFirewall
+from repro.guest.kernel import GuestKernel
+from repro.guest.threads import GuestThread, ThreadKind
+from repro.guest.timer import VirtualTimerWheel
+from repro.guest.vclock import VirtualClock
+
+__all__ = [
+    "Activity", "GateTable", "INSIDE_FIREWALL", "FirewallState",
+    "TemporalFirewall", "GuestKernel", "GuestThread", "ThreadKind",
+    "VirtualTimerWheel", "VirtualClock",
+]

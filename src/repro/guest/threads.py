@@ -1,0 +1,51 @@
+"""Guest threads: generator bodies scheduled by the guest kernel.
+
+A thread body is a generator function taking the kernel and yielding events
+produced by kernel services (``kernel.sleep``, ``kernel.cpu``, disk I/O,
+TCP completion events).  Because every blocking primitive is freezable, a
+raised temporal firewall stops all inside-firewall threads wherever they
+are blocked, without per-thread bookkeeping — mirroring how the paper stops
+threads by owning the ``schedule()`` function.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Generator, Optional, TYPE_CHECKING
+
+from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.guest.kernel import GuestKernel
+
+
+class ThreadKind(enum.Enum):
+    USER = "user"
+    KERNEL = "kernel"
+
+
+class GuestThread:
+    """One guest thread (user or kernel)."""
+
+    def __init__(self, kernel: "GuestKernel", name: str,
+                 body: Callable[["GuestKernel"], Generator],
+                 kind: ThreadKind = ThreadKind.USER,
+                 outside_firewall: bool = False) -> None:
+        self.kernel = kernel
+        self.name = name
+        self.kind = kind
+        self.outside_firewall = outside_firewall
+        self.process: Process = kernel.sim.process(body(kernel))
+        self.process.name = f"{kernel.name}.{name}"
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive
+
+    def join(self) -> Process:
+        """The event that fires when the thread finishes."""
+        return self.process
+
+    def __repr__(self) -> str:
+        where = "outside" if self.outside_firewall else "inside"
+        return f"<GuestThread {self.name} ({self.kind.value}, {where} fw)>"

@@ -1,0 +1,138 @@
+"""The guest kernel's virtual timer wheel.
+
+All guest timers — POSIX timers, TCP retransmit timers, application sleeps —
+are armed against the guest's :class:`~repro.guest.vclock.VirtualClock`.
+When the temporal firewall freezes the wheel, pending timers keep their
+*virtual* deadlines; after thaw they are re-armed relative to the resumed
+clock.  A frozen timer can never fire — that is how checkpoint downtime
+stays invisible to timeout-driven code.
+
+The wheel also models dispatch slack: a small per-timer latency between the
+nominal deadline and handler execution, standing in for timer-interrupt
+granularity and softirq scheduling.  This slack is what bounds Figure 4's
+baseline timer accuracy (97% of iterations within 28 µs).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.errors import ClockError, SimulationError
+from repro.guest.vclock import VirtualClock
+from repro.sim.core import Simulator
+from repro.sim.timers import TimerHandle
+from repro.units import US
+
+
+class _TimerEntry:
+    __slots__ = ("vdeadline", "handle", "slack", "frozen_remaining")
+
+    def __init__(self, vdeadline: int, handle: TimerHandle, slack: int) -> None:
+        self.vdeadline = vdeadline
+        self.handle = handle
+        self.slack = slack
+        self.frozen_remaining = -1
+
+
+class VirtualTimerWheel:
+    """Freezable timers in guest virtual time (a TimerService)."""
+
+    def __init__(self, sim: Simulator, vclock: VirtualClock,
+                 rng: Optional[random.Random] = None,
+                 max_slack_ns: int = 25 * US, name: str = "timers") -> None:
+        self.sim = sim
+        self.vclock = vclock
+        self.rng = rng or random.Random(0)
+        self.max_slack_ns = max_slack_ns
+        self.name = name
+        self._pending: list[_TimerEntry] = []
+        self._frozen = False
+        self._version = 0
+
+    # -- TimerService interface --------------------------------------------------
+
+    def now(self) -> int:
+        """Current guest virtual time."""
+        return self.vclock.now()
+
+    def call_in(self, delay_ns: int, fn: Callable[[], None]) -> TimerHandle:
+        """Arm a timer ``delay_ns`` of *virtual* time from now."""
+        if delay_ns < 0:
+            raise SimulationError(f"negative timer delay {delay_ns}")
+        handle = TimerHandle(fn)
+        slack = self.rng.randint(0, self.max_slack_ns) \
+            if self.max_slack_ns > 0 else 0
+        entry = _TimerEntry(self.now() + delay_ns, handle, slack)
+        self._pending.append(entry)
+        if not self._frozen:
+            self._arm(entry)
+        return handle
+
+    # -- internals ------------------------------------------------------------------
+
+    def _arm(self, entry: _TimerEntry) -> None:
+        remaining = max(0, entry.vdeadline - self.vclock.now())
+        version = self._version
+
+        def fire() -> None:
+            if version != self._version:
+                return                      # wheel was frozen since arming
+            if entry not in self._pending:
+                return                      # cancelled or already fired
+            self._pending.remove(entry)
+            entry.handle._fire()
+
+        self.sim.call_in(remaining + entry.slack, fire)
+
+    # -- freeze protocol ----------------------------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    @property
+    def pending_count(self) -> int:
+        """Timers currently armed or held frozen."""
+        self._pending = [e for e in self._pending
+                         if not e.handle.cancelled and not e.handle.fired]
+        return len(self._pending)
+
+    def freeze(self) -> None:
+        """Hold all pending timers; nothing fires until :meth:`thaw`.
+
+        Each timer's *remaining* delay is captured now — at resume the
+        hardware timers are re-programmed with these remainders, so any
+        error in re-basing the virtual clock shows up as timer skew, just
+        like on the real system.
+        """
+        if self._frozen:
+            raise ClockError(f"timer wheel {self.name} already frozen")
+        self._frozen = True
+        self._version += 1                  # disarm every scheduled callback
+        now = self.vclock.now()
+        for entry in self._pending:
+            entry.frozen_remaining = max(0, entry.vdeadline - now)
+
+    def thaw(self) -> None:
+        """Re-arm pending timers with their captured remaining delays.
+
+        The virtual clock must already be thawed, otherwise the re-armed
+        deadlines would not correspond to any readable time.
+        """
+        if not self._frozen:
+            raise ClockError(f"timer wheel {self.name} is not frozen")
+        if self.vclock.frozen:
+            raise ClockError("thaw the virtual clock before the timer wheel")
+        self._frozen = False
+        now = self.vclock.now()
+        live = [e for e in self._pending
+                if not e.handle.cancelled and not e.handle.fired]
+        self._pending = live
+        for entry in live:
+            if entry.frozen_remaining >= 0:
+                # Re-express the deadline against the re-based clock: the
+                # stored remainder is authoritative (hardware semantics).
+                entry.vdeadline = now + entry.frozen_remaining
+                entry.frozen_remaining = -1
+            self._arm(entry)

@@ -1,0 +1,11 @@
+"""Hardware models: CPUs, disks, oscillators, machines."""
+
+from repro.hw.cpu import CPU, BackgroundLoad
+from repro.hw.disk import Disk, DiskSpec
+from repro.hw.machine import Machine, MachineSpec
+from repro.hw.tsc import GuestTSC, Oscillator
+
+__all__ = [
+    "CPU", "BackgroundLoad", "Disk", "DiskSpec",
+    "Machine", "MachineSpec", "GuestTSC", "Oscillator",
+]

@@ -1,0 +1,173 @@
+"""Fair-share CPU model (generalized processor sharing).
+
+Jobs submit an amount of *work* (nanoseconds of dedicated CPU) and receive
+an event that fires when the work completes.  Concurrently active jobs share
+the CPU in proportion to their weights, so a job's wall-clock duration is
+``work / (weight / total_weight)`` while the contention lasts.  This is the
+standard fluid approximation of a proportional-share scheduler and is exactly
+what the paper's Figure 5 experiment measures: background checkpoint
+activity in dom0 steals CPU from the guest's compute loop.
+
+The CPU supports :meth:`freeze` / :meth:`thaw`, used by the temporal
+firewall: frozen jobs accumulate no progress, and the freeze interval is
+invisible in their completed work.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.sim.core import Event, Simulator
+
+
+@dataclass
+class _Job:
+    event: Event
+    remaining: float          # ns of dedicated CPU still owed
+    weight: float
+    tag: str = ""
+    frozen: bool = False
+
+
+class CPU:
+    """A single fair-share processor."""
+
+    def __init__(self, sim: Simulator, name: str = "cpu") -> None:
+        self.sim = sim
+        self.name = name
+        self._jobs: list[_Job] = []
+        self._last_update = 0
+        self._wakeup_version = 0
+        self.total_busy_ns = 0.0
+
+    # -- public API --------------------------------------------------------------
+
+    def execute(self, work_ns: int, weight: float = 1.0,
+                tag: str = "") -> Event:
+        """Run ``work_ns`` of CPU work; the event fires on completion."""
+        if work_ns < 0:
+            raise SimulationError(f"negative work {work_ns}")
+        if weight <= 0:
+            raise SimulationError(f"weight must be positive, got {weight}")
+        ev = Event(self.sim)
+        if work_ns == 0:
+            ev.succeed()
+            return ev
+        self._advance()
+        self._jobs.append(_Job(ev, float(work_ns), weight, tag))
+        self._reschedule()
+        return ev
+
+    def freeze(self, tag_prefix: str = "") -> None:
+        """Suspend progress for all jobs whose tag starts with ``tag_prefix``."""
+        self._advance()
+        for job in self._jobs:
+            if job.tag.startswith(tag_prefix):
+                job.frozen = True
+        self._reschedule()
+
+    def thaw(self, tag_prefix: str = "") -> None:
+        """Resume progress for jobs frozen with :meth:`freeze`."""
+        self._advance()
+        for job in self._jobs:
+            if job.tag.startswith(tag_prefix):
+                job.frozen = False
+        self._reschedule()
+
+    @property
+    def active_jobs(self) -> int:
+        """Number of jobs currently making progress."""
+        return sum(1 for j in self._jobs if not j.frozen)
+
+    @property
+    def load(self) -> float:
+        """Total weight of running jobs."""
+        return sum(j.weight for j in self._jobs if not j.frozen)
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time the CPU has been busy."""
+        self._advance()
+        if self.sim.now == 0:
+            return 0.0
+        return self.total_busy_ns / self.sim.now
+
+    # -- internals ----------------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Account progress made since the last state change."""
+        now = self.sim.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if elapsed <= 0:
+            return
+        running = [j for j in self._jobs if not j.frozen]
+        if not running:
+            return
+        self.total_busy_ns += elapsed
+        total_weight = sum(j.weight for j in running)
+        finished: list[_Job] = []
+        for job in running:
+            job.remaining -= elapsed * (job.weight / total_weight)
+            if job.remaining <= 1e-9:
+                job.remaining = 0.0
+                finished.append(job)
+        for job in finished:
+            self._jobs.remove(job)
+            job.event.succeed()
+
+    def _reschedule(self) -> None:
+        """Schedule a wakeup at the next job-completion instant."""
+        self._wakeup_version += 1
+        version = self._wakeup_version
+        running = [j for j in self._jobs if not j.frozen]
+        if not running:
+            return
+        total_weight = sum(j.weight for j in running)
+        horizon = min(j.remaining * total_weight / j.weight for j in running)
+        delay = max(1, math.ceil(horizon))
+
+        def wake() -> None:
+            if version != self._wakeup_version:
+                return  # stale: job set changed since this was scheduled
+            self._advance()
+            self._reschedule()
+
+        self.sim.call_in(delay, wake)
+
+
+class BackgroundLoad:
+    """A repeating CPU consumer, used to model dom0 housekeeping activity.
+
+    Every ``period_ns`` it submits ``burst_ns`` of weighted work — the
+    "residual checkpoint-related activity" the paper blames for the 27 ms
+    perturbation in Figure 5.
+    """
+
+    def __init__(self, cpu: CPU, burst_ns: int, period_ns: int,
+                 weight: float = 1.0, tag: str = "background") -> None:
+        self.cpu = cpu
+        self.burst_ns = burst_ns
+        self.period_ns = period_ns
+        self.weight = weight
+        self.tag = tag
+        self._running = False
+        self._process: Optional[object] = None
+
+    def start(self) -> None:
+        """Begin generating bursts."""
+        if self._running:
+            return
+        self._running = True
+        self._process = self.cpu.sim.process(self._run())
+
+    def stop(self) -> None:
+        """Stop after the current burst."""
+        self._running = False
+
+    def _run(self):
+        while self._running:
+            yield self.cpu.execute(self.burst_ns, self.weight, self.tag)
+            yield self.cpu.sim.timeout(self.period_ns)

@@ -1,0 +1,66 @@
+"""Physical machine assembly (Emulab "pc3000" class by default)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.clocksync.clock import SystemClock
+from repro.hw.cpu import CPU
+from repro.hw.disk import Disk, DiskSpec
+from repro.hw.tsc import Oscillator
+from repro.sim.core import Simulator
+from repro.units import GB, MILLISECOND, MS
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Hardware description of a node class.
+
+    Defaults model the paper's pc3000 nodes: single 3.0 GHz Xeon, 2 GB RAM,
+    two 146 GB 10k RPM SCSI disks, 1 Gbps experiment NICs, and a 100 Mbps
+    control interface.
+    """
+
+    cpu_freq_hz: int = 3_000_000_000
+    memory_bytes: int = 2 * GB
+    num_disks: int = 2
+    disk: DiskSpec = field(default_factory=DiskSpec)
+    max_drift_ppm: float = 25.0
+    max_boot_clock_offset_ns: int = 250 * MS
+
+
+class Machine:
+    """One physical testbed node: CPU, disks, oscillator, system clock."""
+
+    def __init__(self, sim: Simulator, name: str,
+                 spec: MachineSpec = MachineSpec(),
+                 rng: Optional[random.Random] = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.spec = spec
+        rng = rng or random.Random(0)
+        drift = rng.uniform(-spec.max_drift_ppm, spec.max_drift_ppm)
+        offset = rng.randint(-spec.max_boot_clock_offset_ns,
+                             spec.max_boot_clock_offset_ns)
+        self.oscillator = Oscillator(sim, spec.cpu_freq_hz, drift_ppm=drift)
+        self.clock = SystemClock(sim, self.oscillator, initial_offset_ns=offset)
+        self.cpu = CPU(sim, name=f"{name}.cpu")
+        self.disks = [Disk(sim, spec.disk, name=f"{name}.disk{i}")
+                      for i in range(spec.num_disks)]
+        #: network interfaces, attached by the testbed layer, keyed by name
+        self.interfaces: Dict[str, object] = {}
+
+    @property
+    def system_disk(self) -> Disk:
+        """The disk holding the node's OS image (disk 0)."""
+        return self.disks[0]
+
+    @property
+    def scratch_disk(self) -> Disk:
+        """The spare local disk (used for time-travel snapshot storage)."""
+        return self.disks[-1]
+
+    def __repr__(self) -> str:
+        return f"<Machine {self.name}>"

@@ -1,0 +1,267 @@
+"""Dummynet-style traffic shaping pipes.
+
+A pipe emulates a link with configurable bandwidth, delay, and loss
+(Rizzo's Dummynet, which Emulab runs on its FreeBSD delay nodes).  A packet
+entering the pipe first waits in a bounded router queue for the bandwidth
+server, then rides the delay line, then is handed to the pipe's sink.
+
+The pipe is the heart of the paper's "transparency of the network core"
+(§4.4): because endpoint links are zero-delay, *all* bandwidth-delay-product
+packets live inside pipes, so checkpointing the delay node — freezing pipes
+and serializing their queues non-destructively — captures the in-flight
+state of the whole network.  :meth:`freeze`, :meth:`thaw`,
+:meth:`capture_state` and :meth:`restore_state` implement exactly that
+live-checkpoint protocol, including virtualizing the pipe clock so queued
+packets resume with their *remaining* service times (§4.4's "virtualizing
+time to account for the time spent in the checkpoint").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import CheckpointError, NetworkError
+from repro.net.packet import Packet
+from repro.sim.core import Simulator
+from repro.units import MBPS, transmission_time_ns
+
+
+@dataclass(frozen=True)
+class PipeConfig:
+    """Shaping parameters of one pipe (one direction of a shaped link)."""
+
+    bandwidth_bps: int = 100 * MBPS
+    delay_ns: int = 0
+    loss_probability: float = 0.0
+    queue_slots: int = 50
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise NetworkError("pipe bandwidth must be positive")
+        if not (0.0 <= self.loss_probability < 1.0):
+            raise NetworkError("loss probability must be in [0, 1)")
+        if self.queue_slots < 1:
+            raise NetworkError("queue must hold at least one packet")
+
+
+@dataclass
+class PipeSnapshot:
+    """Serialized pipe state, as written by the delay-node checkpointer."""
+
+    config: PipeConfig
+    queue: List[Packet]
+    transmitting: Optional[Tuple[Packet, int]]       # (packet, remaining ns)
+    delay_line: List[Tuple[Packet, int]]             # (packet, remaining ns)
+
+    @property
+    def packets_in_flight(self) -> int:
+        return (len(self.queue) + len(self.delay_line) +
+                (1 if self.transmitting else 0))
+
+
+class Pipe:
+    """One shaping pipe: bounded queue -> bandwidth server -> delay line."""
+
+    def __init__(self, sim: Simulator, config: PipeConfig,
+                 sink: Callable[[Packet], None],
+                 rng: Optional[random.Random] = None,
+                 name: str = "pipe") -> None:
+        self.sim = sim
+        self.config = config
+        self.sink = sink
+        self.rng = rng or random.Random(0)
+        self.name = name
+        self._queue: List[Packet] = []
+        self._transmitting: Optional[Tuple[Packet, int]] = None  # (pkt, finish)
+        self._delay_line: List[Tuple[Packet, int]] = []          # (pkt, deliver)
+        self._frozen = False
+        self._version = 0
+        self.submitted = 0
+        self.delivered = 0
+        self.dropped_loss = 0
+        self.dropped_queue = 0
+        self.frozen_arrivals = 0
+
+    # -- data path ---------------------------------------------------------------
+
+    def submit(self, packet: Packet) -> None:
+        """Offer a packet to the pipe."""
+        self.submitted += 1
+        if self.config.loss_probability > 0.0 and \
+                self.rng.random() < self.config.loss_probability:
+            self.dropped_loss += 1
+            return
+        if len(self._queue) >= self.config.queue_slots:
+            self.dropped_queue += 1
+            return
+        self._queue.append(packet)
+        if self._frozen:
+            # Arrivals during a checkpoint simply wait in the queue; they
+            # will be shaped after thaw like any backlog.
+            self.frozen_arrivals += 1
+            return
+        self._start_transmission()
+
+    def _start_transmission(self) -> None:
+        if self._transmitting is not None or not self._queue:
+            return
+        packet = self._queue.pop(0)
+        tx = transmission_time_ns(packet.wire_bytes, self.config.bandwidth_bps)
+        finish = self.sim.now + tx
+        self._transmitting = (packet, finish)
+        version = self._version
+
+        def tx_done() -> None:
+            if version != self._version:
+                return
+            self._finish_transmission()
+
+        self.sim.call_at(finish, tx_done)
+
+    def _finish_transmission(self) -> None:
+        assert self._transmitting is not None
+        packet, _finish = self._transmitting
+        self._transmitting = None
+        if self.config.delay_ns == 0:
+            # Fast path: no delay line to ride.
+            self.delivered += 1
+            self.sink(packet)
+        else:
+            self._enter_delay_line(packet, self.sim.now + self.config.delay_ns)
+        self._start_transmission()
+
+    def _enter_delay_line(self, packet: Packet, deliver_at: int) -> None:
+        entry = (packet, deliver_at)
+        self._delay_line.append(entry)
+        version = self._version
+
+        def emerge() -> None:
+            if version != self._version:
+                return
+            if entry in self._delay_line:
+                self._delay_line.remove(entry)
+                self.delivered += 1
+                self.sink(packet)
+
+        self.sim.call_at(deliver_at, emerge)
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    @property
+    def packets_in_flight(self) -> int:
+        """Packets currently queued, transmitting, or riding the delay line."""
+        return (len(self._queue) + len(self._delay_line) +
+                (1 if self._transmitting else 0))
+
+    # -- replay perturbation knobs (§6) ------------------------------------------
+    #
+    # During a time-travel replay the user may "reorder packets" or
+    # "perturb selected system inputs"; these act on the router queue.
+
+    def perturb_reorder(self) -> bool:
+        """Swap the two packets closest to delivery.  True if changed.
+
+        Prefers the router queue; falls back to swapping the payloads of
+        the two head entries of the delay line (their delivery slots keep
+        their times — the packets trade places, i.e. reorder in flight).
+        """
+        if len(self._queue) >= 2:
+            self._queue[0], self._queue[1] = self._queue[1], self._queue[0]
+            return True
+        if len(self._delay_line) >= 2:
+            # Re-enter both packets with exchanged delivery slots; the
+            # original entries' callbacks notice the removal and no-op.
+            (p0, t0), (p1, t1) = self._delay_line[0], self._delay_line[1]
+            del self._delay_line[:2]
+            self._enter_delay_line(p1, t0)
+            self._enter_delay_line(p0, t1)
+            return True
+        return False
+
+    def perturb_drop(self) -> Optional[Packet]:
+        """Drop the packet closest to delivery (an injected loss).
+
+        Takes from the router queue first, then from the delay line (a
+        loss in flight); scheduled delivery callbacks notice the removal
+        and become no-ops.
+        """
+        if self._queue:
+            self.dropped_queue += 1
+            return self._queue.pop(0)
+        if self._delay_line:
+            packet, _t = self._delay_line.pop(0)
+            self.dropped_queue += 1
+            return packet
+        return None
+
+    # -- live checkpoint ------------------------------------------------------------
+
+    def freeze(self) -> None:
+        """Stop the pipe clock; packets keep their remaining service times."""
+        if self._frozen:
+            raise CheckpointError(f"pipe {self.name} already frozen")
+        self._frozen = True
+        now = self.sim.now
+        # Convert absolute deadlines into remaining times and cancel the
+        # scheduled callbacks (version bump) — the pipe's virtual clock stops.
+        if self._transmitting is not None:
+            packet, finish = self._transmitting
+            self._transmitting = (packet, max(0, finish - now))
+        self._delay_line = [(p, max(0, t - now)) for p, t in self._delay_line]
+        self._version += 1
+
+    def thaw(self) -> None:
+        """Restart the pipe clock; remaining times resume where they stopped."""
+        if not self._frozen:
+            raise CheckpointError(f"pipe {self.name} is not frozen")
+        self._frozen = False
+        now = self.sim.now
+        version = self._version
+        if self._transmitting is not None:
+            packet, remaining = self._transmitting
+            finish = now + remaining
+            self._transmitting = (packet, finish)
+
+            def tx_done() -> None:
+                if version != self._version:
+                    return
+                self._finish_transmission()
+
+            self.sim.call_at(finish, tx_done)
+        # Re-arm the delay line with remaining times.
+        entries = [(p, now + r) for p, r in self._delay_line]
+        self._delay_line = []
+        for packet, deliver_at in entries:
+            self._enter_delay_line(packet, deliver_at)
+        if self._transmitting is None:
+            self._start_transmission()
+
+    def capture_state(self) -> PipeSnapshot:
+        """Serialize the pipe non-destructively (must be frozen)."""
+        if not self._frozen:
+            raise CheckpointError("capture requires a frozen pipe")
+        return PipeSnapshot(
+            config=self.config,
+            queue=[p.copy() for p in self._queue],
+            transmitting=(None if self._transmitting is None else
+                          (self._transmitting[0].copy(), self._transmitting[1])),
+            delay_line=[(p.copy(), r) for p, r in self._delay_line],
+        )
+
+    def restore_state(self, snapshot: PipeSnapshot) -> None:
+        """Load serialized state into this (frozen) pipe."""
+        if not self._frozen:
+            raise CheckpointError("restore requires a frozen pipe")
+        if snapshot.config != self.config:
+            raise CheckpointError("snapshot/pipe configuration mismatch")
+        self._queue = [p.copy() for p in snapshot.queue]
+        self._transmitting = (None if snapshot.transmitting is None else
+                              (snapshot.transmitting[0].copy(),
+                               snapshot.transmitting[1]))
+        self._delay_line = [(p.copy(), r) for p, r in snapshot.delay_line]

@@ -1,0 +1,112 @@
+"""Host network stack: interface management, routing, protocol demux.
+
+A :class:`Host` is the L3/L4 anchor on a machine (or inside a guest).  It
+routes by destination address (static routes plus a default), demultiplexes
+inbound packets to registered protocol handlers, and exposes freeze/thaw for
+checkpointing: freezing a host freezes its interfaces so arrivals buffer in
+the NIC rings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import NetworkError
+from repro.net.interface import Interface
+from repro.net.packet import Packet
+from repro.sim.core import Simulator
+from repro.sim.timers import SimTimerService, TimerService
+from repro.sim.trace import Tracer, maybe_record
+
+
+class Host:
+    """One addressable endpoint with interfaces and protocol handlers."""
+
+    def __init__(self, sim: Simulator, name: str,
+                 timers: Optional[TimerService] = None,
+                 tracer: Optional[Tracer] = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.timers: TimerService = timers or SimTimerService(sim)
+        self.tracer = tracer
+        self.interfaces: Dict[str, Interface] = {}
+        self.routes: Dict[str, Interface] = {}
+        self.default_route: Optional[Interface] = None
+        self._protocols: Dict[str, Callable[[Packet], None]] = {}
+        #: if set, every received packet is handed here instead of the
+        #: protocol demux (LAN hubs / forwarding middleboxes)
+        self.forwarder: Optional[Callable[[Packet], None]] = None
+        self.dropped_no_proto = 0
+        self.dropped_not_mine = 0
+
+    # -- configuration -----------------------------------------------------------
+
+    def add_interface(self, iface: Interface,
+                      default: bool = False) -> Interface:
+        """Attach a NIC to this host."""
+        if iface.name in self.interfaces:
+            raise NetworkError(f"duplicate interface {iface.name}")
+        self.interfaces[iface.name] = iface
+        iface.attach(self._on_receive)
+        if default or self.default_route is None:
+            self.default_route = iface
+        return iface
+
+    def add_route(self, dst: str, iface: Interface) -> None:
+        """Send traffic for ``dst`` out of ``iface``."""
+        if iface.name not in self.interfaces:
+            raise NetworkError(f"{iface.name} is not attached to {self.name}")
+        self.routes[dst] = iface
+
+    def register_protocol(self, protocol: str,
+                          handler: Callable[[Packet], None]) -> None:
+        """Demultiplex inbound ``protocol`` packets to ``handler``."""
+        if protocol in self._protocols:
+            raise NetworkError(f"protocol {protocol} already registered")
+        self._protocols[protocol] = handler
+
+    def unregister_protocol(self, protocol: str) -> None:
+        self._protocols.pop(protocol, None)
+
+    # -- data path ----------------------------------------------------------------
+
+    def send(self, packet: Packet) -> None:
+        """Route and transmit a packet."""
+        packet.created_at = packet.created_at or self.sim.now
+        iface = self.routes.get(packet.dst, self.default_route)
+        if iface is None:
+            raise NetworkError(f"host {self.name} has no route to {packet.dst}")
+        iface.send(packet)
+
+    def _on_receive(self, packet: Packet) -> None:
+        if self.forwarder is not None:
+            self.forwarder(packet)
+            return
+        if packet.dst != self.name and not any(
+                packet.dst == i.address for i in self.interfaces.values()):
+            # Flooded frame for someone else: the NIC address filter eats it.
+            self.dropped_not_mine += 1
+            return
+        handler = self._protocols.get(packet.protocol)
+        if handler is None:
+            self.dropped_no_proto += 1
+            maybe_record(self.tracer, "host.drop_no_proto", host=self.name,
+                         packet=packet)
+            return
+        handler(packet)
+
+    # -- checkpoint support ----------------------------------------------------------
+
+    def freeze_network(self) -> None:
+        """Buffer all NIC arrivals (part of node suspend)."""
+        for iface in self.interfaces.values():
+            if not iface.frozen:
+                iface.freeze()
+
+    def thaw_network(self) -> int:
+        """Resume NICs; returns total packets replayed from rings."""
+        replayed = 0
+        for iface in self.interfaces.values():
+            if iface.frozen:
+                replayed += iface.thaw()
+        return replayed

@@ -1,0 +1,64 @@
+"""Shaped LAN segments.
+
+Emulab builds a shaped LAN by giving every member its own traffic-shaping
+pipe into the LAN "core" (a switch VLAN): a packet from A to B crosses A's
+ingress pipe and B's egress pipe.  We model the core as a hub host that
+forwards by destination, with one :class:`~repro.net.delaynode.DelayNode`
+per member — so a LAN checkpoint captures in-flight packets exactly like
+the point-to-point case.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import NetworkError
+from repro.net.delaynode import DelayNode, LinkShape, install_shaped_link
+from repro.net.host import Host
+from repro.net.packet import Packet
+from repro.sim.core import Simulator
+
+
+@dataclass
+class LanSegment:
+    """A shaped LAN: hub + one delay node per member."""
+
+    name: str
+    hub: Host
+    members: List[Host]
+    delay_nodes: Dict[str, DelayNode] = field(default_factory=dict)
+
+    @property
+    def packets_in_flight(self) -> int:
+        return sum(n.packets_in_flight for n in self.delay_nodes.values())
+
+
+def install_lan(sim: Simulator, members: List[Host], shape: LinkShape,
+                name: str = "lan0",
+                rng: Optional[random.Random] = None) -> LanSegment:
+    """Wire ``members`` into a shaped LAN; returns the segment."""
+    if len(members) < 2:
+        raise NetworkError("a LAN needs at least two members")
+    rng = rng or random.Random(0)
+    hub = Host(sim, f"{name}.hub")
+    segment = LanSegment(name, hub, list(members))
+
+    def forward(packet: Packet) -> None:
+        iface = hub.routes.get(packet.dst)
+        if iface is None:
+            return                          # unknown destination: drop
+        iface.send(packet)
+
+    hub.forwarder = forward
+    for member in members:
+        node = install_shaped_link(
+            sim, member, hub, shape, name=f"{name}.{member.name}", rng=rng)
+        segment.delay_nodes[member.name] = node
+        # Every other member is reachable through this one uplink.
+        uplink = member.routes.pop(hub.name)
+        for other in members:
+            if other is not member:
+                member.add_route(other.name, uplink)
+    return segment

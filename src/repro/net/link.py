@@ -1,0 +1,77 @@
+"""Point-to-point duplex links.
+
+A link serializes transmissions per direction at its bandwidth, applies
+propagation delay, and drops on transmit-queue overflow.  Emulab experiment
+links are physically switched Ethernet at full NIC rate; the *shaping* to
+the experiment's requested characteristics happens in the interposed delay
+node (:mod:`repro.net.delaynode`), so plain links are typically configured
+at line rate with negligible propagation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NetworkError
+from repro.net.interface import Interface
+from repro.net.packet import Packet
+from repro.sim.core import Simulator
+from repro.units import GBPS, US, transmission_time_ns
+
+
+@dataclass
+class _Direction:
+    src: Interface
+    dst: Interface
+    busy_until: int = 0
+    queued: int = 0
+    drops: int = 0
+
+
+class Link:
+    """A full-duplex wire between two interfaces."""
+
+    def __init__(self, sim: Simulator, a: Interface, b: Interface,
+                 bandwidth_bps: int = GBPS, propagation_ns: int = 1 * US,
+                 queue_packets: int = 1000) -> None:
+        if bandwidth_bps <= 0:
+            raise NetworkError("link bandwidth must be positive")
+        if a.link is not None or b.link is not None:
+            raise NetworkError("interface already wired to a link")
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.propagation_ns = propagation_ns
+        self.queue_packets = queue_packets
+        self._dirs = {a: _Direction(a, b), b: _Direction(b, a)}
+        a.link = self
+        b.link = self
+
+    def transmit(self, src: Interface, packet: Packet) -> None:
+        """Clock ``packet`` onto the wire from ``src``."""
+        direction = self._dirs.get(src)
+        if direction is None:
+            raise NetworkError(f"{src!r} is not an endpoint of this link")
+        if direction.queued >= self.queue_packets:
+            direction.drops += 1
+            return
+        now = self.sim.now
+        start = max(now, direction.busy_until)
+        finish = start + transmission_time_ns(packet.wire_bytes,
+                                              self.bandwidth_bps)
+        direction.busy_until = finish
+        direction.queued += 1
+        arrive = finish + self.propagation_ns
+
+        def deliver() -> None:
+            direction.queued -= 1
+            direction.dst.deliver(packet)
+
+        self.sim.call_at(arrive, deliver)
+
+    def drops(self, src: Interface) -> int:
+        """Packets dropped at ``src``'s transmit queue."""
+        return self._dirs[src].drops
+
+    def peer_of(self, iface: Interface) -> Interface:
+        """The interface on the other end."""
+        return self._dirs[iface].dst

@@ -1,0 +1,150 @@
+"""Blocking-style stream sockets for guest threads.
+
+:class:`TCPConnection` is callback-driven; guest *threads* (generator
+coroutines) want blocking semantics.  :class:`StreamSocket` bridges the
+two: each method returns an event the thread ``yield``\\ s, and all waits
+are mediated by guest-kernel primitives, so they freeze correctly under
+the temporal firewall.
+
+Usage inside a guest thread::
+
+    def client(k):
+        sock = connect_stream(k, "server", 5001)
+        yield sock.wait_established()
+        yield sock.send_all(20 * MB)
+        reply = yield sock.recv(4096)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, TYPE_CHECKING, Tuple
+
+from repro.errors import NetworkError
+from repro.net.tcp import TCPConnection
+from repro.sim.core import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with repro.guest
+    from repro.guest.kernel import GuestKernel
+
+
+class StreamSocket:
+    """A coroutine-friendly view of one TCP connection."""
+
+    def __init__(self, kernel: "GuestKernel", connection: TCPConnection) -> None:
+        self.kernel = kernel
+        self.connection = connection
+        self._recv_waiters: List[Tuple[int, Event]] = []
+        self._delivered_at_wait: List[int] = []
+        self._closed_event: Optional[Event] = None
+        previous = connection.on_receive
+
+        def on_receive(nbytes: int) -> None:
+            if previous is not None:
+                previous(nbytes)
+            self._check_recv_waiters()
+
+        connection.on_receive = on_receive
+        previous_close = connection.on_close
+
+        def on_close() -> None:
+            if previous_close is not None:
+                previous_close()
+            if self._closed_event is not None and \
+                    not self._closed_event.triggered:
+                self._closed_event.succeed()
+
+        connection.on_close = on_close
+
+    # -- connection state ---------------------------------------------------------
+
+    def wait_established(self, poll_ns: int = 1_000_000) -> Event:
+        """Event that fires once the handshake completes."""
+        ev = Event(self.kernel.sim)
+
+        def poll() -> None:
+            if self.connection.established:
+                ev.succeed()
+            else:
+                self.kernel.timers.call_in(poll_ns, poll)
+
+        poll()
+        return ev
+
+    def wait_closed(self) -> Event:
+        """Event that fires when the peer closes."""
+        if self._closed_event is None:
+            self._closed_event = Event(self.kernel.sim)
+            if self.connection.fin_received:
+                self._closed_event.succeed()
+        return self._closed_event
+
+    # -- sending ---------------------------------------------------------------------
+
+    def send_all(self, nbytes: int, poll_ns: int = 5_000_000) -> Event:
+        """Queue ``nbytes`` and fire once every byte is acknowledged."""
+        conn = self.connection
+        target = conn.snd_max + conn.send_queue + nbytes
+        conn.send(nbytes)
+        ev = Event(self.kernel.sim)
+
+        def poll() -> None:
+            if conn.snd_una >= target:
+                ev.succeed()
+            else:
+                self.kernel.timers.call_in(poll_ns, poll)
+
+        poll()
+        return ev
+
+    def close(self) -> None:
+        """Half-close after queued data drains."""
+        self.connection.close()
+
+    # -- receiving -------------------------------------------------------------------
+
+    def recv(self, nbytes: int) -> Event:
+        """Event that fires once ``nbytes`` past the read position arrive.
+
+        Reads consume stream positions: consecutive ``recv`` calls cover
+        consecutive byte ranges, regardless of when data actually landed
+        (data may race ahead of the reader).  The event's value is the
+        cumulative delivered byte count at satisfaction.
+        """
+        if nbytes <= 0:
+            raise NetworkError("recv needs a positive byte count")
+        ev = Event(self.kernel.sim)
+        self._read_position = getattr(self, "_read_position", 0) + nbytes
+        self._recv_waiters.append((self._read_position, ev))
+        self._check_recv_waiters()
+        return ev
+
+    def _check_recv_waiters(self) -> None:
+        delivered = self.connection.bytes_delivered
+        ready = [w for w in self._recv_waiters if w[0] <= delivered]
+        self._recv_waiters = [w for w in self._recv_waiters
+                              if w[0] > delivered]
+        for _threshold, ev in ready:
+            ev.succeed(delivered)
+
+
+def connect_stream(kernel: "GuestKernel", remote: str, port: int,
+                   **kw) -> StreamSocket:
+    """Open a connection and wrap it (handshake proceeds asynchronously)."""
+    return StreamSocket(kernel, kernel.tcp.connect(remote, port, **kw))
+
+
+def listen_stream(kernel: "GuestKernel", port: int,
+                  on_accept: Optional[Callable[[StreamSocket], None]] = None
+                  ) -> List[StreamSocket]:
+    """Listen on ``port``; accepted sockets are appended to the returned
+    list (and passed to ``on_accept`` if given)."""
+    accepted: List[StreamSocket] = []
+
+    def accept(conn: TCPConnection) -> None:
+        sock = StreamSocket(kernel, conn)
+        accepted.append(sock)
+        if on_accept is not None:
+            on_accept(sock)
+
+    kernel.tcp.listen(port, accept)
+    return accepted

@@ -1,0 +1,72 @@
+"""Switched Ethernet fabric with VLANs.
+
+Emulab builds experiment links by programming VLANs into its switching
+infrastructure.  The switch model forwards between ports assigned to the
+same VLAN using a static address table (flooding when the destination is
+unknown), charging a small fixed forwarding latency.  Port serialization is
+provided by the :class:`~repro.net.link.Link` connecting each node to its
+port, so the switch itself is transparent — matching the testbed, where
+switches are never the bottleneck.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import NetworkError
+from repro.net.interface import Interface
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.sim.core import Simulator
+from repro.units import GBPS, US
+
+
+class SwitchPort:
+    """The switch side of one cable."""
+
+    def __init__(self, switch: "Switch", index: int, vlan: int) -> None:
+        self.switch = switch
+        self.iface = Interface(switch.sim, f"{switch.name}.p{index}",
+                               address=f"{switch.name}.p{index}")
+        self.vlan = vlan
+        self.iface.attach(self._ingress)
+
+    def _ingress(self, packet: Packet) -> None:
+        self.switch._forward(self, packet)
+
+
+class Switch:
+    """A store-and-forward L2 switch."""
+
+    def __init__(self, sim: Simulator, name: str = "switch",
+                 forwarding_latency_ns: int = 4 * US) -> None:
+        self.sim = sim
+        self.name = name
+        self.forwarding_latency_ns = forwarding_latency_ns
+        self.ports: list[SwitchPort] = []
+        self._table: Dict[str, SwitchPort] = {}
+        self.forwarded = 0
+        self.flooded = 0
+
+    def attach(self, iface: Interface, vlan: int = 1,
+               bandwidth_bps: int = GBPS, cable_ns: int = 1 * US) -> SwitchPort:
+        """Cable ``iface`` to a new port on ``vlan``."""
+        port = SwitchPort(self, len(self.ports), vlan)
+        self.ports.append(port)
+        Link(self.sim, iface, port.iface, bandwidth_bps, cable_ns)
+        self._table[iface.address] = port
+        return port
+
+    def _forward(self, ingress: SwitchPort, packet: Packet) -> None:
+        out = self._table.get(packet.dst)
+        if out is not None and out.vlan == ingress.vlan and out is not ingress:
+            self.forwarded += 1
+            self.sim.call_in(self.forwarding_latency_ns,
+                             lambda: out.iface.send(packet))
+            return
+        # Unknown destination: flood the VLAN.
+        self.flooded += 1
+        for port in self.ports:
+            if port is not ingress and port.vlan == ingress.vlan:
+                self.sim.call_in(self.forwarding_latency_ns,
+                                 lambda p=port: p.iface.send(packet))

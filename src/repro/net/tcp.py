@@ -1,0 +1,538 @@
+"""A flow-controlled, congestion-controlled TCP.
+
+This is a Reno-style TCP faithful enough to expose the checkpoint anomalies
+the paper cares about (§3.2): retransmissions from packet delays, duplicate
+acknowledgements from reordered/in-flight replay, receive-window pressure
+from replay bursts, and timeout behaviour under frozen clocks.  Figure 6's
+claim — *checkpoints caused no retransmissions, double acknowledgements, or
+changes of window size* — is asserted directly against this
+implementation's counters.
+
+Bytes are modelled as counts (no payload contents).  All timers run through
+the owning host's :class:`~repro.sim.timers.TimerService`; inside a guest
+that service is the kernel's virtual timer wheel, so a transparent
+checkpoint freezes RTO timers along with everything else — exactly the
+mechanism that prevents spurious retransmits in the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.net.host import Host
+from repro.net.packet import Packet
+from repro.sim.trace import maybe_record
+from repro.units import MS, SECOND
+
+MSS = 1448                      # bytes of payload per full segment
+DEFAULT_RECV_BUFFER = 256 * 1024
+INITIAL_CWND_SEGMENTS = 10
+MIN_RTO_NS = 200 * MS
+MAX_RTO_NS = 60 * SECOND
+DUPACK_THRESHOLD = 3
+DELACK_SEGMENTS = 2             # ack every other in-order segment
+DELACK_TIMEOUT_NS = 40 * MS     # delayed-ack timer
+
+SYN, ACK, FIN = "SYN", "ACK", "FIN"
+
+
+@dataclass
+class TCPStats:
+    """Per-connection counters used by the evaluation's trace analysis."""
+
+    segments_sent: int = 0
+    segments_received: int = 0
+    bytes_acked: int = 0
+    retransmits: int = 0
+    timeouts: int = 0
+    fast_retransmits: int = 0
+    dupacks_received: int = 0
+    dupacks_sent: int = 0
+    zero_window_advertisements: int = 0
+    rtt_samples: int = 0
+
+
+class TCPConnection:
+    """One endpoint of a TCP connection."""
+
+    def __init__(self, stack: "TCPStack", local_port: int, remote_addr: str,
+                 remote_port: int, passive: bool,
+                 recv_buffer: int = DEFAULT_RECV_BUFFER) -> None:
+        self.stack = stack
+        self.host = stack.host
+        self.local_port = local_port
+        self.remote_addr = remote_addr
+        self.remote_port = remote_port
+        self.state = "LISTEN" if passive else "CLOSED"
+        self.stats = TCPStats()
+        # --- sender state ---
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.snd_max = 0                    # highest sequence ever sent
+        self.send_queue = 0                 # bytes the app queued, unsent
+        self.cwnd = INITIAL_CWND_SEGMENTS * MSS
+        self.ssthresh = 1 << 30
+        self.peer_window = DEFAULT_RECV_BUFFER
+        self.dupack_count = 0
+        self._recovery_point = 0            # NewReno fast-recovery boundary
+        self._in_fast_recovery = False
+        self._segment_times: Dict[int, Tuple[int, bool]] = {}
+        # --- receiver state ---
+        self.rcv_nxt = 0
+        self._unacked_segments = 0
+        self._delack_timer = None
+        self.recv_buffer_capacity = recv_buffer
+        self.recv_buffered = 0              # bytes awaiting the application
+        self._ooo: list[Tuple[int, int]] = []   # out-of-order (start, end)
+        self.bytes_delivered = 0
+        # --- timers / RTT ---
+        self.srtt: Optional[int] = None
+        self.rttvar = 0
+        self.rto = SECOND
+        self._rto_timer = None
+        self._rto_backoff = 1
+        # --- app hooks ---
+        self.on_receive: Optional[Callable[[int], None]] = None
+        self.auto_consume = True
+        self.on_established: Optional[Callable[[], None]] = None
+        self.on_close: Optional[Callable[[], None]] = None
+        self.on_send_space: Optional[Callable[[], None]] = None
+        self.fin_sent = False
+        self.fin_received = False
+
+    # ------------------------------------------------------------------ app API
+
+    @property
+    def established(self) -> bool:
+        return self.state == "ESTABLISHED"
+
+    @property
+    def inflight(self) -> int:
+        """Bytes sent but not yet acknowledged."""
+        return self.snd_nxt - self.snd_una
+
+    def send(self, nbytes: int) -> None:
+        """Queue ``nbytes`` of application data for transmission."""
+        if nbytes < 0:
+            raise NetworkError("cannot send a negative byte count")
+        if self.fin_sent:
+            raise NetworkError("send after close")
+        self.send_queue += nbytes
+        self._pump()
+
+    def consume(self, nbytes: int) -> None:
+        """Application reads ``nbytes`` from the receive buffer.
+
+        If the advertised window was closed, this sends a window update so
+        the peer can resume (the counterpart of a zero-window probe).
+        """
+        if nbytes > self.recv_buffered:
+            raise NetworkError("consuming more than is buffered")
+        was_closed = self._advertised_window() == 0
+        self.recv_buffered -= nbytes
+        if was_closed and self._advertised_window() > 0:
+            self._send_ack()
+
+    def close(self) -> None:
+        """Send FIN once all queued data has drained."""
+        self.fin_sent = True
+        self._pump()
+
+    # ------------------------------------------------------------------ open
+
+    def open(self) -> None:
+        """Begin the active-open handshake."""
+        if self.state != "CLOSED":
+            raise NetworkError(f"open() in state {self.state}")
+        self.state = "SYN_SENT"
+        self._transmit(SYN, seq=0, length=0)
+        self._arm_rto()
+
+    # ------------------------------------------------------------------ sending
+
+    def _advertised_window(self) -> int:
+        return max(0, self.recv_buffer_capacity - self.recv_buffered)
+
+    def _send_window(self) -> int:
+        return min(self.cwnd, self.peer_window)
+
+    def _pump(self) -> None:
+        """(Re)send as much data as the window permits.
+
+        After an RTO collapses ``snd_nxt`` back to ``snd_una`` (go-back-N),
+        the region ``[snd_nxt, snd_max)`` is retransmitted before any new
+        data is taken from the application queue.
+        """
+        if self.state != "ESTABLISHED":
+            return
+        while self.inflight < self._send_window():
+            rexmit_region = self.snd_max - self.snd_nxt
+            room = self._send_window() - self.inflight
+            # A segment is either entirely a retransmission or entirely
+            # new data — mixing the two would send the new bytes twice.
+            if rexmit_region > 0:
+                length = min(MSS, rexmit_region, room)
+                is_retransmit = True
+            else:
+                length = min(MSS, self.send_queue, room)
+                is_retransmit = False
+            if length <= 0:
+                break
+            self._transmit(ACK, seq=self.snd_nxt, length=length,
+                           is_retransmit=is_retransmit)
+            if is_retransmit:
+                self.stats.retransmits += 1
+            else:
+                self.send_queue -= length
+            self._segment_times[self.snd_nxt + length] = (
+                self.host.timers.now(), is_retransmit)
+            self.snd_nxt += length
+            self.snd_max = max(self.snd_max, self.snd_nxt)
+        if (self.fin_sent and self.send_queue == 0 and
+                self.inflight == 0 and self.state == "ESTABLISHED"):
+            self.state = "FIN_WAIT"
+            self._transmit(FIN, seq=self.snd_nxt, length=0)
+        if self.inflight > 0 and self._rto_timer is None:
+            self._arm_rto()
+
+    def _transmit(self, flags: str, seq: int, length: int,
+                  is_retransmit: bool = False) -> None:
+        window = self._advertised_window()
+        if window == 0:
+            self.stats.zero_window_advertisements += 1
+        packet = Packet(
+            src=self.host.name, dst=self.remote_addr, protocol="tcp",
+            payload_bytes=length,
+            headers={"sport": self.local_port, "dport": self.remote_port,
+                     "flags": flags, "seq": seq, "ack": self.rcv_nxt,
+                     "len": length, "win": window,
+                     "retransmit": is_retransmit})
+        self.stats.segments_sent += 1
+        maybe_record(self.host.tracer, "tcp.tx", conn=self._key(),
+                     seq=seq, length=length, flags=flags,
+                     retransmit=is_retransmit)
+        self.host.send(packet)
+
+    def _send_ack(self, duplicate: bool = False) -> None:
+        if duplicate:
+            self.stats.dupacks_sent += 1
+        self._unacked_segments = 0
+        self._transmit(ACK, seq=self.snd_nxt, length=0)
+
+    def _maybe_delay_ack(self) -> None:
+        """Delayed ACKs: acknowledge every second in-order segment,
+        backed by a timer so a lone trailing segment is still acked well
+        before the sender's RTO."""
+        self._unacked_segments += 1
+        if self._unacked_segments >= DELACK_SEGMENTS:
+            self._send_ack()
+            return
+        if self._delack_timer is None or self._delack_timer.fired or \
+                self._delack_timer.cancelled:
+            self._delack_timer = self.host.timers.call_in(
+                DELACK_TIMEOUT_NS, self._on_delack_timer)
+
+    def _on_delack_timer(self) -> None:
+        if self._unacked_segments > 0:
+            self._send_ack()
+
+    # ------------------------------------------------------------------ timers
+
+    def _arm_rto(self) -> None:
+        self._cancel_rto()
+        self._rto_timer = self.host.timers.call_in(
+            min(MAX_RTO_NS, self.rto * self._rto_backoff), self._on_rto)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_timer is not None:
+            self._rto_timer.cancel()
+            self._rto_timer = None
+
+    def _on_rto(self) -> None:
+        self._rto_timer = None
+        if self.state == "SYN_SENT":
+            self._transmit(SYN, seq=0, length=0)
+            self._rto_backoff *= 2
+            self._arm_rto()
+            return
+        if self.inflight == 0:
+            return
+        # Timeout: go-back-N.  Collapse the window, rewind snd_nxt so the
+        # whole unacknowledged region is retransmitted in slow start.
+        self.stats.timeouts += 1
+        self.ssthresh = max(2 * MSS, self.inflight // 2)
+        self.cwnd = MSS
+        self._rto_backoff *= 2
+        self._in_fast_recovery = False
+        self.snd_nxt = self.snd_una
+        self._segment_times.clear()
+        self._pump()
+        self._arm_rto()
+
+    def _retransmit_first(self) -> None:
+        length = min(MSS, self.inflight)
+        self.stats.retransmits += 1
+        end = self.snd_una + length
+        self._segment_times[end] = (self.host.timers.now(), True)
+        self._transmit(ACK, seq=self.snd_una, length=length,
+                       is_retransmit=True)
+
+    # ------------------------------------------------------------------ receive
+
+    def handle(self, packet: Packet) -> None:
+        """Process one inbound segment."""
+        h = packet.headers
+        flags = h["flags"]
+        self.stats.segments_received += 1
+        if flags == SYN and h.get("synack"):
+            self._on_synack(h)
+            return
+        if flags == SYN:
+            self._on_syn(h)
+            return
+        if flags == FIN:
+            self._on_fin(h)
+            return
+        self._on_ack_field(h)
+        if h["len"] > 0:
+            self._on_data(h)
+
+    def _on_syn(self, h: dict) -> None:
+        if self.state == "ESTABLISHED":
+            # Duplicate SYN: our SYN-ACK was lost; repeat it.
+            self._repeat_synack(h)
+            return
+        if self.state not in ("LISTEN", "SYN_RCVD"):
+            return
+        self.state = "SYN_RCVD"
+        self.peer_window = h["win"]
+        packet = Packet(
+            src=self.host.name, dst=self.remote_addr, protocol="tcp",
+            payload_bytes=0,
+            headers={"sport": self.local_port, "dport": self.remote_port,
+                     "flags": SYN, "synack": True, "seq": 0, "ack": 0,
+                     "len": 0, "win": self._advertised_window(),
+                     "retransmit": False})
+        self.host.send(packet)
+        self.state = "ESTABLISHED"
+        if self.on_established:
+            self.on_established()
+
+    def _repeat_synack(self, h: dict) -> None:
+        packet = Packet(
+            src=self.host.name, dst=self.remote_addr, protocol="tcp",
+            payload_bytes=0,
+            headers={"sport": self.local_port, "dport": self.remote_port,
+                     "flags": SYN, "synack": True, "seq": 0, "ack": 0,
+                     "len": 0, "win": self._advertised_window(),
+                     "retransmit": True})
+        self.host.send(packet)
+
+    def _on_synack(self, h: dict) -> None:
+        if self.state != "SYN_SENT":
+            return
+        self._cancel_rto()
+        self._rto_backoff = 1
+        self.peer_window = h["win"]
+        self.state = "ESTABLISHED"
+        if self.on_established:
+            self.on_established()
+        self._send_ack()
+        self._pump()
+
+    def _on_fin(self, h: dict) -> None:
+        self.fin_received = True
+        self._send_ack()
+        if self.state == "FIN_WAIT":
+            self.state = "CLOSED"
+        else:
+            self.state = "CLOSE_WAIT"
+        if self.on_close:
+            self.on_close()
+
+    def _on_ack_field(self, h: dict) -> None:
+        ack = h["ack"]
+        self.peer_window = h["win"]
+        if ack > self.snd_una:
+            acked = ack - self.snd_una
+            self.stats.bytes_acked += acked
+            self.snd_una = ack
+            self.snd_nxt = max(self.snd_nxt, ack)
+            self.dupack_count = 0
+            self._rto_backoff = 1
+            self._sample_rtt(ack)
+            self._segment_times = {end: v for end, v in
+                                   self._segment_times.items() if end > ack}
+            if self._in_fast_recovery:
+                if ack >= self._recovery_point:
+                    # Full recovery: deflate to ssthresh.
+                    self._in_fast_recovery = False
+                    self.cwnd = self.ssthresh
+                else:
+                    # NewReno partial ack: the next hole is lost too.
+                    self._retransmit_first()
+            else:
+                self._grow_cwnd(acked)
+            if self.inflight > 0:
+                self._arm_rto()
+            else:
+                self._cancel_rto()
+            self._pump()
+            if self.on_send_space and self.send_queue == 0:
+                self.on_send_space()
+        elif ack == self.snd_una and self.inflight > 0 and h["len"] == 0 \
+                and h["flags"] == ACK:
+            self.dupack_count += 1
+            self.stats.dupacks_received += 1
+            if self.dupack_count == DUPACK_THRESHOLD and \
+                    not self._in_fast_recovery:
+                # Fast retransmit / fast recovery (Reno, NewReno exit rule).
+                self.stats.fast_retransmits += 1
+                self.ssthresh = max(2 * MSS, self.inflight // 2)
+                self.cwnd = self.ssthresh + DUPACK_THRESHOLD * MSS
+                self._in_fast_recovery = True
+                self._recovery_point = self.snd_max
+                self._retransmit_first()
+        else:
+            # Pure window update (e.g. the peer's buffer reopened).
+            self._pump()
+
+    def _sample_rtt(self, ack: int) -> None:
+        info = self._segment_times.get(ack)
+        if info is None:
+            return
+        sent_at, was_retransmitted = info
+        if was_retransmitted:
+            return                        # Karn's rule
+        rtt = self.host.timers.now() - sent_at
+        if rtt < 0:
+            return
+        self.stats.rtt_samples += 1
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt // 2
+        else:
+            self.rttvar = (3 * self.rttvar + abs(self.srtt - rtt)) // 4
+            self.srtt = (7 * self.srtt + rtt) // 8
+        self.rto = max(MIN_RTO_NS, self.srtt + 4 * self.rttvar)
+
+    def _grow_cwnd(self, acked: int) -> None:
+        if self.cwnd < self.ssthresh:
+            # Slow start with appropriate byte counting (RFC 3465), so
+            # delayed acks do not halve the growth rate.
+            self.cwnd += min(acked, 2 * MSS)
+        else:
+            # Congestion avoidance, byte-counted.
+            self._ca_accumulator = getattr(self, "_ca_accumulator", 0) + acked
+            if self._ca_accumulator >= self.cwnd:
+                self._ca_accumulator -= self.cwnd
+                self.cwnd += MSS
+
+    def _on_data(self, h: dict) -> None:
+        seq, length = h["seq"], h["len"]
+        end = seq + length
+        if end <= self.rcv_nxt:
+            # Old duplicate: re-ack.
+            self._send_ack(duplicate=True)
+            return
+        if seq > self.rcv_nxt:
+            # Hole: stash and send a duplicate ack.
+            self._insert_ooo(seq, end)
+            maybe_record(self.host.tracer, "tcp.ooo", conn=self._key(),
+                         seq=seq, expected=self.rcv_nxt)
+            self._send_ack(duplicate=True)
+            return
+        # In order (possibly overlapping).
+        filled_gap = bool(self._ooo)
+        delivered = end - self.rcv_nxt
+        self.rcv_nxt = end
+        self._drain_ooo()
+        self._deliver(delivered)
+        if filled_gap:
+            # RFC 5681: ack immediately when a segment fills a hole, so
+            # the sender's recovery is not stalled by delayed acks.
+            self._send_ack()
+        else:
+            self._maybe_delay_ack()
+
+    def _insert_ooo(self, start: int, end: int) -> None:
+        self._ooo.append((start, end))
+        self._ooo.sort()
+        merged: list[Tuple[int, int]] = []
+        for s, e in self._ooo:
+            if merged and s <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(e, merged[-1][1]))
+            else:
+                merged.append((s, e))
+        self._ooo = merged
+
+    def _drain_ooo(self) -> None:
+        while self._ooo and self._ooo[0][0] <= self.rcv_nxt:
+            s, e = self._ooo.pop(0)
+            if e > self.rcv_nxt:
+                extra = e - self.rcv_nxt
+                self.rcv_nxt = e
+                self._deliver(extra)
+
+    def _deliver(self, nbytes: int) -> None:
+        self.bytes_delivered += nbytes
+        maybe_record(self.host.tracer, "tcp.deliver", conn=self._key(),
+                     nbytes=nbytes, total=self.bytes_delivered,
+                     vtime=self.host.timers.now())
+        if self.on_receive is not None:
+            self.on_receive(nbytes)
+        if not self.auto_consume:
+            self.recv_buffered += nbytes
+
+    def _key(self) -> tuple:
+        return (self.local_port, self.remote_addr, self.remote_port)
+
+    def __repr__(self) -> str:
+        return (f"<TCP {self.host.name}:{self.local_port} <-> "
+                f"{self.remote_addr}:{self.remote_port} {self.state}>")
+
+
+class TCPStack:
+    """Per-host TCP: demux, listeners, and ephemeral ports."""
+
+    def __init__(self, host: Host) -> None:
+        self.host = host
+        self.connections: Dict[tuple, TCPConnection] = {}
+        self.listeners: Dict[int, Callable[[TCPConnection], None]] = {}
+        self._ephemeral = itertools.count(49152)
+        host.register_protocol("tcp", self._demux)
+
+    def listen(self, port: int,
+               on_accept: Optional[Callable[[TCPConnection], None]] = None
+               ) -> None:
+        """Accept connections on ``port``."""
+        if port in self.listeners:
+            raise NetworkError(f"port {port} already listening")
+        self.listeners[port] = on_accept or (lambda conn: None)
+
+    def connect(self, remote_addr: str, remote_port: int,
+                recv_buffer: int = DEFAULT_RECV_BUFFER) -> TCPConnection:
+        """Open a connection; returns immediately (handshake is async)."""
+        local_port = next(self._ephemeral)
+        conn = TCPConnection(self, local_port, remote_addr, remote_port,
+                             passive=False, recv_buffer=recv_buffer)
+        self.connections[conn._key()] = conn
+        conn.open()
+        return conn
+
+    def _demux(self, packet: Packet) -> None:
+        h = packet.headers
+        key = (h["dport"], packet.src, h["sport"])
+        conn = self.connections.get(key)
+        if conn is None:
+            accept = self.listeners.get(h["dport"])
+            if accept is None or h["flags"] != SYN:
+                return                          # RST territory; drop
+            conn = TCPConnection(self, h["dport"], packet.src, h["sport"],
+                                 passive=True)
+            self.connections[key] = conn
+            accept(conn)
+        conn.handle(packet)

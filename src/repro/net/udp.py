@@ -1,0 +1,71 @@
+"""UDP: unreliable datagrams with port demultiplexing."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Optional
+
+from repro.errors import NetworkError
+from repro.net.host import Host
+from repro.net.packet import Packet
+
+
+class UDPSocket:
+    """A bound UDP endpoint."""
+
+    def __init__(self, stack: "UDPStack", port: int) -> None:
+        self.stack = stack
+        self.port = port
+        self.on_datagram: Optional[Callable[[Packet], None]] = None
+        self.received: list[Packet] = []
+        self.sent = 0
+
+    def sendto(self, dst: str, dport: int, nbytes: int,
+               **extra_headers) -> None:
+        """Send a datagram of ``nbytes`` to ``dst:dport``."""
+        if nbytes < 0:
+            raise NetworkError("negative datagram size")
+        packet = Packet(src=self.stack.host.name, dst=dst, protocol="udp",
+                        payload_bytes=nbytes,
+                        headers={"sport": self.port, "dport": dport,
+                                 **extra_headers})
+        self.sent += 1
+        self.stack.host.send(packet)
+
+    def close(self) -> None:
+        """Unbind the socket."""
+        self.stack.sockets.pop(self.port, None)
+
+    def _deliver(self, packet: Packet) -> None:
+        if self.on_datagram is not None:
+            self.on_datagram(packet)
+        else:
+            self.received.append(packet)
+
+
+class UDPStack:
+    """Per-host UDP demultiplexer."""
+
+    def __init__(self, host: Host) -> None:
+        self.host = host
+        self.sockets: Dict[int, UDPSocket] = {}
+        self._ephemeral = itertools.count(32768)
+        self.dropped_no_port = 0
+        host.register_protocol("udp", self._demux)
+
+    def bind(self, port: Optional[int] = None) -> UDPSocket:
+        """Bind a socket; allocates an ephemeral port when none is given."""
+        if port is None:
+            port = next(self._ephemeral)
+        if port in self.sockets:
+            raise NetworkError(f"UDP port {port} already bound")
+        sock = UDPSocket(self, port)
+        self.sockets[port] = sock
+        return sock
+
+    def _demux(self, packet: Packet) -> None:
+        sock = self.sockets.get(packet.headers["dport"])
+        if sock is None:
+            self.dropped_no_port += 1
+            return
+        sock._deliver(packet)

@@ -1,0 +1,264 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is a classic event-heap design: :class:`Simulator` owns a binary
+heap of ``(time, priority, sequence, Event)`` entries and advances simulated
+time by popping the earliest entry and running its callbacks.  Simulated time
+is integer nanoseconds (see :mod:`repro.units`), and ties are broken by a
+monotonically increasing sequence number, so a run is reproducible
+bit-for-bit regardless of host platform.
+
+Processes (generator coroutines that ``yield`` events) are layered on top in
+:mod:`repro.sim.process`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import SimulationError
+
+#: Scheduling priorities.  Lower runs first at equal timestamps.
+URGENT = 0
+NORMAL = 1
+LOW = 2
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*.  Calling :meth:`succeed` or :meth:`fail`
+    *triggers* it: it acquires a value (or an exception) and is scheduled on
+    the simulator's heap.  When the simulator pops it, the event is
+    *processed*: all registered callbacks run, in registration order.
+
+    Callbacks receive the event itself as their only argument.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "processed", "_defused")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self.processed = False
+        self._defused = False
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is on the heap."""
+        return self._value is not _PENDING
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._value is _PENDING:
+            raise SimulationError("event not yet triggered")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or failure exception)."""
+        if self._value is _PENDING:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    # -- triggering -----------------------------------------------------------
+
+    def succeed(self, value: Any = None, delay: int = 0,
+                priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(self, delay, priority)
+        return self
+
+    def fail(self, exception: BaseException, delay: int = 0,
+             priority: int = NORMAL) -> "Event":
+        """Trigger the event as failed with ``exception``.
+
+        A failed event re-raises its exception inside every process waiting
+        on it.  If nothing waits, the simulator raises at processing time so
+        failures never pass silently; call :meth:`defuse` to suppress that.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue(self, delay, priority)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled even if no process waits on it."""
+        self._defused = True
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event is processed.
+
+        If the event was already processed the callback fires immediately.
+        """
+        if self.processed:
+            fn(self)
+        else:
+            assert self.callbacks is not None
+            self.callbacks.append(fn)
+
+    def remove_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Remove a previously registered callback (no-op if absent)."""
+        if self.callbacks and fn in self.callbacks:
+            self.callbacks.remove(fn)
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self.processed = True
+        for fn in callbacks or ():
+            fn(self)
+        if self._ok is False and not self._defused:
+            raise self._value
+
+    def __repr__(self) -> str:
+        state = ("processed" if self.processed
+                 else "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` nanoseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._enqueue(self, delay, NORMAL)
+
+
+class Simulator:
+    """The event loop: a clock plus a heap of scheduled events."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list[tuple[int, int, int, Event]] = []
+        self._seq = 0
+        self._running = False
+
+    # -- event construction ---------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` ns."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> "Process":
+        """Start a new process running ``generator`` (see sim.process)."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    def call_at(self, when: int, fn: Callable[[], None],
+                priority: int = NORMAL) -> Event:
+        """Invoke ``fn()`` at absolute simulated time ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule at {when} before now={self.now}")
+        return self.call_in(when - self.now, fn, priority)
+
+    def call_in(self, delay: int, fn: Callable[[], None],
+                priority: int = NORMAL) -> Event:
+        """Invoke ``fn()`` after ``delay`` nanoseconds."""
+        ev = Timeout(self, delay)
+        ev.callbacks.append(lambda _e: fn())
+        return ev
+
+    # -- scheduling internals ------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: int, priority: int) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+
+    # -- execution ------------------------------------------------------------
+
+    def peek(self) -> Optional[int]:
+        """Timestamp of the next scheduled event, or None if idle."""
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("event heap corrupted: time went backwards")
+        self.now = when
+        event._process()
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the heap drains), an integer
+        absolute time in nanoseconds (run up to and including that instant),
+        or an :class:`Event` (run until it is processed; its value is
+        returned).
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            if isinstance(until, Event):
+                stop = until
+                if stop.processed:
+                    return stop.value if stop.ok else None
+                done = []
+                stop.add_callback(done.append)
+                while self._heap and not done:
+                    self.step()
+                if not done:
+                    raise SimulationError(
+                        "simulation ran out of events before target event")
+                if not stop.ok:
+                    if not stop._defused:
+                        raise stop.value
+                    return None
+                return stop.value
+            if until is None:
+                while self._heap:
+                    self.step()
+                return None
+            horizon = int(until)
+            if horizon < self.now:
+                raise SimulationError(
+                    f"run(until={horizon}) is in the past (now={self.now})")
+            while self._heap and self._heap[0][0] <= horizon:
+                self.step()
+            self.now = horizon
+            return None
+        finally:
+            self._running = False
+
+    # -- conveniences ----------------------------------------------------------
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        from repro.sim.primitives import AnyOf
+
+        return AnyOf(self, list(events))
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        from repro.sim.primitives import AllOf
+
+        return AllOf(self, list(events))

@@ -1,0 +1,194 @@
+"""Shared-resource primitives: resources, stores, and containers.
+
+These follow the usual DES idioms: a request/put/get returns an event that a
+process ``yield``\\ s.  All queues are FIFO (with an optional priority field
+on resources), which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Optional
+
+from repro.errors import ResourceError
+from repro.sim.core import Event, Simulator
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource", "priority")
+
+    def __init__(self, resource: "Resource", priority: int) -> None:
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.priority = priority
+
+
+class Resource:
+    """A counted resource with ``capacity`` slots.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ...  # hold the resource
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ResourceError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._users: set[Request] = set()
+        self._queue: list[tuple[int, int, Request]] = []
+        self._seq = 0
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim a slot; the returned event fires once the slot is granted."""
+        req = Request(self, priority)
+        self._seq += 1
+        heapq.heappush(self._queue, (priority, self._seq, req))
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot."""
+        if request not in self._users:
+            raise ResourceError("releasing a slot that was never granted")
+        self._users.discard(request)
+        self._grant()
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw a not-yet-granted request (no-op if already granted)."""
+        if request in self._users:
+            return
+        self._queue = [entry for entry in self._queue if entry[2] is not request]
+        heapq.heapify(self._queue)
+
+    def _grant(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            _prio, _seq, req = heapq.heappop(self._queue)
+            self._users.add(req)
+            req.succeed()
+
+
+class Store:
+    """An unbounded-or-bounded FIFO buffer of Python objects."""
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ResourceError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: list[Any] = []
+        self._getters: list[Event] = []
+        self._putters: list[tuple[Event, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of buffered items (oldest first)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Deposit ``item``; blocks (the event stays pending) when full."""
+        ev = Event(self.sim)
+        self._putters.append((ev, item))
+        self._settle()
+        return ev
+
+    def get(self) -> Event:
+        """Withdraw the oldest item; the event's value is the item."""
+        ev = Event(self.sim)
+        self._getters.append(ev)
+        self._settle()
+        return ev
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        self._settle()
+        if self._items and not self._getters:
+            item = self._items.pop(0)
+            self._settle()        # room may unblock a pending put
+            return True, item
+        return False, None
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and (
+                    self.capacity is None or len(self._items) < self.capacity):
+                ev, item = self._putters.pop(0)
+                self._items.append(item)
+                ev.succeed()
+                progressed = True
+            while self._getters and self._items:
+                ev = self._getters.pop(0)
+                ev.succeed(self._items.pop(0))
+                progressed = True
+
+
+class Container:
+    """A homogeneous quantity (bytes, tokens) with put/get of amounts."""
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf"),
+                 init: float = 0) -> None:
+        if init < 0 or init > capacity:
+            raise ResourceError("init must lie within [0, capacity]")
+        self.sim = sim
+        self.capacity = capacity
+        self.level = init
+        self._getters: list[tuple[Event, float]] = []
+        self._putters: list[tuple[Event, float]] = []
+
+    def put(self, amount: float) -> Event:
+        if amount < 0:
+            raise ResourceError("cannot put a negative amount")
+        ev = Event(self.sim)
+        self._putters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        if amount < 0:
+            raise ResourceError("cannot get a negative amount")
+        ev = Event(self.sim)
+        self._getters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                ev, amount = self._putters[0]
+                if self.level + amount <= self.capacity:
+                    self._putters.pop(0)
+                    self.level += amount
+                    ev.succeed()
+                    progressed = True
+            if self._getters:
+                ev, amount = self._getters[0]
+                if amount <= self.level:
+                    self._getters.pop(0)
+                    self.level -= amount
+                    ev.succeed()
+                    progressed = True

@@ -1,0 +1,63 @@
+"""Timer services: a clock + cancellable callbacks.
+
+Protocol stacks and applications never touch the simulator directly; they
+schedule through a :class:`TimerService`.  On a plain host that is
+:class:`SimTimerService` (true time).  Inside a guest it is the kernel's
+virtual timer wheel (:mod:`repro.guest.timer`), which freezes with the
+temporal firewall — that is how a checkpoint hides from TCP retransmit
+timers and application sleeps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from repro.sim.core import Simulator
+
+
+class TimerHandle:
+    """A cancellable pending callback."""
+
+    __slots__ = ("fired", "cancelled", "_fn")
+
+    def __init__(self, fn: Callable[[], None]) -> None:
+        self.fired = False
+        self.cancelled = False
+        self._fn = fn
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if already fired)."""
+        self.cancelled = True
+
+    def _fire(self) -> None:
+        if self.cancelled or self.fired:
+            return
+        self.fired = True
+        self._fn()
+
+
+class TimerService(Protocol):
+    """What stacks need from their environment: a clock and delayed calls."""
+
+    def now(self) -> int:
+        """Current time in nanoseconds, in this service's timebase."""
+        ...
+
+    def call_in(self, delay_ns: int, fn: Callable[[], None]) -> TimerHandle:
+        """Run ``fn`` after ``delay_ns`` in this service's timebase."""
+        ...
+
+
+class SimTimerService:
+    """Timers in true simulated time (for hosts outside any guest)."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+
+    def now(self) -> int:
+        return self.sim.now
+
+    def call_in(self, delay_ns: int, fn: Callable[[], None]) -> TimerHandle:
+        handle = TimerHandle(fn)
+        self.sim.call_in(delay_ns, handle._fire)
+        return handle

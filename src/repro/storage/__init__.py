@@ -1,0 +1,21 @@
+"""Storage substrate: branching COW stores, filesystems, transfers."""
+
+from repro.storage.blockdev import Extent, ExtentAllocator, LinearVolume
+from repro.storage.branching import (BranchConfig, BranchStats, BranchStore,
+                                     CowMode)
+from repro.storage.channel import ByteChannel
+from repro.storage.ext3 import Ext3Filesystem, FileEntry
+from repro.storage.freeblock import Ext3FreeBlockPlugin
+from repro.storage.imagestore import (ImageDescriptor, ImageStore,
+                                      NodeImageCache)
+from repro.storage.lvm import GoldenVolume, VolumeManager
+from repro.storage.mirror import (EagerCopyOut, LazyCopyIn, LazyVolume,
+                                  TransferConfig)
+
+__all__ = [
+    "Extent", "ExtentAllocator", "LinearVolume", "BranchConfig",
+    "BranchStats", "BranchStore", "CowMode", "ByteChannel", "Ext3Filesystem",
+    "FileEntry", "Ext3FreeBlockPlugin", "ImageDescriptor", "ImageStore",
+    "NodeImageCache", "GoldenVolume", "VolumeManager", "EagerCopyOut",
+    "LazyCopyIn", "LazyVolume", "TransferConfig",
+]

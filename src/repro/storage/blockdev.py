@@ -1,0 +1,86 @@
+"""Block-device building blocks: extents and linear volumes.
+
+A :class:`LinearVolume` maps a contiguous range of virtual block addresses
+onto a physical extent of a disk — the addressing scheme of the golden
+image in the paper's three-level store ("linear addressing, VBA == PBA",
+Figure 3).  Higher levels (deltas, redo logs) live in their own extents on
+the same or another disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.hw.disk import Disk
+from repro.sim.core import Event
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous physical block range on one disk."""
+
+    disk: Disk
+    start_lba: int
+    nblocks: int
+
+    def __post_init__(self) -> None:
+        if self.start_lba < 0 or self.nblocks <= 0:
+            raise StorageError("extent must have positive size")
+        if self.start_lba + self.nblocks > self.disk.num_blocks:
+            raise StorageError(
+                f"extent [{self.start_lba}, +{self.nblocks}) exceeds disk "
+                f"({self.disk.num_blocks} blocks)")
+
+    def lba(self, offset: int) -> int:
+        """Physical LBA of block ``offset`` within the extent."""
+        if not (0 <= offset < self.nblocks):
+            raise StorageError(
+                f"offset {offset} outside extent of {self.nblocks} blocks")
+        return self.start_lba + offset
+
+
+class ExtentAllocator:
+    """Hands out disjoint extents from one disk, low LBA first."""
+
+    def __init__(self, disk: Disk, start_lba: int = 0) -> None:
+        self.disk = disk
+        self._next = start_lba
+
+    def allocate(self, nblocks: int) -> Extent:
+        """Carve the next ``nblocks`` off the disk."""
+        extent = Extent(self.disk, self._next, nblocks)
+        self._next += nblocks
+        return extent
+
+    @property
+    def used_blocks(self) -> int:
+        return self._next
+
+
+class LinearVolume:
+    """VBA == PBA (plus extent offset): the golden-image addressing mode."""
+
+    def __init__(self, extent: Extent, name: str = "linear") -> None:
+        self.extent = extent
+        self.name = name
+
+    @property
+    def nblocks(self) -> int:
+        return self.extent.nblocks
+
+    def _check(self, vba: int, nblocks: int) -> None:
+        if nblocks <= 0 or vba < 0 or vba + nblocks > self.extent.nblocks:
+            raise StorageError(
+                f"I/O [{vba}, +{nblocks}) outside volume of "
+                f"{self.extent.nblocks} blocks")
+
+    def read(self, vba: int, nblocks: int = 1) -> Event:
+        """Read ``nblocks`` virtual blocks starting at ``vba``."""
+        self._check(vba, nblocks)
+        return self.extent.disk.read(self.extent.lba(vba), nblocks)
+
+    def write(self, vba: int, nblocks: int = 1) -> Event:
+        """Write ``nblocks`` virtual blocks starting at ``vba``."""
+        self._check(vba, nblocks)
+        return self.extent.disk.write(self.extent.lba(vba), nblocks)

@@ -1,0 +1,51 @@
+"""Bulk byte channels: serialized transfers over a shared link.
+
+Swap-out/in traffic (memory images, disk deltas, golden images) moves over
+the 100 Mbps Emulab control network to the file server.  At this
+granularity a packet-level model adds nothing, so bulk transfers share a
+:class:`ByteChannel`: requests are serialized FIFO at the channel rate,
+which naturally models the control network being the §7.2 bottleneck.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.sim.core import Event, Simulator
+from repro.sim.resources import Resource
+from repro.units import transfer_time_ns
+
+
+class ByteChannel:
+    """A shared, serialized bulk-transfer pipe."""
+
+    def __init__(self, sim: Simulator, rate_bytes_per_s: int,
+                 name: str = "channel") -> None:
+        if rate_bytes_per_s <= 0:
+            raise StorageError("channel rate must be positive")
+        self.sim = sim
+        self.rate_bytes_per_s = rate_bytes_per_s
+        self.name = name
+        self._turn = Resource(sim, capacity=1)
+        self.bytes_moved = 0
+        self.transfers = 0
+
+    def transfer(self, nbytes: int) -> Event:
+        """Move ``nbytes`` through the channel; fires when done."""
+        if nbytes < 0:
+            raise StorageError("negative transfer size")
+        return self.sim.process(self._transfer(nbytes))
+
+    def _transfer(self, nbytes: int):
+        grant = self._turn.request()
+        yield grant
+        try:
+            yield self.sim.timeout(transfer_time_ns(max(1, nbytes),
+                                                    self.rate_bytes_per_s))
+            self.bytes_moved += nbytes
+            self.transfers += 1
+        finally:
+            self._turn.release(grant)
+
+    def transfer_time_ns(self, nbytes: int) -> int:
+        """Unloaded transfer time for ``nbytes``."""
+        return transfer_time_ns(max(1, nbytes), self.rate_bytes_per_s)

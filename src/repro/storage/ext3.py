@@ -1,0 +1,163 @@
+"""A block-allocation model of an ext3 filesystem.
+
+Only what the paper's storage experiments need: files own blocks, creating
+and writing files allocates and dirties blocks through the underlying
+volume, deleting files frees blocks *without* touching the data (which is
+why the hypervisor cannot see freed blocks — the semantic gap §5.1's
+free-block elimination plugin closes).
+
+Observers can subscribe to allocation/free events; the free-block plugin
+uses this as its model of "snooping on metadata writes".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import StorageError
+from repro.sim.core import Event, Simulator
+
+#: filesystem block size is a multiple of the volume block size (the
+#: paper aligns them so COW never needs read-before-write); we use 1:1.
+BLOCKS_PER_FS_BLOCK = 1
+
+
+@dataclass
+class FileEntry:
+    name: str
+    blocks: List[int] = field(default_factory=list)
+
+    @property
+    def nblocks(self) -> int:
+        return len(self.blocks)
+
+
+class Ext3Filesystem:
+    """Files over a block volume, with allocate/free notifications."""
+
+    def __init__(self, sim: Simulator, volume, nblocks: Optional[int] = None,
+                 block_size: int = 4096, reserved_blocks: int = 256,
+                 io_chunk_blocks: int = 256) -> None:
+        self.sim = sim
+        self.volume = volume
+        self.block_size = block_size
+        self.nblocks = nblocks if nblocks is not None else volume.nblocks
+        self.io_chunk_blocks = io_chunk_blocks
+        if reserved_blocks >= self.nblocks:
+            raise StorageError("reserved blocks exceed filesystem size")
+        self.files: Dict[str, FileEntry] = {}
+        self._next_free = reserved_blocks
+        self._free_list: List[int] = []      # reclaimed blocks, reused first
+        self.on_allocate: List[Callable[[List[int]], None]] = []
+        self.on_free: List[Callable[[List[int]], None]] = []
+
+    # ------------------------------------------------------------------ space
+
+    @property
+    def used_blocks(self) -> int:
+        return sum(f.nblocks for f in self.files.values())
+
+    @property
+    def free_blocks(self) -> int:
+        return (self.nblocks - self._next_free) + len(self._free_list)
+
+    def used_bytes(self) -> int:
+        return self.used_blocks * self.block_size
+
+    def _allocate(self, count: int) -> List[int]:
+        if count > self.free_blocks:
+            raise StorageError(
+                f"filesystem full: need {count}, have {self.free_blocks}")
+        blocks: List[int] = []
+        take = min(count, len(self._free_list))
+        if take:
+            blocks.extend(self._free_list[:take])
+            del self._free_list[:take]
+        remaining = count - take
+        if remaining:
+            blocks.extend(range(self._next_free, self._next_free + remaining))
+            self._next_free += remaining
+        for hook in self.on_allocate:
+            hook(blocks)
+        return blocks
+
+    # ------------------------------------------------------------------ file ops
+
+    def write_file(self, name: str, nbytes: int) -> Event:
+        """Create or extend ``name`` with ``nbytes`` of data (a process)."""
+        if nbytes < 0:
+            raise StorageError("negative file size")
+        return self.sim.process(self._write_file(name, nbytes))
+
+    def _write_file(self, name: str, nbytes: int):
+        entry = self.files.setdefault(name, FileEntry(name))
+        count = -(-nbytes // self.block_size)
+        blocks = self._allocate(count)
+        entry.blocks.extend(blocks)
+        # Issue the data writes in contiguous runs, chunked.
+        for start, run in _runs(blocks):
+            offset = 0
+            while offset < run:
+                chunk = min(self.io_chunk_blocks, run - offset)
+                yield self.volume.write(start + offset, chunk)
+                offset += chunk
+        return count
+
+    def overwrite_file(self, name: str, nbytes: Optional[int] = None) -> Event:
+        """Rewrite an existing file in place (a process).
+
+        ``nbytes`` limits the rewrite to the file's first N bytes.
+        """
+        entry = self._entry(name)
+        blocks = entry.blocks
+        if nbytes is not None:
+            blocks = blocks[:-(-nbytes // self.block_size)]
+        return self.sim.process(self._touch_blocks(blocks, write=True))
+
+    def read_file(self, name: str) -> Event:
+        """Read a whole file (a process)."""
+        entry = self._entry(name)
+        return self.sim.process(self._touch_blocks(entry.blocks, write=False))
+
+    def _touch_blocks(self, blocks: List[int], write: bool):
+        for start, run in _runs(blocks):
+            offset = 0
+            while offset < run:
+                chunk = min(self.io_chunk_blocks, run - offset)
+                if write:
+                    yield self.volume.write(start + offset, chunk)
+                else:
+                    yield self.volume.read(start + offset, chunk)
+                offset += chunk
+
+    def delete(self, name: str) -> int:
+        """Free a file's blocks (metadata-only; data stays on disk)."""
+        entry = self._entry(name)
+        del self.files[name]
+        self._free_list.extend(entry.blocks)
+        for hook in self.on_free:
+            hook(entry.blocks)
+        return entry.nblocks
+
+    def _entry(self, name: str) -> FileEntry:
+        entry = self.files.get(name)
+        if entry is None:
+            raise StorageError(f"no such file: {name}")
+        return entry
+
+
+def _runs(blocks: List[int]):
+    """Split a block list into (start, length) contiguous runs."""
+    if not blocks:
+        return
+    start = prev = blocks[0]
+    length = 1
+    for b in blocks[1:]:
+        if b == prev + 1:
+            length += 1
+        else:
+            yield start, length
+            start, length = b, 1
+        prev = b
+    yield start, length

@@ -1,0 +1,50 @@
+"""Free-block elimination (§5.1).
+
+Xen virtualizes disks at the block level, so the swapping system cannot see
+which delta blocks the guest filesystem has *freed* — the semantic gap.
+The paper closes it with filesystem-specific plugins that snoop on writes
+below the guest and maintain a free-block map consistent with the data on
+disk; at swap-out, delta blocks that are free are not transferred.
+
+The paper's motivating measurement: a kernel ``make`` + ``make clean``
+shrinks the delta from 490 MB to 36 MB (reproduced by
+``benchmarks/test_sec51_free_block_elimination.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.storage.branching import BranchStore
+from repro.storage.ext3 import Ext3Filesystem
+
+
+class Ext3FreeBlockPlugin:
+    """Snoops guest filesystem allocation state below the block layer."""
+
+    def __init__(self, filesystem: Ext3Filesystem) -> None:
+        self.filesystem = filesystem
+        self.free_map: Set[int] = set()
+        filesystem.on_allocate.append(self._on_allocate)
+        filesystem.on_free.append(self._on_free)
+
+    def _on_allocate(self, blocks: List[int]) -> None:
+        self.free_map.difference_update(blocks)
+
+    def _on_free(self, blocks: List[int]) -> None:
+        self.free_map.update(blocks)
+
+    # ------------------------------------------------------------------ queries
+
+    def live_delta_blocks(self, branch: BranchStore) -> int:
+        """Delta blocks that must be transferred at swap-out."""
+        return sum(1 for vba in branch.log_index if vba not in self.free_map)
+
+    def eliminated_blocks(self, branch: BranchStore) -> int:
+        """Delta blocks the plugin proves dead."""
+        return sum(1 for vba in branch.log_index if vba in self.free_map)
+
+    def effective_delta_bytes(self, branch: BranchStore,
+                              block_size: int = 4096) -> int:
+        """Bytes of delta actually saved at swap-out, after elimination."""
+        return self.live_delta_blocks(branch) * block_size

@@ -1,0 +1,83 @@
+"""Volume manager: lays branching stores out on physical disks.
+
+A thin orchestration layer (the role LVM plays in the paper's prototype):
+it carves extents for golden images, aggregated deltas, and redo logs, and
+builds :class:`~repro.storage.branching.BranchStore` instances with the
+right sharing — a golden image extent can back any number of branches, and
+a branch can be reopened on top of a merged aggregated delta after a swap
+cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import StorageError
+from repro.hw.disk import Disk
+from repro.sim.core import Simulator
+from repro.storage.blockdev import Extent, ExtentAllocator, LinearVolume
+from repro.storage.branching import BranchConfig, BranchStore
+
+
+@dataclass
+class GoldenVolume:
+    """An immutable base image placed on a disk."""
+
+    volume: LinearVolume
+    name: str
+
+    @property
+    def nblocks(self) -> int:
+        return self.volume.nblocks
+
+
+class VolumeManager:
+    """Manages extents and branches on one physical disk."""
+
+    def __init__(self, sim: Simulator, disk: Disk, name: str = "vg0") -> None:
+        self.sim = sim
+        self.disk = disk
+        self.name = name
+        self._alloc = ExtentAllocator(disk)
+        self.goldens: Dict[str, GoldenVolume] = {}
+        self.branches: Dict[str, BranchStore] = {}
+
+    def create_golden(self, name: str, nblocks: int) -> GoldenVolume:
+        """Allocate and register an immutable base image."""
+        if name in self.goldens:
+            raise StorageError(f"golden volume {name} already exists")
+        extent = self._alloc.allocate(nblocks)
+        golden = GoldenVolume(LinearVolume(extent, name=name), name)
+        self.goldens[name] = golden
+        return golden
+
+    def create_branch(self, name: str, golden: GoldenVolume,
+                      config: BranchConfig = BranchConfig(),
+                      aggregated_index: Optional[Dict[int, int]] = None,
+                      aggregated_blocks: Optional[int] = None,
+                      log_blocks: Optional[int] = None) -> BranchStore:
+        """Open a mutable branch over ``golden``.
+
+        ``aggregated_index`` carries the merged deltas of previous swap
+        cycles; a fresh experiment passes none.
+        """
+        if name in self.branches:
+            raise StorageError(f"branch {name} already exists")
+        agg_blocks = aggregated_blocks or max(1024, golden.nblocks // 4)
+        log_size = log_blocks or max(1024, golden.nblocks // 2)
+        agg_extent = self._alloc.allocate(agg_blocks)
+        log_extent = self._alloc.allocate(log_size)
+        branch = BranchStore(self.sim, golden.volume, agg_extent, log_extent,
+                             config=config,
+                             aggregated_index=aggregated_index, name=name)
+        self.branches[name] = branch
+        return branch
+
+    def drop_branch(self, name: str) -> None:
+        """Forget a branch (extents are not reclaimed; matches swap-out)."""
+        self.branches.pop(name, None)
+
+    @property
+    def used_blocks(self) -> int:
+        return self._alloc.used_blocks

@@ -1,0 +1,10 @@
+"""Stateful swapping: preempt experiments without losing run-time state."""
+
+from repro.swap.swapper import (SavedNodeState, StatefulSwapper, SwapConfig,
+                                SwapInRecord, SwapOutRecord)
+from repro.swap.transduce import GuestTimeTransducer
+
+__all__ = [
+    "SavedNodeState", "StatefulSwapper", "SwapConfig", "SwapInRecord",
+    "SwapOutRecord", "GuestTimeTransducer",
+]

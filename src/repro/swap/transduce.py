@@ -1,0 +1,40 @@
+"""Timestamp transduction for the external world (§5.2).
+
+Time inside a statefully-swapped experiment lags real time by the total
+concealed downtime.  Emulab's services (DNS, NTP, NFS) live outside the
+closed world and speak real time, so the swap system interposes on the
+protocols it knows and converts embedded timestamps: inbound to the
+guest's virtual time, outbound to real time.
+"""
+
+from __future__ import annotations
+
+from repro.guest.kernel import GuestKernel
+
+
+class GuestTimeTransducer:
+    """Converts wall-clock timestamps crossing one guest's boundary.
+
+    The conversion constant is the guest's concealed downtime: virtual
+    time = true time − hidden, so a server timestamp ``t`` corresponds to
+    guest time ``t − hidden`` and vice versa.  The transducer reads the
+    guest's clock live, so it stays correct across any number of swaps.
+    """
+
+    def __init__(self, kernel: GuestKernel) -> None:
+        self.kernel = kernel
+        self.inbound_conversions = 0
+        self.outbound_conversions = 0
+
+    def _hidden(self) -> int:
+        return self.kernel.vclock.total_hidden_ns
+
+    def inbound_ns(self, server_time_ns: int) -> int:
+        """Server (real) wall time -> guest virtual wall time."""
+        self.inbound_conversions += 1
+        return server_time_ns - self._hidden()
+
+    def outbound_ns(self, guest_time_ns: int) -> int:
+        """Guest virtual wall time -> server (real) wall time."""
+        self.outbound_conversions += 1
+        return guest_time_ns + self._hidden()

@@ -1,0 +1,92 @@
+"""The file server's snapshot catalog.
+
+Swapped-out state — memory images, disk deltas, time-travel snapshots —
+lands on the Emulab file server.  The catalog tracks what is stored per
+experiment, enforces a quota, and supports retention (dropping the oldest
+snapshots of an experiment first), so stateful swapping and frequent
+checkpointing have an explicit, budgeted storage story.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import TestbedError
+from repro.units import GB
+
+
+@dataclass(frozen=True)
+class StoredSnapshot:
+    """One stored image."""
+
+    snapshot_id: int
+    experiment: str
+    kind: str                  # "memory" | "delta" | "checkpoint"
+    nbytes: int
+    stored_at_ns: int
+
+
+class SnapshotCatalog:
+    """Per-testbed snapshot accounting with a quota."""
+
+    def __init__(self, quota_bytes: int = 500 * GB) -> None:
+        if quota_bytes <= 0:
+            raise TestbedError("quota must be positive")
+        self.quota_bytes = quota_bytes
+        self._ids = itertools.count(1)
+        self._by_experiment: Dict[str, List[StoredSnapshot]] = {}
+        self.evicted: List[StoredSnapshot] = []
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(s.nbytes for entries in self._by_experiment.values()
+                   for s in entries)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.quota_bytes - self.used_bytes
+
+    def store(self, experiment: str, kind: str, nbytes: int,
+              now_ns: int, evict: bool = True) -> StoredSnapshot:
+        """Record a stored image; evicts the experiment's oldest
+        snapshots if the quota would overflow (unless ``evict=False``,
+        which raises instead)."""
+        if nbytes < 0:
+            raise TestbedError("negative snapshot size")
+        if nbytes > self.quota_bytes:
+            raise TestbedError(
+                f"snapshot of {nbytes} bytes exceeds the whole quota")
+        while self.used_bytes + nbytes > self.quota_bytes:
+            if not evict:
+                raise TestbedError("file server quota exhausted")
+            self._evict_oldest(experiment)
+        snapshot = StoredSnapshot(next(self._ids), experiment, kind, nbytes,
+                                  now_ns)
+        self._by_experiment.setdefault(experiment, []).append(snapshot)
+        return snapshot
+
+    def _evict_oldest(self, prefer_experiment: str) -> None:
+        entries = self._by_experiment.get(prefer_experiment)
+        if not entries:
+            # Fall back to the globally oldest snapshot.
+            candidates = [(s.stored_at_ns, name, i)
+                          for name, lst in self._by_experiment.items()
+                          for i, s in enumerate(lst)]
+            if not candidates:
+                raise TestbedError("quota exhausted and catalog empty")
+            _t, name, index = min(candidates)
+            entries = self._by_experiment[name]
+            self.evicted.append(entries.pop(index))
+            return
+        self.evicted.append(entries.pop(0))
+
+    def snapshots(self, experiment: str) -> List[StoredSnapshot]:
+        """All stored snapshots of one experiment, oldest first."""
+        return list(self._by_experiment.get(experiment, ()))
+
+    def drop_experiment(self, experiment: str) -> int:
+        """Forget everything stored for ``experiment``; returns bytes freed."""
+        entries = self._by_experiment.pop(experiment, [])
+        return sum(s.nbytes for s in entries)

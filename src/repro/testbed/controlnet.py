@@ -1,0 +1,55 @@
+"""The Emulab control network (§2).
+
+A dedicated 100 Mbps Ethernet LAN reaches every machine; over it run NTP,
+the checkpoint notification bus, bulk state transfers to the file server,
+and the Emulab services (DNS, NFS, the event system).  We model it as:
+
+* a :class:`~repro.clocksync.ntp.PathDelayModel` for small control
+  messages (NTP exchanges, bus notifications), and
+* a single shared :class:`~repro.storage.channel.ByteChannel` to the file
+  server for bulk transfers — the server's uplink is the bottleneck the
+  paper calls out in §7.2.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.checkpoint.bus import NotificationBus
+from repro.clocksync.clock import SystemClock
+from repro.clocksync.ntp import NTPClient, NTPServer, PathDelayModel
+from repro.sim.core import Simulator
+from repro.storage.channel import ByteChannel
+from repro.units import MB, US
+
+
+#: effective bulk throughput of the 100 Mbps control LAN (TCP efficiency)
+CONTROL_NET_BULK_RATE = 11_500_000  # bytes/s
+
+
+class ControlNetwork:
+    """Shared control plane for one testbed."""
+
+    def __init__(self, sim: Simulator, server_clock: SystemClock,
+                 rng: Optional[random.Random] = None,
+                 path: PathDelayModel = PathDelayModel(),
+                 bulk_rate_bytes_per_s: int = CONTROL_NET_BULK_RATE) -> None:
+        self.sim = sim
+        self.rng = rng or random.Random(0)
+        self.path = path
+        self.ntp_server = NTPServer(server_clock)
+        self.bus = NotificationBus(sim, self.rng, path)
+        self.fileserver_channel = ByteChannel(
+            sim, bulk_rate_bytes_per_s, name="fs-uplink")
+
+    def attach_ntp_client(self, clock: SystemClock,
+                          rng: random.Random) -> NTPClient:
+        """Start disciplining ``clock`` against the testbed NTP server."""
+        client = NTPClient(self.sim, clock, self.ntp_server, rng, self.path)
+        client.start()
+        return client
+
+    def message_delay(self) -> int:
+        """One-way delay sample for a small control message."""
+        return self.path.sample_oneway(self.rng)

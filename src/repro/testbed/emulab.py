@@ -1,0 +1,351 @@
+"""The Emulab testbed facade (§2).
+
+:class:`Emulab` owns the physical plant — a pool of pc3000 machines, the
+ops/boss servers, the control network, the image store — and manages
+experiment lifecycles: define, swap in (map, image, boot, wire links,
+start NTP), swap out.  A swapped-in :class:`Experiment` exposes everything
+the evaluation needs: guest kernels, delay nodes, per-node storage
+branches, checkpoint agents, and a ready-to-use distributed checkpoint
+coordinator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.checkpoint.coordinator import (Coordinator, DelayNodeAgent,
+                                          NodeAgent)
+from repro.errors import TestbedError
+from repro.guest.kernel import GuestKernel
+from repro.hw.machine import Machine, MachineSpec
+from repro.net.delaynode import DelayNode, LinkShape, install_shaped_link
+from repro.net.interface import Interface
+from repro.net.link import Link
+from repro.sim.core import Simulator
+from repro.sim.random import RandomStreams
+from repro.sim.trace import Tracer
+from repro.storage.branching import BranchConfig, BranchStore
+from repro.storage.channel import ByteChannel
+from repro.storage.ext3 import Ext3Filesystem
+from repro.storage.freeblock import Ext3FreeBlockPlugin
+from repro.storage.imagestore import ImageStore, NodeImageCache
+from repro.storage.lvm import VolumeManager
+from repro.testbed.controlnet import ControlNetwork
+from repro.testbed.experiment import ExperimentSpec, LinkSpec, NodeSpec
+from repro.testbed.mapping import Placement, needs_delay_node, solve
+from repro.testbed.nfs import NFSServer
+from repro.testbed.services import DNSServer
+from repro.units import GB, MB, SECOND, US
+from repro.xen.checkpoint import CheckpointConfig, LocalCheckpointer
+from repro.xen.hypervisor import Domain, Hypervisor
+
+
+@dataclass(frozen=True)
+class TestbedConfig:
+    """Size and behaviour of the testbed instance."""
+
+    num_machines: int = 16
+    seed: int = 0
+    machine_spec: MachineSpec = field(default_factory=MachineSpec)
+    #: node reload + boot time at swap-in (Emulab boots nodes in minutes;
+    #: a modest constant keeps experiment timelines readable)
+    boot_ns: int = 8 * SECOND
+    #: frisbee-style image distribution rate (multicast, compressed)
+    image_rate_bytes_per_s: int = 100 * MB
+    #: achievable paravirtual NIC rate.  Xen's network path is CPU-bound
+    #: under load (§4.4, [Cherkasova 2005, Santos 2008]); the paper's own
+    #: 1 Gbps iperf run levels off near 55 MB/s, which this models.
+    guest_nic_rate_bps: int = 450_000_000
+    checkpoint_config: CheckpointConfig = field(
+        default_factory=CheckpointConfig)
+
+
+@dataclass
+class AllocatedNode:
+    """Everything instantiated for one experiment node at swap-in."""
+
+    spec: NodeSpec
+    machine: Machine
+    hypervisor: Hypervisor
+    domain: Domain
+    volume_manager: VolumeManager
+    branch: BranchStore
+    filesystem: Ext3Filesystem
+    freeblock_plugin: Ext3FreeBlockPlugin
+    checkpointer: LocalCheckpointer
+    agent: NodeAgent
+    image_cache: NodeImageCache
+
+    @property
+    def kernel(self) -> GuestKernel:
+        return self.domain.kernel
+
+
+class Emulab:
+    """One testbed instance inside one simulation."""
+
+    DEFAULT_IMAGES = {"FC4-STD": 6 * GB}
+
+    def __init__(self, sim: Simulator, config: TestbedConfig = TestbedConfig(),
+                 tracer: Optional[Tracer] = None) -> None:
+        self.sim = sim
+        self.config = config
+        self.tracer = tracer
+        self.streams = RandomStreams(config.seed)
+        self.machines: Dict[str, Machine] = {}
+        for i in range(config.num_machines):
+            name = f"pc{i}"
+            self.machines[name] = Machine(sim, name, config.machine_spec,
+                                          rng=self.streams.stream(f"hw.{name}"))
+        self.free_machines: set = set(self.machines)
+        self.ops = Machine(sim, "ops", config.machine_spec,
+                           rng=self.streams.stream("hw.ops"))
+        self.control = ControlNetwork(sim, self.ops.clock,
+                                      rng=self.streams.stream("controlnet"))
+        self.image_store = ImageStore()
+        for name, size in self.DEFAULT_IMAGES.items():
+            self.image_store.register(name, size)
+        self.image_channel = ByteChannel(sim, config.image_rate_bytes_per_s,
+                                         name="frisbee")
+        self.image_caches: Dict[str, NodeImageCache] = {
+            name: NodeImageCache(sim, self.image_store, self.image_channel)
+            for name in self.machines}
+        self.dns = DNSServer(sim, self.control)
+        self.nfs = NFSServer(sim)
+        from repro.testbed.catalog import SnapshotCatalog
+        self.catalog = SnapshotCatalog()
+        self.experiments: Dict[str, "Experiment"] = {}
+
+    def define_experiment(self, spec: ExperimentSpec) -> "Experiment":
+        """Register an experiment in the testbed database."""
+        spec.validate()
+        if spec.name in self.experiments:
+            raise TestbedError(f"experiment {spec.name} already defined")
+        experiment = Experiment(self, spec)
+        self.experiments[spec.name] = experiment
+        return experiment
+
+    # -- resource pool ------------------------------------------------------------
+
+    def allocate_machines(self, names: List[str]) -> None:
+        missing = [n for n in names if n not in self.free_machines]
+        if missing:
+            raise TestbedError(f"machines not free: {missing}")
+        self.free_machines.difference_update(names)
+
+    def release_machines(self, names: List[str]) -> None:
+        self.free_machines.update(n for n in names if n in self.machines)
+
+
+class Experiment:
+    """A defined experiment and, when swapped in, its live resources."""
+
+    def __init__(self, testbed: Emulab, spec: ExperimentSpec) -> None:
+        self.testbed = testbed
+        self.sim = testbed.sim
+        self.spec = spec
+        self.state = "NEW"
+        self.placement: Optional[Placement] = None
+        self.nodes: Dict[str, AllocatedNode] = {}
+        self.lans: Dict[str, object] = {}
+        self.delay_nodes: Dict[str, DelayNode] = {}
+        #: (clock, rng stream name) pairs whose ntpd starts at boot
+        self._pending_ntp: list = []
+        self.delay_agents: Dict[str, DelayNodeAgent] = {}
+        self.coordinator: Optional[Coordinator] = None
+        self.event_agents: Dict[str, object] = {}
+        self.event_scheduler = None
+        self.swap_ins = 0
+
+    # ------------------------------------------------------------------ swap-in
+
+    def swap_in(self):
+        """Map, image, boot, and wire the experiment (a sim process)."""
+        return self.sim.process(self._swap_in())
+
+    def _swap_in(self):
+        if self.state == "SWAPPED_IN":
+            raise TestbedError(f"{self.spec.name} is already swapped in")
+        testbed = self.testbed
+        self.placement = solve(self.spec, sorted(testbed.free_machines))
+        testbed.allocate_machines(self.placement.machines_used)
+
+        for node_spec in self.spec.nodes:
+            machine_name = self.placement.node_to_machine[node_spec.name]
+            machine = testbed.machines[machine_name]
+            cache = testbed.image_caches[machine_name]
+            yield cache.ensure(node_spec.image)
+            self.nodes[node_spec.name] = self._build_node(node_spec, machine,
+                                                          cache)
+        self._wire_links()
+        yield self.sim.timeout(testbed.config.boot_ns)
+        # ntpd starts when the nodes finish booting; clock convergence
+        # proceeds while the experiment runs (iburst, then steady polls).
+        for clock, stream_name in self._pending_ntp:
+            testbed.control.attach_ntp_client(
+                clock, testbed.streams.stream(stream_name))
+        self._pending_ntp = []
+        self._build_coordinator()
+        self._start_event_system()
+        self.state = "SWAPPED_IN"
+        self.swap_ins += 1
+        return self
+
+    def _start_event_system(self) -> None:
+        """Arm the experiment's dynamic part (§2).
+
+        The scheduler runs *inside the closed world* (§5.2's fix), so its
+        timers freeze with the experiment: scheduled events stay aligned
+        with experiment time across checkpoints and stateful swaps.
+        """
+        if not self.spec.events:
+            return
+        from repro.testbed.eventsys import (EventAgent, EventScheduler,
+                                            SchedulerPlacement)
+
+        self.event_agents = {name: EventAgent(node.kernel)
+                             for name, node in self.nodes.items()}
+        host_kernel = next(iter(self.nodes.values())).kernel
+        self.event_scheduler = EventScheduler(
+            self.sim, SchedulerPlacement.IN_EXPERIMENT, self.event_agents,
+            clock_kernel=host_kernel)
+        self.event_scheduler.start(self.spec.events)
+
+    def _build_node(self, spec: NodeSpec, machine: Machine,
+                    cache: NodeImageCache) -> AllocatedNode:
+        testbed = self.testbed
+        streams = testbed.streams
+        hypervisor = Hypervisor(self.sim, machine, tracer=testbed.tracer)
+        domain = hypervisor.create_domain(
+            spec.name, memory_bytes=spec.memory_bytes,
+            rng=streams.stream(f"guest.{self.spec.name}.{spec.name}"))
+        volume_manager = VolumeManager(self.sim, machine.system_disk,
+                                       name=f"{spec.name}.vg")
+        golden = volume_manager.create_golden(spec.image, spec.disk_blocks)
+        branch = volume_manager.create_branch(
+            f"{self.spec.name}.{spec.name}", golden,
+            aggregated_blocks=spec.disk_blocks,
+            log_blocks=spec.disk_blocks)
+        filesystem = Ext3Filesystem(self.sim, branch)
+        plugin = Ext3FreeBlockPlugin(filesystem)
+        domain.attach_vbd(branch, name=f"{spec.name}.vbd0")
+        checkpointer = LocalCheckpointer(domain,
+                                         testbed.config.checkpoint_config)
+        agent = NodeAgent(self.sim, spec.name, checkpointer, machine.clock,
+                          testbed.control.bus,
+                          session=f"ckpt.{self.spec.name}")
+        self._pending_ntp.append(
+            (machine.clock, f"ntp.{self.spec.name}.{spec.name}"))
+        testbed.dns.register(spec.name, spec.name)
+        return AllocatedNode(spec, machine, hypervisor, domain,
+                             volume_manager, branch, filesystem, plugin,
+                             checkpointer, agent, cache)
+
+    def _wire_links(self) -> None:
+        testbed = self.testbed
+        streams = testbed.streams
+        for lan in self.spec.lans:
+            self._wire_lan(lan)
+        for link in self.spec.links:
+            host_a = self.nodes[link.node_a].kernel.host
+            host_b = self.nodes[link.node_b].kernel.host
+            if needs_delay_node(link):
+                shape = LinkShape(link.bandwidth_bps, link.delay_ns,
+                                  link.loss_probability, link.queue_slots)
+                delay_machine = self.placement.link_to_delay_machine[link.name]
+                self._pending_ntp.append(
+                    (testbed.machines[delay_machine].clock,
+                     f"ntp.{self.spec.name}.{link.name}"))
+                node = install_shaped_link(
+                    self.sim, host_a, host_b, shape, name=link.name,
+                    rng=streams.stream(f"link.{self.spec.name}.{link.name}"),
+                    nic_rate_bps=testbed.config.guest_nic_rate_bps)
+                self.delay_nodes[link.name] = node
+                self.delay_agents[link.name] = DelayNodeAgent(
+                    self.sim, link.name, node,
+                    testbed.machines[delay_machine].clock,
+                    testbed.control.bus,
+                    session=f"ckpt.{self.spec.name}")
+                self._attach_nics(link)
+            else:
+                if_a = Interface(self.sim, f"{link.node_a}.{link.name}",
+                                 link.node_a, tracer=host_a.tracer)
+                if_b = Interface(self.sim, f"{link.node_b}.{link.name}",
+                                 link.node_b, tracer=host_b.tracer)
+                host_a.add_interface(if_a)
+                host_b.add_interface(if_b)
+                # Even an unshaped link is bounded by the paravirtual NIC.
+                rate = min(link.bandwidth_bps,
+                           testbed.config.guest_nic_rate_bps)
+                Link(self.sim, if_a, if_b, rate, 1 * US)
+                host_a.add_route(link.node_b, if_a)
+                host_b.add_route(link.node_a, if_b)
+                self.nodes[link.node_a].domain.attach_nic(if_a)
+                self.nodes[link.node_b].domain.attach_nic(if_b)
+
+    def _wire_lan(self, lan) -> None:
+        from repro.net.lan import install_lan
+
+        testbed = self.testbed
+        streams = testbed.streams
+        shape = LinkShape(lan.bandwidth_bps, lan.delay_ns,
+                          lan.loss_probability, lan.queue_slots)
+        members = [self.nodes[m].kernel.host for m in lan.members]
+        segment = install_lan(
+            self.sim, members, shape, name=lan.name,
+            rng=streams.stream(f"lan.{self.spec.name}.{lan.name}"))
+        self.lans[lan.name] = segment
+        delay_machines = self.placement.lan_to_delay_machines[lan.name]
+        for member_name in lan.members:
+            node = self.nodes[member_name]
+            delay_node = segment.delay_nodes[member_name]
+            machine = testbed.machines[delay_machines[member_name]]
+            self._pending_ntp.append(
+                (machine.clock,
+                 f"ntp.{self.spec.name}.{lan.name}.{member_name}"))
+            agent_name = f"{lan.name}.{member_name}"
+            self.delay_nodes[agent_name] = delay_node
+            self.delay_agents[agent_name] = DelayNodeAgent(
+                self.sim, agent_name, delay_node, machine.clock,
+                testbed.control.bus, session=f"ckpt.{self.spec.name}")
+            # The member's uplink interface is its experiment NIC: the
+            # route to any other member goes through it.
+            other = next(m for m in lan.members if m != member_name)
+            node.domain.attach_nic(node.kernel.host.routes[other])
+
+    def _attach_nics(self, link: LinkSpec) -> None:
+        # install_shaped_link created one interface per endpoint; register
+        # them as the domains' virtual NICs so checkpoints suspend them.
+        for end in (link.node_a, link.node_b):
+            node = self.nodes[end]
+            iface = node.kernel.host.routes[
+                link.node_b if end == link.node_a else link.node_a]
+            node.domain.attach_nic(iface)
+
+    def _build_coordinator(self) -> None:
+        self.coordinator = Coordinator(
+            self.sim, self.testbed.control.bus, self.testbed.ops.clock,
+            [n.agent for n in self.nodes.values()],
+            list(self.delay_agents.values()),
+            session=f"ckpt.{self.spec.name}")
+
+    # ------------------------------------------------------------------ swap-out
+
+    def swap_out(self) -> None:
+        """Plain (stateless) swap-out: free hardware, lose run-time state."""
+        if self.state != "SWAPPED_IN":
+            raise TestbedError(f"{self.spec.name} is not swapped in")
+        self.testbed.release_machines(self.placement.machines_used)
+        self.state = "SWAPPED_OUT"
+
+    # ------------------------------------------------------------------ helpers
+
+    def kernel(self, node: str) -> GuestKernel:
+        """The guest kernel of ``node`` (must be swapped in)."""
+        if self.state != "SWAPPED_IN":
+            raise TestbedError(f"{self.spec.name} is not swapped in")
+        return self.nodes[node].kernel
+
+    def node(self, name: str) -> AllocatedNode:
+        return self.nodes[name]

@@ -1,0 +1,142 @@
+"""The Emulab event system (§2, §5.2).
+
+A per-experiment scheduler dispatches events (program starts, link
+changes) to agents on experiment nodes at scheduled times.  The service is
+both **stateful and time-aware**, which makes it the problem child of
+stateful swapping: a scheduler running on an Emulab server keeps real time
+during a swap-out, so events fire while the experiment is frozen and are
+delivered late (in experiment time) after resume.
+
+The paper's fix is to move the scheduler *into the closed world* of the
+experiment (§5.2 — "there is no need for the scheduler to run on an
+Emulab server; it is strictly historical").  Both placements are
+implemented; the swap benchmarks contrast them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import TestbedError
+from repro.guest.kernel import GuestKernel
+from repro.sim.core import Simulator
+from repro.testbed.experiment import EventSpec
+
+
+class SchedulerPlacement(enum.Enum):
+    SERVER_SIDE = "server"          # historical: runs on the Emulab server
+    IN_EXPERIMENT = "in-experiment"  # paper's fix: inside the closed world
+
+
+@dataclass
+class FiredEvent:
+    """Bookkeeping for one dispatched event."""
+
+    spec: EventSpec
+    dispatched_true_ns: int
+    #: when the event was due, in the scheduler's timebase
+    deadline_ns: int = -1
+    handled_true_ns: int = -1
+    handled_experiment_ns: int = -1
+
+    @property
+    def lateness_ns(self) -> int:
+        """How late the event was handled, in *experiment* time."""
+        return self.handled_experiment_ns - self.deadline_ns
+
+
+class EventAgent:
+    """The per-node event agent, running inside the guest.
+
+    Deliveries land in a queue; an inside-firewall thread drains it, so a
+    frozen node simply handles its deliveries after resume — which is the
+    observable lateness a server-side scheduler causes.
+    """
+
+    POLL_NS = 20_000_000  # 20 ms virtual polling, like the real agent loop
+
+    def __init__(self, kernel: GuestKernel) -> None:
+        self.kernel = kernel
+        self.handlers: Dict[str, Callable] = {}
+        self._queue: List[FiredEvent] = []
+        self.handled: List[FiredEvent] = []
+        kernel.spawn(self._loop, name="event-agent")
+
+    def on(self, action: str, handler: Callable) -> None:
+        """Register a handler for ``action`` events."""
+        self.handlers[action] = handler
+
+    def deliver(self, fired: FiredEvent) -> None:
+        """Called by the scheduler transport."""
+        self._queue.append(fired)
+
+    def _loop(self, k: GuestKernel):
+        while True:
+            yield k.sleep(self.POLL_NS)
+            while self._queue:
+                fired = self._queue.pop(0)
+                fired.handled_true_ns = k.sim.now
+                fired.handled_experiment_ns = k.now()
+                handler = self.handlers.get(fired.spec.action)
+                if handler is not None:
+                    handler(fired.spec.payload)
+                self.handled.append(fired)
+
+
+class EventScheduler:
+    """Dispatches an experiment's event stream to its agents."""
+
+    def __init__(self, sim: Simulator, placement: SchedulerPlacement,
+                 agents: Dict[str, EventAgent],
+                 clock_kernel: Optional[GuestKernel] = None,
+                 delivery_delay_ns: int = 200_000) -> None:
+        self.sim = sim
+        self.placement = placement
+        self.agents = agents
+        self.delivery_delay_ns = delivery_delay_ns
+        self.dispatched: List[FiredEvent] = []
+        if placement is SchedulerPlacement.IN_EXPERIMENT:
+            if clock_kernel is None:
+                raise TestbedError(
+                    "in-experiment scheduler needs a host kernel")
+            self.clock_kernel = clock_kernel
+        else:
+            self.clock_kernel = None
+
+    def start(self, events: List[EventSpec]) -> None:
+        """Arm timers for every event.
+
+        ``EventSpec.at_ns`` is relative to the experiment's start, i.e. to
+        this call — Emulab event times count from swap-in.
+        """
+        base = (self.clock_kernel.now()
+                if self.placement is SchedulerPlacement.IN_EXPERIMENT
+                else self.sim.now)
+        for spec in sorted(events, key=lambda e: e.at_ns):
+            if spec.node not in self.agents:
+                raise TestbedError(f"no agent on node {spec.node}")
+            self._arm(spec, base)
+
+    def _arm(self, spec: EventSpec, base: int) -> None:
+        deadline = base + spec.at_ns
+        if self.placement is SchedulerPlacement.SERVER_SIDE:
+            # Server keeps real time: fires regardless of experiment state.
+            delay = max(0, deadline - self.sim.now)
+            self.sim.call_in(delay, lambda: self._dispatch(spec, deadline))
+        else:
+            # Inside the experiment: the timer lives in virtual time and
+            # freezes with the node, so swaps are transparent.
+            kernel = self.clock_kernel
+            delay = max(0, deadline - kernel.now())
+            kernel.timers.call_in(delay,
+                                  lambda: self._dispatch(spec, deadline))
+
+    def _dispatch(self, spec: EventSpec, deadline: int) -> None:
+        fired = FiredEvent(spec, dispatched_true_ns=self.sim.now,
+                           deadline_ns=deadline)
+        self.dispatched.append(fired)
+        agent = self.agents[spec.node]
+        self.sim.call_in(self.delivery_delay_ns,
+                         lambda: agent.deliver(fired))

@@ -1,0 +1,107 @@
+"""Experiment descriptions (§2).
+
+An Emulab experiment has a static part — devices, links between them, and
+their configuration (OS image, bandwidth/latency/loss) — and a dynamic
+part: events scheduled to occur during the run.  :class:`ExperimentSpec`
+captures both; the testbed maps it onto physical resources at swap-in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.errors import TestbedError
+from repro.units import GBPS, MB
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One PC in the experiment network."""
+
+    name: str
+    image: str = "FC4-STD"
+    memory_bytes: int = 256 * MB
+    #: logical disk size of the guest, in 4 KiB blocks (6 GB default image)
+    disk_blocks: int = 1_500_000
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One shaped duplex link between two nodes."""
+
+    name: str
+    node_a: str
+    node_b: str
+    bandwidth_bps: int = GBPS
+    delay_ns: int = 0
+    loss_probability: float = 0.0
+    queue_slots: int = 50
+
+
+@dataclass(frozen=True)
+class LanSpec:
+    """A shaped LAN segment joining several nodes."""
+
+    name: str
+    members: tuple
+    bandwidth_bps: int = 100_000_000
+    delay_ns: int = 0
+    loss_probability: float = 0.0
+    queue_slots: int = 50
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """A scheduled experiment event (the dynamic part)."""
+
+    at_ns: int                     # experiment time at which to fire
+    node: str                      # target agent's node
+    action: str                    # opaque action name delivered to agents
+    payload: Any = None
+
+
+@dataclass
+class ExperimentSpec:
+    """A complete experiment description."""
+
+    name: str
+    nodes: List[NodeSpec] = field(default_factory=list)
+    links: List[LinkSpec] = field(default_factory=list)
+    lans: List[LanSpec] = field(default_factory=list)
+    events: List[EventSpec] = field(default_factory=list)
+
+    def node(self, name: str) -> NodeSpec:
+        for spec in self.nodes:
+            if spec.name == name:
+                return spec
+        raise TestbedError(f"no node {name} in experiment {self.name}")
+
+    def validate(self) -> None:
+        """Reject malformed specs before mapping."""
+        names = [n.name for n in self.nodes]
+        if len(set(names)) != len(names):
+            raise TestbedError("duplicate node names")
+        if not names:
+            raise TestbedError("experiment has no nodes")
+        link_names = [l.name for l in self.links]
+        if len(set(link_names)) != len(link_names):
+            raise TestbedError("duplicate link names")
+        for link in self.links:
+            for end in (link.node_a, link.node_b):
+                if end not in names:
+                    raise TestbedError(
+                        f"link {link.name} references unknown node {end}")
+            if link.node_a == link.node_b:
+                raise TestbedError(f"link {link.name} is a self-loop")
+        for lan in self.lans:
+            if len(lan.members) < 2:
+                raise TestbedError(f"LAN {lan.name} needs >= 2 members")
+            for member in lan.members:
+                if member not in names:
+                    raise TestbedError(
+                        f"LAN {lan.name} references unknown node {member}")
+        for event in self.events:
+            if event.node not in names:
+                raise TestbedError(
+                    f"event at {event.at_ns} targets unknown node {event.node}")

@@ -1,0 +1,113 @@
+"""Idle-detection driven swap-out (§2).
+
+"A swap-out may also occur if Emulab believes that the experiment is
+idle."  The testbed watches an experiment's activity — guest CPU
+utilization and experiment-network traffic — over a sliding window, and
+preempts the experiment when both stay below thresholds for long enough.
+With stateful swapping the preemption is harmless: the run-time state is
+preserved and the experiment resumes exactly where it stopped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import TestbedError
+from repro.sim.core import Simulator
+from repro.units import MB, SECOND
+
+
+@dataclass(frozen=True)
+class IdlePolicy:
+    """When the testbed considers an experiment idle."""
+
+    sample_period_ns: int = 10 * SECOND
+    #: consecutive idle samples before swap-out
+    idle_samples: int = 3
+    #: below this fraction of one CPU across all nodes counts as idle
+    cpu_threshold: float = 0.02
+    #: below this many bytes moved per sample window counts as idle
+    network_threshold_bytes: int = 1 * MB
+
+
+@dataclass
+class ActivitySample:
+    """One observation window."""
+
+    at_ns: int
+    cpu_busy_fraction: float
+    network_bytes: int
+    idle: bool
+
+
+class IdleSwapper:
+    """Monitors one experiment and swaps it out when idle."""
+
+    def __init__(self, experiment, swapper,
+                 policy: IdlePolicy = IdlePolicy()) -> None:
+        self.experiment = experiment
+        self.swapper = swapper
+        self.policy = policy
+        self.sim: Simulator = experiment.sim
+        self.samples: List[ActivitySample] = []
+        self.swapped_out_at_ns: Optional[int] = None
+        self._running = False
+        self._last_busy = 0.0
+        self._last_bytes = 0
+
+    # -- activity probes -----------------------------------------------------------
+
+    def _cpu_busy_ns(self) -> float:
+        total = 0.0
+        for node in self.experiment.nodes.values():
+            cpu = node.machine.cpu
+            cpu._advance()
+            total += cpu.total_busy_ns
+        return total
+
+    def _network_bytes(self) -> int:
+        total = 0
+        for node in self.experiment.nodes.values():
+            for iface in node.kernel.host.interfaces.values():
+                total += iface.tx_bytes + iface.rx_bytes
+        return total
+
+    # -- control ----------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin watching."""
+        if self._running:
+            return
+        if self.experiment.state != "SWAPPED_IN":
+            raise TestbedError("cannot watch an experiment that is not in")
+        self._running = True
+        self._last_busy = self._cpu_busy_ns()
+        self._last_bytes = self._network_bytes()
+        self.sim.process(self._watch())
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _watch(self):
+        policy = self.policy
+        idle_streak = 0
+        while self._running:
+            yield self.sim.timeout(policy.sample_period_ns)
+            if not self._running or self.experiment.state != "SWAPPED_IN":
+                return
+            busy = self._cpu_busy_ns()
+            moved = self._network_bytes()
+            cpu_fraction = (busy - self._last_busy) / policy.sample_period_ns
+            delta_bytes = moved - self._last_bytes
+            self._last_busy, self._last_bytes = busy, moved
+            idle = (cpu_fraction < policy.cpu_threshold and
+                    delta_bytes < policy.network_threshold_bytes)
+            self.samples.append(ActivitySample(self.sim.now, cpu_fraction,
+                                               delta_bytes, idle))
+            idle_streak = idle_streak + 1 if idle else 0
+            if idle_streak >= policy.idle_samples:
+                self.swapped_out_at_ns = self.sim.now
+                self._running = False
+                yield self.swapper.swap_out()
+                return

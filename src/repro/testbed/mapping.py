@@ -1,0 +1,97 @@
+"""The network testbed mapping problem (assign, [Ricci 2003]).
+
+Emulab maps the experiment's virtual topology onto physical resources:
+PCs for experiment nodes, additional PCs for delay nodes (one per shaped
+link), and VLANs through the switching fabric.  Our solver is a simplified
+``assign``: it builds the virtual topology as a graph (networkx), checks
+feasibility against the pool and switch port budget, and picks machines
+first-fit — which is all the evaluation experiments require, while keeping
+the real pipeline shape (spec -> graph -> placement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import networkx as nx
+
+from repro.errors import TestbedError
+from repro.testbed.experiment import ExperimentSpec
+
+
+def needs_delay_node(link) -> bool:
+    """A delay node is interposed whenever the link is shaped (§2).
+
+    Unshaped full-rate links are implemented directly in the switch; any
+    bandwidth cap below line rate, nonzero delay, or loss needs Dummynet.
+    """
+    from repro.units import GBPS
+
+    return (link.bandwidth_bps < GBPS or link.delay_ns > 0 or
+            link.loss_probability > 0)
+
+
+@dataclass
+class Placement:
+    """The result of mapping: virtual element -> physical machine name."""
+
+    node_to_machine: Dict[str, str] = field(default_factory=dict)
+    link_to_delay_machine: Dict[str, str] = field(default_factory=dict)
+    #: lan name -> member node -> delay machine
+    lan_to_delay_machines: Dict[str, Dict[str, str]] = field(
+        default_factory=dict)
+
+    @property
+    def machines_used(self) -> List[str]:
+        used = (list(self.node_to_machine.values()) +
+                list(self.link_to_delay_machine.values()))
+        for members in self.lan_to_delay_machines.values():
+            used.extend(members.values())
+        return used
+
+
+def virtual_topology(spec: ExperimentSpec) -> nx.Graph:
+    """The experiment as a graph (nodes + links, shaped links annotated)."""
+    graph = nx.Graph()
+    for node in spec.nodes:
+        graph.add_node(node.name, kind="pc", image=node.image)
+    for link in spec.links:
+        graph.add_edge(link.node_a, link.node_b, name=link.name,
+                       bandwidth=link.bandwidth_bps, delay=link.delay_ns,
+                       shaped=needs_delay_node(link))
+    return graph
+
+
+def solve(spec: ExperimentSpec, free_machines: List[str],
+          switch_ports_free: int = 1 << 30) -> Placement:
+    """Map ``spec`` onto the free pool; raises if infeasible."""
+    spec.validate()
+    graph = virtual_topology(spec)
+    delay_links = [l for l in spec.links if needs_delay_node(l)]
+    lan_delay_count = sum(len(lan.members) for lan in spec.lans)
+    demand = graph.number_of_nodes() + len(delay_links) + lan_delay_count
+    if demand > len(free_machines):
+        raise TestbedError(
+            f"experiment needs {demand} machines "
+            f"({graph.number_of_nodes()} nodes + {len(delay_links)} link "
+            f"delay nodes + {lan_delay_count} LAN delay nodes) but only "
+            f"{len(free_machines)} are free")
+    # Port budget: each experiment NIC and each delay-node port is a
+    # switch port; the control interface is a separate fabric.
+    ports = (sum(graph.degree(n) for n in graph.nodes) +
+             2 * len(delay_links) + 3 * lan_delay_count)
+    if ports > switch_ports_free:
+        raise TestbedError(
+            f"experiment needs {ports} switch ports, "
+            f"{switch_ports_free} free")
+    placement = Placement()
+    pool = iter(sorted(free_machines))
+    for node in sorted(graph.nodes):
+        placement.node_to_machine[node] = next(pool)
+    for link in delay_links:
+        placement.link_to_delay_machine[link.name] = next(pool)
+    for lan in spec.lans:
+        placement.lan_to_delay_machines[lan.name] = {
+            member: next(pool) for member in lan.members}
+    return placement

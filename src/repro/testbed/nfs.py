@@ -1,0 +1,144 @@
+"""NFS (v2 semantics): the testbed file service used inside experiments.
+
+Experiments keep applications, scripts, and results on NFS mounts served
+by the Emulab file server (§2).  NFSv2 is stateless — every call carries
+what it needs — so the only swap hazard is the *timestamps* embedded in
+protocol messages (attribute mtimes and client-supplied times).  The swap
+layer interposes a transducer on exactly those fields (§5.2): inbound
+server timestamps are converted to the guest's virtual time, outbound
+guest timestamps to real time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Protocol
+
+from repro.errors import TestbedError
+from repro.sim.core import Simulator
+from repro.storage.channel import ByteChannel
+from repro.testbed.controlnet import ControlNetwork
+from repro.testbed.services import rpc
+
+
+class TimestampTransducer(Protocol):
+    """Converts wall-clock timestamps crossing the experiment boundary."""
+
+    def inbound_ns(self, server_time_ns: int) -> int:
+        """Server (real) time -> guest virtual time."""
+        ...
+
+    def outbound_ns(self, guest_time_ns: int) -> int:
+        """Guest virtual time -> server (real) time."""
+        ...
+
+
+class IdentityTransducer:
+    """No conversion (a never-swapped experiment needs none)."""
+
+    def inbound_ns(self, server_time_ns: int) -> int:
+        return server_time_ns
+
+    def outbound_ns(self, guest_time_ns: int) -> int:
+        return guest_time_ns
+
+
+@dataclass
+class NFSAttributes:
+    """The slice of ``struct fattr`` the experiments care about."""
+
+    size_bytes: int
+    mtime_ns: int
+
+
+@dataclass
+class _ServerFile:
+    size_bytes: int = 0
+    mtime_ns: int = 0
+
+
+class NFSServer:
+    """The file server's NFS export (server clock = true time)."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.files: Dict[str, _ServerFile] = {}
+        self.calls = 0
+
+    def _server_time(self) -> int:
+        return self.sim.now
+
+    def op_write(self, path: str, nbytes: int) -> NFSAttributes:
+        self.calls += 1
+        entry = self.files.setdefault(path, _ServerFile())
+        entry.size_bytes += nbytes
+        entry.mtime_ns = self._server_time()
+        return NFSAttributes(entry.size_bytes, entry.mtime_ns)
+
+    def op_getattr(self, path: str) -> NFSAttributes:
+        self.calls += 1
+        entry = self.files.get(path)
+        if entry is None:
+            raise TestbedError(f"NFS: no such file {path}")
+        return NFSAttributes(entry.size_bytes, entry.mtime_ns)
+
+    def op_setattr(self, path: str, mtime_ns: int) -> NFSAttributes:
+        """Client-supplied time (e.g. ``utimes``) — an *outbound* timestamp."""
+        self.calls += 1
+        entry = self.files.setdefault(path, _ServerFile())
+        entry.mtime_ns = mtime_ns
+        return NFSAttributes(entry.size_bytes, entry.mtime_ns)
+
+
+class NFSClient:
+    """The in-guest NFS mount.
+
+    Timestamps in replies pass through the transducer, so applications in
+    the guest always see times consistent with their own (virtual) clock —
+    before and after any number of stateful swaps.
+    """
+
+    def __init__(self, sim: Simulator, server: NFSServer,
+                 net: ControlNetwork,
+                 transducer: Optional[TimestampTransducer] = None,
+                 bulk_channel: Optional[ByteChannel] = None) -> None:
+        self.sim = sim
+        self.server = server
+        self.net = net
+        self.transducer = transducer or IdentityTransducer()
+        self.bulk_channel = bulk_channel
+
+    def _transduce(self, attrs: NFSAttributes) -> NFSAttributes:
+        return NFSAttributes(attrs.size_bytes,
+                             self.transducer.inbound_ns(attrs.mtime_ns))
+
+    def write(self, path: str, nbytes: int):
+        """NFS WRITE (a process); returns transduced attributes."""
+        return self.sim.process(self._write(path, nbytes))
+
+    def _write(self, path: str, nbytes: int):
+        if self.bulk_channel is not None and nbytes > 0:
+            yield self.bulk_channel.transfer(nbytes)
+        attrs = yield self.sim.process(rpc(
+            self.sim, self.net, lambda: self.server.op_write(path, nbytes)))
+        return self._transduce(attrs)
+
+    def getattr(self, path: str):
+        """NFS GETATTR (a process); returns transduced attributes."""
+        return self.sim.process(self._getattr(path))
+
+    def _getattr(self, path: str):
+        attrs = yield self.sim.process(rpc(
+            self.sim, self.net, lambda: self.server.op_getattr(path)))
+        return self._transduce(attrs)
+
+    def setattr(self, path: str, guest_mtime_ns: int):
+        """NFS SETATTR with a guest timestamp (a process)."""
+        real = self.transducer.outbound_ns(guest_mtime_ns)
+        return self.sim.process(self._setattr(path, real))
+
+    def _setattr(self, path: str, real_mtime_ns: int):
+        attrs = yield self.sim.process(rpc(
+            self.sim, self.net,
+            lambda: self.server.op_setattr(path, real_mtime_ns)))
+        return self._transduce(attrs)

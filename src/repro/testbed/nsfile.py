@@ -1,0 +1,219 @@
+"""Parsing Emulab NS files into experiment specs (§2).
+
+Emulab experiments are defined in an NS-2-derived Tcl dialect.  This
+parser covers the subset the testbed's evaluation and examples need:
+
+.. code-block:: tcl
+
+    set ns [new Simulator]
+    source tb_compat.tcl
+
+    set node0 [$ns node]
+    set node1 [$ns node]
+    tb-set-node-os $node0 FC4-STD
+
+    set link0 [$ns duplex-link $node0 $node1 100Mb 10ms DropTail]
+    tb-set-link-loss $link0 0.01
+    set lan0 [$ns make-lan "$node0 $node1" 100Mb 0ms]
+
+    $ns at 60.0 "$node0 start-load phase1"
+
+    $ns run
+
+It is a line-oriented recognizer for that dialect, not a Tcl interpreter:
+enough to accept real Emulab experiment files of this shape, and to reject
+malformed ones with useful errors.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from typing import Dict, List, Optional
+
+from repro.errors import TestbedError
+from repro.testbed.experiment import (EventSpec, ExperimentSpec, LanSpec,
+                                      LinkSpec, NodeSpec)
+from repro.units import GBPS, KBPS, MBPS, MS, SECOND, US
+
+_SET_RE = re.compile(r"^set\s+(\w[\w-]*)\s+\[(.+)\]$")
+_AT_RE = re.compile(r"^\$(\w+)\s+at\s+([\d.]+)\s+\"(.+)\"$")
+
+
+def parse_bandwidth(token: str) -> int:
+    """'100Mb' / '1Gb' / '56kb' -> bits per second."""
+    match = re.fullmatch(r"([\d.]+)\s*([kKmMgG])b(?:ps)?", token)
+    if not match:
+        raise TestbedError(f"unparseable bandwidth {token!r}")
+    value = float(match.group(1))
+    unit = {"k": KBPS, "m": MBPS, "g": GBPS}[match.group(2).lower()]
+    return int(value * unit)
+
+
+def parse_delay(token: str) -> int:
+    """'10ms' / '50us' / '0.5s' -> nanoseconds."""
+    match = re.fullmatch(r"([\d.]+)\s*(ms|us|s)", token)
+    if not match:
+        raise TestbedError(f"unparseable delay {token!r}")
+    value = float(match.group(1))
+    unit = {"ms": MS, "us": US, "s": SECOND}[match.group(2)]
+    return int(value * unit)
+
+
+class NSFileParser:
+    """Parses one NS file into an :class:`ExperimentSpec`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._nodes: Dict[str, dict] = {}
+        self._links: Dict[str, dict] = {}
+        self._lans: Dict[str, dict] = {}
+        self._events: List[EventSpec] = []
+        self._saw_run = False
+        self._ns_var: Optional[str] = None
+
+    # -- public API ------------------------------------------------------------
+
+    def parse(self, text: str) -> ExperimentSpec:
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            try:
+                self._line(line)
+            except TestbedError as exc:
+                raise TestbedError(f"line {lineno}: {exc}") from None
+        if not self._saw_run:
+            raise TestbedError("NS file never calls '$ns run'")
+        spec = ExperimentSpec(
+            self.name,
+            nodes=[NodeSpec(name, image=info["os"])
+                   for name, info in self._nodes.items()],
+            links=[LinkSpec(name, info["a"], info["b"],
+                            bandwidth_bps=info["bw"], delay_ns=info["delay"],
+                            loss_probability=info["loss"],
+                            queue_slots=info["queue"])
+                   for name, info in self._links.items()],
+            lans=[LanSpec(name, tuple(info["members"]),
+                          bandwidth_bps=info["bw"], delay_ns=info["delay"])
+                  for name, info in self._lans.items()],
+            events=self._events)
+        spec.validate()
+        return spec
+
+    # -- line dispatch ------------------------------------------------------------
+
+    def _line(self, line: str) -> None:
+        if line.startswith("source "):
+            return                            # tb_compat.tcl etc.
+        match = _SET_RE.match(line)
+        if match:
+            self._set(match.group(1), match.group(2).strip())
+            return
+        match = _AT_RE.match(line)
+        if match:
+            self._event(match.group(2), match.group(3))
+            return
+        if line.startswith("tb-set-node-os "):
+            self._node_os(line)
+            return
+        if line.startswith("tb-set-link-loss "):
+            self._link_loss(line)
+            return
+        if line.startswith("tb-set-queue-size "):
+            self._queue_size(line)
+            return
+        if self._ns_var and line == f"${self._ns_var} run":
+            self._saw_run = True
+            return
+        if line.startswith("$"):
+            raise TestbedError(f"unsupported directive {line!r}")
+        raise TestbedError(f"unparseable line {line!r}")
+
+    # -- set handlers ---------------------------------------------------------------
+
+    def _set(self, var: str, expr: str) -> None:
+        if expr == "new Simulator":
+            self._ns_var = var
+            return
+        parts = shlex.split(expr)
+        if not parts or not self._ns_var or \
+                parts[0] != f"${self._ns_var}":
+            raise TestbedError(f"unsupported expression [{expr}]")
+        verb = parts[1]
+        if verb == "node":
+            self._nodes[var] = {"os": "FC4-STD"}
+        elif verb == "duplex-link":
+            if len(parts) != 7:
+                raise TestbedError("duplex-link needs: a b bw delay queue")
+            a, b = self._deref(parts[2]), self._deref(parts[3])
+            self._links[var] = {
+                "a": a, "b": b,
+                "bw": parse_bandwidth(parts[4]),
+                "delay": parse_delay(parts[5]),
+                "loss": 0.0, "queue": 50,
+            }
+        elif verb == "make-lan":
+            if len(parts) != 5:
+                raise TestbedError('make-lan needs: "members" bw delay')
+            members = [self._deref(tok)
+                       for tok in parts[2].split()]
+            self._lans[var] = {
+                "members": members,
+                "bw": parse_bandwidth(parts[3]),
+                "delay": parse_delay(parts[4]),
+            }
+        else:
+            raise TestbedError(f"unsupported $ns verb {verb!r}")
+
+    def _deref(self, token: str) -> str:
+        if not token.startswith("$"):
+            raise TestbedError(f"expected a node variable, got {token!r}")
+        name = token[1:]
+        if name not in self._nodes:
+            raise TestbedError(f"unknown node {token}")
+        return name
+
+    # -- tb-* handlers ----------------------------------------------------------------
+
+    def _node_os(self, line: str) -> None:
+        parts = shlex.split(line)
+        if len(parts) != 3:
+            raise TestbedError("tb-set-node-os needs: node os")
+        node = self._deref(parts[1])
+        self._nodes[node]["os"] = parts[2]
+
+    def _link_loss(self, line: str) -> None:
+        parts = shlex.split(line)
+        if len(parts) != 3:
+            raise TestbedError("tb-set-link-loss needs: link probability")
+        link = parts[1].lstrip("$")
+        if link not in self._links:
+            raise TestbedError(f"unknown link ${link}")
+        self._links[link]["loss"] = float(parts[2])
+
+    def _queue_size(self, line: str) -> None:
+        parts = shlex.split(line)
+        if len(parts) != 3:
+            raise TestbedError("tb-set-queue-size needs: link slots")
+        link = parts[1].lstrip("$")
+        if link not in self._links:
+            raise TestbedError(f"unknown link ${link}")
+        self._links[link]["queue"] = int(parts[2])
+
+    # -- events --------------------------------------------------------------------------
+
+    def _event(self, when: str, command: str) -> None:
+        parts = shlex.split(command)
+        if len(parts) < 2:
+            raise TestbedError(f"event command too short: {command!r}")
+        node = self._deref(parts[0])
+        action = parts[1]
+        payload = " ".join(parts[2:]) or None
+        self._events.append(EventSpec(int(float(when) * SECOND), node,
+                                      action, payload))
+
+
+def parse_ns_file(text: str, name: str = "experiment") -> ExperimentSpec:
+    """Parse NS-file ``text`` into a validated :class:`ExperimentSpec`."""
+    return NSFileParser(name).parse(text)

@@ -1,0 +1,61 @@
+"""Emulab control services: RPC plumbing and DNS (§2, §5.2).
+
+DNS, NTP, and NFSv2 are stateless by design, which is what makes stateful
+swapping tractable: no server-side session state survives a swap-out, so
+only embedded *timestamps* need concealing (handled by the transducer in
+:mod:`repro.swap.transduce`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, Optional
+
+from repro.errors import TestbedError
+from repro.sim.core import Simulator
+from repro.testbed.controlnet import ControlNetwork
+
+
+def rpc(sim: Simulator, net: ControlNetwork,
+        server_fn: Callable[[], Any]) -> Generator:
+    """One request/response over the control network (a generator).
+
+    Yields the outbound delay, invokes the server, yields the inbound
+    delay, and returns the server's reply.
+    """
+    yield sim.timeout(net.message_delay())
+    reply = server_fn()
+    yield sim.timeout(net.message_delay())
+    return reply
+
+
+@dataclass
+class DNSRecord:
+    name: str
+    address: str
+    ttl_s: int = 3600
+
+
+class DNSServer:
+    """A stateless name server on the Emulab boss node."""
+
+    def __init__(self, sim: Simulator, net: ControlNetwork) -> None:
+        self.sim = sim
+        self.net = net
+        self._records: Dict[str, DNSRecord] = {}
+        self.queries = 0
+
+    def register(self, name: str, address: str, ttl_s: int = 3600) -> None:
+        self._records[name] = DNSRecord(name, address, ttl_s)
+
+    def resolve(self, name: str):
+        """Client-side resolve (a process): returns the record."""
+        return self.sim.process(rpc(self.sim, self.net,
+                                    lambda: self._lookup(name)))
+
+    def _lookup(self, name: str) -> DNSRecord:
+        self.queries += 1
+        record = self._records.get(name)
+        if record is None:
+            raise TestbedError(f"NXDOMAIN: {name}")
+        return record

@@ -1,0 +1,22 @@
+"""Time travel: checkpoint trees, rollback, branching replay, exploration."""
+
+from repro.timetravel.controller import (Perturbation, ReplayableRun,
+                                         TimeTravelController)
+from repro.timetravel.explorer import Choice, Exploration, StateExplorer
+from repro.timetravel.knobs import (STANDARD_KNOBS,
+                                    apply_standard_perturbation,
+                                    interrupt_skew, packet_drop,
+                                    packet_reorder, state_mutate)
+from repro.timetravel.recorder import ExperimentRecorder, RecordedCheckpoint
+from repro.timetravel.replayable import (Builder, ExperimentHandle,
+                                         ReplayableExperiment)
+from repro.timetravel.tree import CheckpointTree, TreeNode
+
+__all__ = [
+    "Perturbation", "ReplayableRun", "TimeTravelController", "Choice",
+    "Exploration", "StateExplorer", "STANDARD_KNOBS",
+    "apply_standard_perturbation", "interrupt_skew", "packet_drop",
+    "packet_reorder", "state_mutate", "ExperimentRecorder",
+    "RecordedCheckpoint", "CheckpointTree", "TreeNode", "Builder",
+    "ExperimentHandle", "ReplayableExperiment",
+]

@@ -1,0 +1,139 @@
+"""Time-travel sessions (§6): rollback and (non-deterministic) replay.
+
+The paper's prototype captures a run by frequent checkpointing and
+implements backward navigation by restarting the experiment from a saved
+image.  A Python simulation cannot serialize live generator coroutines, so
+we substitute the *other* classical implementation of the same interface:
+**deterministic re-execution**.  The simulator is bit-for-bit reproducible
+given a seed and a perturbation list, so restoring a checkpoint means
+rebuilding the world and replaying it to the checkpoint's virtual time —
+exactly what deterministic-replay time-travel systems (TTVM, ReVirt) do
+from a log.  Observable semantics match the paper:
+
+* backward navigation lands at the checkpoint's state (verified by state
+  digests in the tests);
+* forward replay is deterministic unless the user injects perturbations;
+* each perturbed replay creates a new branch in the checkpoint tree;
+* snapshot storage cost is charged against the node's scratch disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Protocol, Sequence
+
+from repro.errors import TimeTravelError
+from repro.timetravel.tree import CheckpointTree, TreeNode
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """A user-injected change applied during a replay run."""
+
+    at_virtual_ns: int
+    name: str
+    payload: Any = None
+
+
+class ReplayableRun(Protocol):
+    """What the controller needs from an experiment run."""
+
+    def virtual_now(self) -> int:
+        """Current experiment (virtual) time."""
+        ...
+
+    def advance_to(self, virtual_ns: int) -> None:
+        """Execute forward until experiment time reaches ``virtual_ns``."""
+        ...
+
+    def state_digest(self) -> Any:
+        """A comparable summary of experiment state (for verification)."""
+        ...
+
+    def snapshot_bytes(self) -> int:
+        """Cost of checkpointing this run's state right now."""
+        ...
+
+
+RunFactory = Callable[[int, Sequence[Perturbation]], ReplayableRun]
+
+
+class TimeTravelController:
+    """Drives one time-travel session over a reproducible experiment."""
+
+    def __init__(self, factory: RunFactory, seed: int = 0,
+                 storage_budget_bytes: Optional[int] = None) -> None:
+        self.factory = factory
+        self.seed = seed
+        self.tree = CheckpointTree(storage_budget_bytes)
+        self.active_run: ReplayableRun = factory(seed, [])
+        root = self.tree.add(None, self.active_run.virtual_now(),
+                             label="origin",
+                             snapshot_bytes=self.active_run.snapshot_bytes())
+        self._position: TreeNode = root
+        self._pending_perturbations: List[Perturbation] = []
+
+    # ------------------------------------------------------------------ recording
+
+    @property
+    def position(self) -> TreeNode:
+        """The checkpoint the active run descends from."""
+        return self._position
+
+    def run_to(self, virtual_ns: int) -> None:
+        """Advance the active execution to ``virtual_ns``."""
+        if virtual_ns < self.active_run.virtual_now():
+            raise TimeTravelError(
+                "run_to goes backward; use travel_to for rollback")
+        self.active_run.advance_to(virtual_ns)
+
+    def checkpoint(self, label: str = "") -> TreeNode:
+        """Record a checkpoint of the active execution."""
+        node = self.tree.add(
+            self._position.node_id, self.active_run.virtual_now(),
+            label=label, snapshot_bytes=self.active_run.snapshot_bytes(),
+            perturbations=tuple(self._pending_perturbations))
+        self._pending_perturbations = []
+        self._position = node
+        return node
+
+    # ------------------------------------------------------------------ navigation
+
+    def travel_to(self, node_id: int) -> ReplayableRun:
+        """Rollback (or fast-forward) to a checkpoint in the tree.
+
+        Rebuilds the world with the checkpoint's perturbation history and
+        replays to its virtual time; the active run continues from there.
+        """
+        node = self.tree.node(node_id)
+        history = self.tree.perturbations_along(node_id)
+        run = self.factory(self.seed, history)
+        run.advance_to(node.virtual_time_ns)
+        self.active_run = run
+        self._position = node
+        self._pending_perturbations = []
+        return run
+
+    def perturb(self, perturbation: Perturbation) -> None:
+        """Inject a change into the *current* replay (relaxed determinism).
+
+        The perturbation takes effect when the run passes its timestamp;
+        it becomes part of the edge to the next checkpoint, creating a new
+        branch relative to the original execution.
+        """
+        if perturbation.at_virtual_ns < self.active_run.virtual_now():
+            raise TimeTravelError("perturbation is in the run's past")
+        history = (self.tree.perturbations_along(self._position.node_id) +
+                   self._pending_perturbations + [perturbation])
+        run = self.factory(self.seed, history)
+        run.advance_to(self.active_run.virtual_now())
+        self.active_run = run
+        self._pending_perturbations.append(perturbation)
+
+    # ------------------------------------------------------------------ queries
+
+    def verify_reproducibility(self, node_id: int) -> bool:
+        """Replay ``node_id`` twice; True if the state digests agree."""
+        first = self.travel_to(node_id).state_digest()
+        second = self.travel_to(node_id).state_digest()
+        return first == second

@@ -1,0 +1,92 @@
+"""State exploration over the checkpoint tree (§6).
+
+"For example, a model checker could branch from past execution
+checkpoints to test unexplored states."  :class:`StateExplorer` does
+exactly that on top of the deterministic-replay controller: starting from
+a checkpoint, it explores the tree of perturbation choices breadth-first
+— each branch is a fresh replay with one more perturbation applied — and
+reports the first state that satisfies (or violates) a user predicate,
+together with the perturbation trace that reaches it.
+
+Non-determinism is the paper's "knob": an empty choice set degenerates to
+deterministic replay; richer choice sets explore wider behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import TimeTravelError
+from repro.timetravel.controller import Perturbation, TimeTravelController
+
+#: a choice generator: given the branch time, produce a perturbation (or
+#: None for "take no action on this step")
+Choice = Callable[[int], Optional[Perturbation]]
+
+
+@dataclass
+class Exploration:
+    """The outcome of a search."""
+
+    found: bool
+    path: List[Perturbation]
+    digest: Any
+    states_explored: int
+    depth: int
+
+
+class StateExplorer:
+    """Breadth-first search over perturbation schedules."""
+
+    def __init__(self, controller: TimeTravelController,
+                 choices: Sequence[Choice], step_ns: int) -> None:
+        if step_ns <= 0:
+            raise TimeTravelError("step must be positive")
+        self.controller = controller
+        self.choices = list(choices)
+        self.step_ns = step_ns
+
+    def explore(self, predicate: Callable[[Any], bool],
+                max_depth: int = 4) -> Exploration:
+        """Search for a state whose digest satisfies ``predicate``.
+
+        Each search node is a schedule of perturbations (one optional
+        perturbation per time step).  The controller replays each schedule
+        from the current checkpoint — determinism makes every branch
+        exactly reproducible, so the returned path is a complete
+        counterexample trace.
+        """
+        ctl = self.controller
+        origin = ctl.position
+        base_time = origin.virtual_time_ns
+        explored = 0
+        queue: deque = deque()
+        queue.append(([], 0))
+        while queue:
+            schedule, depth = queue.popleft()
+            digest = self._replay(origin.node_id, base_time, schedule, depth)
+            explored += 1
+            if predicate(digest):
+                return Exploration(True, list(schedule), digest, explored,
+                                   depth)
+            if depth >= max_depth:
+                continue
+            step_time = base_time + (depth + 1) * self.step_ns
+            # "No action" branch plus one branch per choice.
+            queue.append((schedule, depth + 1))
+            for choice in self.choices:
+                perturbation = choice(step_time)
+                if perturbation is not None:
+                    queue.append((schedule + [perturbation], depth + 1))
+        return Exploration(False, [], None, explored, max_depth)
+
+    def _replay(self, origin_id: int, base_time: int,
+                schedule: List[Perturbation], depth: int) -> Any:
+        ctl = self.controller
+        ctl.travel_to(origin_id)
+        for perturbation in schedule:
+            ctl.perturb(perturbation)
+        ctl.run_to(base_time + max(1, depth) * self.step_ns)
+        return ctl.active_run.state_digest()

@@ -1,0 +1,87 @@
+"""Standard replay perturbations — the non-determinism "knob" (§6).
+
+The paper plans relaxed determinism during replay: "users should be able
+to skew interrupt delivery times, reorder packets, and dilate system
+time".  This module provides those actions over the simulation's objects,
+plus an interpreter that replay factories call while rebuilding a run.
+
+A perturbation is named (see :data:`STANDARD_KNOBS`) and carries a
+payload; :func:`apply_standard_perturbation` dispatches it against the
+experiment's kernels and delay nodes.  Unknown names are left to the
+factory (they may be domain-specific state mutations).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import TimeTravelError
+from repro.guest.kernel import GuestKernel
+from repro.net.delaynode import DelayNode
+from repro.timetravel.controller import Perturbation
+
+#: knob name -> payload meaning
+STANDARD_KNOBS = {
+    "interrupt-skew": "(kernel_name, extra_slack_ns): widen timer dispatch "
+                      "slack, skewing interrupt delivery times",
+    "packet-reorder": "delay_node_name: swap the two head-of-queue packets",
+    "packet-drop": "delay_node_name: drop the head-of-queue packet",
+    "state-mutate": "callable applied to the run (arbitrary mutation)",
+}
+
+
+def interrupt_skew(at_ns: int, kernel_name: str,
+                   extra_slack_ns: int) -> Perturbation:
+    """Skew interrupt delivery on one node from ``at_ns`` onward."""
+    return Perturbation(at_ns, "interrupt-skew",
+                        (kernel_name, extra_slack_ns))
+
+
+def packet_reorder(at_ns: int, delay_node_name: str) -> Perturbation:
+    """Reorder the head of one delay node's queue at ``at_ns``."""
+    return Perturbation(at_ns, "packet-reorder", delay_node_name)
+
+
+def packet_drop(at_ns: int, delay_node_name: str) -> Perturbation:
+    """Inject a single loss at one delay node at ``at_ns``."""
+    return Perturbation(at_ns, "packet-drop", delay_node_name)
+
+
+def state_mutate(at_ns: int, fn: Callable[[Any], None]) -> Perturbation:
+    """Apply an arbitrary mutation to the run at ``at_ns``."""
+    return Perturbation(at_ns, "state-mutate", fn)
+
+
+def apply_standard_perturbation(
+        perturbation: Perturbation,
+        kernels: Dict[str, GuestKernel],
+        delay_nodes: Optional[Dict[str, DelayNode]] = None,
+        run: Any = None) -> bool:
+    """Apply one knob; returns False if the name is not a standard knob.
+
+    Replay factories call this when the run passes the perturbation's
+    timestamp.
+    """
+    name = perturbation.name
+    payload = perturbation.payload
+    if name == "interrupt-skew":
+        kernel_name, extra = payload
+        kernel = kernels.get(kernel_name)
+        if kernel is None:
+            raise TimeTravelError(f"no kernel {kernel_name} to skew")
+        kernel.timers.max_slack_ns += extra
+        return True
+    if name in ("packet-reorder", "packet-drop"):
+        node = (delay_nodes or {}).get(payload)
+        if node is None:
+            raise TimeTravelError(f"no delay node {payload} to perturb")
+        if name == "packet-reorder":
+            node._pipe_ab.perturb_reorder()
+            node._pipe_ba.perturb_reorder()
+        else:
+            node._pipe_ab.perturb_drop()
+        return True
+    if name == "state-mutate":
+        payload(run)
+        return True
+    return False

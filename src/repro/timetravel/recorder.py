@@ -1,0 +1,114 @@
+"""Recording a live experiment by frequent checkpointing (§6).
+
+The paper's time-travel prototype "captures the original run of an
+experiment by frequent checkpointing during its execution"; transparency
+is what makes this affordable — the run is not perturbed, so any
+unexpected behaviour can later be replayed from the nearest checkpoint
+"without recreating the faulty situation with debugging turned on".
+
+:class:`ExperimentRecorder` drives periodic coordinated checkpoints of a
+swapped-in experiment and files each one into a
+:class:`~repro.timetravel.tree.CheckpointTree`, budgeted against the
+node's scratch disk (the second local disk of Emulab nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.checkpoint.coordinator import CoordinatedResult
+from repro.errors import TimeTravelError
+from repro.timetravel.tree import CheckpointTree, TreeNode
+
+
+@dataclass
+class RecordedCheckpoint:
+    """One recorded checkpoint: the tree node plus full metrics."""
+
+    node: TreeNode
+    result: CoordinatedResult
+
+
+class ExperimentRecorder:
+    """Periodically checkpoints an experiment into a history tree."""
+
+    def __init__(self, experiment, period_ns: int,
+                 storage_budget_bytes: Optional[int] = None,
+                 label_prefix: str = "ckpt") -> None:
+        if experiment.coordinator is None:
+            raise TimeTravelError("experiment is not swapped in")
+        self.experiment = experiment
+        self.sim = experiment.sim
+        self.period_ns = period_ns
+        self.label_prefix = label_prefix
+        if storage_budget_bytes is None:
+            # Snapshots live on the scratch disk of the first node.
+            any_node = next(iter(experiment.nodes.values()))
+            storage_budget_bytes = any_node.machine.scratch_disk.spec. \
+                capacity_bytes
+        self.tree = CheckpointTree(storage_budget_bytes)
+        root = self.tree.add(None, self._experiment_virtual_time(),
+                             label="origin")
+        self._head = root
+        self.recorded: List[RecordedCheckpoint] = []
+        self._running = False
+
+    # -- control ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin periodic checkpointing."""
+        if self._running:
+            return
+        self._running = True
+        self.sim.process(self._loop())
+
+    def stop(self) -> None:
+        """Stop after the checkpoint in progress (if any)."""
+        self._running = False
+
+    @property
+    def head(self) -> TreeNode:
+        """The most recent checkpoint."""
+        return self._head
+
+    # -- internals -----------------------------------------------------------------
+
+    def _experiment_virtual_time(self) -> int:
+        return min(node.kernel.now()
+                   for node in self.experiment.nodes.values())
+
+    def _snapshot_bytes(self, result: CoordinatedResult) -> int:
+        memory = sum(r.snapshot.memory_bytes
+                     for r in result.node_results.values() if r)
+        disk = sum(node.branch.current_delta_blocks * 4096
+                   for node in self.experiment.nodes.values())
+        return memory + disk
+
+    def _loop(self):
+        while self._running:
+            yield self.sim.timeout(self.period_ns)
+            if not self._running:
+                return
+            result = yield self.experiment.coordinator.checkpoint_scheduled()
+            node = self.tree.add(
+                self._head.node_id, self._experiment_virtual_time(),
+                label=f"{self.label_prefix}-{len(self.recorded)}",
+                snapshot_bytes=self._snapshot_bytes(result))
+            self._head = node
+            self.recorded.append(RecordedCheckpoint(node, result))
+
+    # -- navigation helpers ------------------------------------------------------------
+
+    def nearest_before(self, virtual_ns: int) -> TreeNode:
+        """The most recent recorded checkpoint at or before ``virtual_ns``.
+
+        This is what "restart the run from a point just before the
+        appearance of the phenomenon" resolves to.
+        """
+        path = self.tree.path_to(self._head.node_id)
+        candidates = [n for n in path if n.virtual_time_ns <= virtual_ns]
+        if not candidates:
+            raise TimeTravelError(
+                f"no checkpoint at or before virtual t={virtual_ns}")
+        return candidates[-1]

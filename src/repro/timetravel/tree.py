@@ -1,0 +1,104 @@
+"""Checkpoint trees (§6).
+
+Replay runs may mutate state or resolve non-determinism differently, so
+every replay creates a *branch* in the execution history: time-travel
+sessions form a tree whose internal nodes are checkpoints and whose leaves
+are checkpoints or active executions.  (Deterministic replay without
+mutation degenerates to a linear chain.)
+
+Snapshots are stored on the second local disk of Emulab nodes; the tree
+tracks cumulative storage so "thousands of nodes" stays an explicit,
+budgeted claim.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import TimeTravelError
+
+
+@dataclass
+class TreeNode:
+    """One checkpoint in the execution history."""
+
+    node_id: int
+    parent_id: Optional[int]
+    virtual_time_ns: int
+    label: str
+    snapshot_bytes: int
+    #: perturbations applied on the edge from the parent to this node
+    perturbations: tuple = ()
+    children: List[int] = field(default_factory=list)
+
+
+class CheckpointTree:
+    """The branching execution history of one experiment."""
+
+    def __init__(self, storage_budget_bytes: Optional[int] = None) -> None:
+        self._ids = itertools.count(0)
+        self.nodes: Dict[int, TreeNode] = {}
+        self.root_id: Optional[int] = None
+        self.storage_budget_bytes = storage_budget_bytes
+        self.storage_used_bytes = 0
+
+    def add(self, parent_id: Optional[int], virtual_time_ns: int,
+            label: str = "", snapshot_bytes: int = 0,
+            perturbations: tuple = ()) -> TreeNode:
+        """Append a checkpoint under ``parent_id`` (None = the root)."""
+        if parent_id is None:
+            if self.root_id is not None:
+                raise TimeTravelError("tree already has a root")
+        else:
+            parent = self.node(parent_id)
+            if virtual_time_ns < parent.virtual_time_ns:
+                raise TimeTravelError(
+                    f"child at {virtual_time_ns} precedes parent at "
+                    f"{parent.virtual_time_ns}")
+        if self.storage_budget_bytes is not None and \
+                self.storage_used_bytes + snapshot_bytes > \
+                self.storage_budget_bytes:
+            raise TimeTravelError("snapshot storage budget exhausted")
+        node = TreeNode(next(self._ids), parent_id, virtual_time_ns, label,
+                        snapshot_bytes, perturbations)
+        self.nodes[node.node_id] = node
+        if parent_id is None:
+            self.root_id = node.node_id
+        else:
+            self.nodes[parent_id].children.append(node.node_id)
+        self.storage_used_bytes += snapshot_bytes
+        return node
+
+    def node(self, node_id: int) -> TreeNode:
+        entry = self.nodes.get(node_id)
+        if entry is None:
+            raise TimeTravelError(f"no checkpoint {node_id}")
+        return entry
+
+    def path_to(self, node_id: int) -> List[TreeNode]:
+        """Root-to-node path (inclusive)."""
+        path = []
+        current: Optional[int] = node_id
+        while current is not None:
+            node = self.node(current)
+            path.append(node)
+            current = node.parent_id
+        return list(reversed(path))
+
+    def perturbations_along(self, node_id: int) -> List:
+        """All perturbations applied from the root to ``node_id``."""
+        out: List = []
+        for node in self.path_to(node_id):
+            out.extend(node.perturbations)
+        return out
+
+    def leaves(self) -> Iterator[TreeNode]:
+        return (n for n in self.nodes.values() if not n.children)
+
+    def depth(self, node_id: int) -> int:
+        return len(self.path_to(node_id)) - 1
+
+    def __len__(self) -> int:
+        return len(self.nodes)

@@ -1,0 +1,84 @@
+"""Physical units used throughout the simulator.
+
+All simulated time is kept as **integer nanoseconds** so that event ordering
+is exact and runs are reproducible bit-for-bit.  All data sizes are integer
+bytes.  Link and disk rates are expressed in bits per second and bytes per
+second respectively; the helpers below convert between them and time.
+"""
+
+from __future__ import annotations
+
+# --- time ------------------------------------------------------------------
+
+NANOSECOND: int = 1
+MICROSECOND: int = 1_000
+MILLISECOND: int = 1_000_000
+SECOND: int = 1_000_000_000
+MINUTE: int = 60 * SECOND
+
+NS = NANOSECOND
+US = MICROSECOND
+MS = MILLISECOND
+SEC = SECOND
+
+
+def seconds(t_ns: int) -> float:
+    """Convert integer nanoseconds to float seconds (for reporting only)."""
+    return t_ns / SECOND
+
+
+def from_seconds(t_s: float) -> int:
+    """Convert float seconds to integer nanoseconds."""
+    return round(t_s * SECOND)
+
+
+def millis(t_ns: int) -> float:
+    """Convert integer nanoseconds to float milliseconds (for reporting)."""
+    return t_ns / MILLISECOND
+
+
+def micros(t_ns: int) -> float:
+    """Convert integer nanoseconds to float microseconds (for reporting)."""
+    return t_ns / MICROSECOND
+
+
+# --- data ------------------------------------------------------------------
+
+BYTE: int = 1
+KB: int = 1_000
+MB: int = 1_000_000
+GB: int = 1_000_000_000
+KIB: int = 1 << 10
+MIB: int = 1 << 20
+GIB: int = 1 << 30
+
+# --- rates -----------------------------------------------------------------
+
+BPS: int = 1          # bits per second
+KBPS: int = 1_000
+MBPS: int = 1_000_000
+GBPS: int = 1_000_000_000
+
+
+def transmission_time_ns(nbytes: int, rate_bps: int) -> int:
+    """Time to clock ``nbytes`` onto a link running at ``rate_bps``.
+
+    Rounds up to a whole nanosecond so that back-to-back packets never
+    overlap on the wire.
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    bits = nbytes * 8
+    return -(-bits * SECOND // rate_bps)  # ceil division
+
+
+def transfer_time_ns(nbytes: int, rate_bytes_per_s: int) -> int:
+    """Time to move ``nbytes`` at a byte rate (disks, memcpy)."""
+    if rate_bytes_per_s <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bytes_per_s}")
+    return -(-nbytes * SECOND // rate_bytes_per_s)
+
+
+def bytes_in_time(t_ns: int, rate_bytes_per_s: int) -> int:
+    """How many whole bytes move in ``t_ns`` at a byte rate."""
+    return t_ns * rate_bytes_per_s // SECOND

@@ -1,0 +1,18 @@
+"""Evaluation workloads: one module per experiment in §7 / §5.1."""
+
+from repro.workloads.bittorrent import (BitTorrentPeer, BitTorrentSwarm,
+                                        PeerStats)
+from repro.workloads.bonnie import BonnieBenchmark, BonnieConfig, BonnieResult
+from repro.workloads.cpuburn import CpuBurnBenchmark, CpuBurnResult
+from repro.workloads.filecopy import FileCopyBenchmark, FileCopyResult
+from repro.workloads.iperf import IperfSession, PacketTrace
+from repro.workloads.kernelbuild import KernelBuildConfig, KernelBuildWorkload
+from repro.workloads.sleeper import SleeperBenchmark, SleeperResult
+
+__all__ = [
+    "BitTorrentPeer", "BitTorrentSwarm", "PeerStats", "BonnieBenchmark",
+    "BonnieConfig", "BonnieResult", "CpuBurnBenchmark", "CpuBurnResult",
+    "FileCopyBenchmark", "FileCopyResult", "IperfSession", "PacketTrace",
+    "KernelBuildConfig", "KernelBuildWorkload", "SleeperBenchmark",
+    "SleeperResult",
+]

@@ -1,0 +1,238 @@
+"""The Figure 7 workload: a BitTorrent swarm with a static tracker.
+
+One seeder and N clients on a shaped LAN cooperatively download a large
+file.  Peers are both clients and servers: once a client holds a piece it
+serves it to others.  As in the paper's setup, the tracker is static (the
+peer set is fixed up front) to make behaviour predictable.
+
+Connections are per *ordered* pair: the downloader opens a TCP connection
+to the uploader, sends small request messages up it, and receives piece
+data down it — so payload and control bytes never mix.  Each received
+piece costs the downloader hash verification (CPU) before further
+requests go out; that application pacing is what keeps per-client
+throughput well below link rate and makes the trace bursty, as in the
+paper's Figure 7.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.guest.kernel import GuestKernel
+from repro.net.tcp import TCPConnection
+from repro.units import GB, KB, MB, MS
+
+
+@dataclass
+class PeerStats:
+    """Per-peer transfer accounting."""
+
+    pieces_completed: int = 0
+    bytes_downloaded: int = 0
+    bytes_uploaded: int = 0
+    #: (virtual time ns, bytes) data arrivals, per source peer
+    arrivals: Dict[str, List[Tuple[int, int]]] = field(default_factory=dict)
+
+
+class BitTorrentPeer:
+    """One swarm member."""
+
+    REQUEST_BYTES = 68          # BT request message size
+
+    def __init__(self, swarm: "BitTorrentSwarm", kernel: GuestKernel,
+                 is_seeder: bool) -> None:
+        self.swarm = swarm
+        self.kernel = kernel
+        self.name = kernel.name
+        self.is_seeder = is_seeder
+        self.pieces: Set[int] = (set(range(swarm.num_pieces))
+                                 if is_seeder else set())
+        self.stats = PeerStats()
+        #: uploader name -> connection I opened to download from them
+        self.download_conns: Dict[str, TCPConnection] = {}
+        #: downloader name -> connection they opened (I serve data on it)
+        self.upload_conns: Dict[str, TCPConnection] = {}
+        self._inflight: Dict[str, List[int]] = {}    # uploader -> pieces
+        self._partial: Dict[str, int] = {}           # uploader -> head bytes
+        self._request_bytes: Dict[str, int] = {}     # downloader -> raw bytes
+        self._unprocessed = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def listen(self) -> None:
+        self.kernel.tcp.listen(self.swarm.port, self._accept_downloader)
+
+    def open_download(self, uploader: "BitTorrentPeer") -> None:
+        """I will download from ``uploader``: open the channel."""
+        conn = self.kernel.tcp.connect(uploader.name, self.swarm.port)
+        self.download_conns[uploader.name] = conn
+        self._inflight[uploader.name] = []
+        self._partial[uploader.name] = 0
+        self.stats.arrivals.setdefault(uploader.name, [])
+        conn.on_receive = lambda nbytes, u=uploader.name: \
+            self._on_data(u, nbytes)
+
+    def _accept_downloader(self, conn: TCPConnection) -> None:
+        downloader = conn.remote_addr
+        self.upload_conns[downloader] = conn
+        self._request_bytes[downloader] = 0
+        conn.on_receive = lambda nbytes, d=downloader: \
+            self._on_requests(d, nbytes)
+
+    # -- uploader side -----------------------------------------------------------
+
+    def _on_requests(self, downloader: str, nbytes: int) -> None:
+        self._request_bytes[downloader] += nbytes
+        while self._request_bytes[downloader] >= self.REQUEST_BYTES:
+            self._request_bytes[downloader] -= self.REQUEST_BYTES
+            piece = self.swarm._pop_request(self.name, downloader)
+            if piece is not None:
+                self._serve(piece, downloader)
+
+    def _serve(self, piece: int, downloader: str) -> None:
+        conn = self.upload_conns.get(downloader)
+        if conn is None:
+            return
+        self.stats.bytes_uploaded += self.swarm.piece_bytes
+        conn.send(self.swarm.piece_bytes)
+
+    # -- downloader side -----------------------------------------------------------
+
+    def _on_data(self, uploader: str, nbytes: int) -> None:
+        self.stats.arrivals[uploader].append((self.kernel.now(), nbytes))
+        self.stats.bytes_downloaded += nbytes
+        self._partial[uploader] += nbytes
+        pending = self._inflight[uploader]
+        while pending and self._partial[uploader] >= self.swarm.piece_bytes:
+            self._partial[uploader] -= self.swarm.piece_bytes
+            piece = pending.pop(0)
+            self.pieces.add(piece)
+            self.stats.pieces_completed += 1
+            self._unprocessed += 1
+
+    def run(self) -> None:
+        if not self.is_seeder:
+            self.kernel.spawn(self._download_loop, name="bt-download")
+
+    def _download_loop(self, k: GuestKernel):
+        swarm = self.swarm
+        while len(self.pieces) < swarm.num_pieces:
+            progressed = False
+            for uploader, conn in self.download_conns.items():
+                pending = self._inflight[uploader]
+                if len(pending) >= swarm.pipeline_depth:
+                    continue
+                if not conn.established:
+                    continue
+                piece = swarm._pick_piece(self, uploader)
+                if piece is None:
+                    continue
+                pending.append(piece)
+                swarm._push_request(uploader, self.name, piece)
+                conn.send(self.REQUEST_BYTES)
+                progressed = True
+            # Hash-check freshly completed pieces: the app-level pacing.
+            done, self._unprocessed = self._unprocessed, 0
+            if done:
+                yield k.cpu(done * swarm.piece_process_ns)
+            elif not progressed:
+                yield k.sleep(20 * MS)
+            else:
+                yield k.sleep(2 * MS)
+
+    @property
+    def complete(self) -> bool:
+        return len(self.pieces) >= self.swarm.num_pieces
+
+
+class BitTorrentSwarm:
+    """The whole swarm: peers, piece bookkeeping, request routing."""
+
+    def __init__(self, kernels: List[GuestKernel], seeder_index: int = 0,
+                 file_bytes: int = 3 * GB, piece_bytes: int = 256 * KB,
+                 pipeline_depth: int = 2,
+                 piece_process_ns: int = 150 * MS,
+                 port: int = 6881,
+                 rng: Optional[random.Random] = None) -> None:
+        self.file_bytes = file_bytes
+        self.piece_bytes = piece_bytes
+        self.num_pieces = -(-file_bytes // piece_bytes)
+        self.pipeline_depth = pipeline_depth
+        self.piece_process_ns = piece_process_ns
+        self.port = port
+        self.rng = rng or random.Random(0)
+        self.peers: List[BitTorrentPeer] = [
+            BitTorrentPeer(self, k, is_seeder=(i == seeder_index))
+            for i, k in enumerate(kernels)]
+        self._by_name = {p.name: p for p in self.peers}
+        #: uploader -> downloader -> queued piece requests
+        self._queues: Dict[str, Dict[str, List[int]]] = {}
+        #: downloader -> pieces already requested from anyone
+        self._requested: Dict[str, Set[int]] = {
+            p.name: set() for p in self.peers}
+
+    @property
+    def seeder(self) -> BitTorrentPeer:
+        return next(p for p in self.peers if p.is_seeder)
+
+    @property
+    def clients(self) -> List[BitTorrentPeer]:
+        return [p for p in self.peers if not p.is_seeder]
+
+    def start(self) -> None:
+        """Listen everywhere, open download channels, start downloading."""
+        for peer in self.peers:
+            peer.listen()
+        for downloader in self.clients:
+            for uploader in self.peers:
+                if uploader is not downloader:
+                    downloader.open_download(uploader)
+        for peer in self.peers:
+            peer.run()
+
+    # -- request routing ----------------------------------------------------------
+
+    def _pick_piece(self, downloader: BitTorrentPeer,
+                    uploader_name: str) -> Optional[int]:
+        uploader = self._by_name[uploader_name]
+        candidates = (uploader.pieces - downloader.pieces -
+                      self._requested[downloader.name])
+        if not candidates:
+            return None
+        # Random selection (rarest-first matters for swarm health, not for
+        # the throughput trace this experiment measures).
+        return self.rng.choice(sorted(candidates))
+
+    def _push_request(self, uploader: str, downloader: str,
+                      piece: int) -> None:
+        self._requested[downloader].add(piece)
+        self._queues.setdefault(uploader, {}).setdefault(
+            downloader, []).append(piece)
+
+    def _pop_request(self, uploader: str, downloader: str) -> Optional[int]:
+        queue = self._queues.get(uploader, {}).get(downloader)
+        return queue.pop(0) if queue else None
+
+    # -- metrics --------------------------------------------------------------------
+
+    def seeder_throughput_series(self, bucket_ns: int
+                                 ) -> Dict[str, List[Tuple[int, float]]]:
+        """Per-client (bucket start ns, MB/s) of traffic from the seeder."""
+        out = {}
+        for client in self.clients:
+            arrivals = client.stats.arrivals.get(self.seeder.name, [])
+            series: List[Tuple[int, float]] = []
+            if arrivals:
+                bucket = arrivals[0][0]
+                acc = 0
+                for t, nbytes in arrivals:
+                    while t >= bucket + bucket_ns:
+                        series.append((bucket, acc / (bucket_ns / 1e9) / 1e6))
+                        bucket += bucket_ns
+                        acc = 0
+                    acc += nbytes
+                series.append((bucket, acc / (bucket_ns / 1e9) / 1e6))
+            out[client.name] = series
+        return out

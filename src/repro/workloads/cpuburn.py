@@ -1,0 +1,61 @@
+"""The Figure 5 microbenchmark: a CPU-intensive loop.
+
+Each iteration performs a fixed amount of computation and measures how
+long it took (guest virtual time).  Uncontended, every iteration takes the
+nominal work time (the paper measures 236.6 ms); background checkpoint
+activity in dom0 steals CPU and stretches the iterations that overlap it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.guest.kernel import GuestKernel
+from repro.units import MS
+
+
+@dataclass
+class CpuBurnResult:
+    """Per-iteration durations (guest virtual time, ns)."""
+
+    iteration_ns: List[int] = field(default_factory=list)
+
+    def baseline_ns(self) -> int:
+        """The typical (median) iteration."""
+        ordered = sorted(self.iteration_ns)
+        return ordered[len(ordered) // 2] if ordered else 0
+
+    def max_excess_ns(self) -> int:
+        """Worst iteration inflation over the baseline."""
+        base = self.baseline_ns()
+        return max((t - base for t in self.iteration_ns), default=0)
+
+
+class CpuBurnBenchmark:
+    """Runs the compute loop inside one guest."""
+
+    def __init__(self, kernel: GuestKernel, work_ns: int = 236_600_000,
+                 iterations: int = 600) -> None:
+        self.kernel = kernel
+        self.work_ns = work_ns
+        self.iterations = iterations
+        self.result = CpuBurnResult()
+        self._thread = None
+
+    def start(self) -> None:
+        """Launch the loop as a guest user thread."""
+        self._thread = self.kernel.spawn(self._body, name="cpuburn")
+
+    @property
+    def finished(self) -> bool:
+        return self._thread is not None and not self._thread.alive
+
+    def join(self):
+        return self._thread.join()
+
+    def _body(self, k: GuestKernel):
+        for _ in range(self.iterations):
+            start = k.gettimeofday()
+            yield k.cpu(self.work_ns)
+            self.result.iteration_ns.append(k.gettimeofday() - start)

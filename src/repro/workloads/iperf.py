@@ -1,0 +1,132 @@
+"""The Figure 6 workload: an iperf-style one-directional TCP stream.
+
+A sender pumps a continuous TCP stream to a receiver; the receiver's
+"packet trace" (per-segment arrival timestamps in guest virtual time) is
+what the paper analyzes: throughput averaged over 20 ms windows,
+inter-packet arrival delays across checkpoint boundaries, and TCP
+anomalies (retransmissions, duplicate ACKs, window changes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.guest.kernel import GuestKernel
+from repro.net.tcp import TCPConnection
+from repro.units import KB, MB, MS, SECOND
+
+
+@dataclass
+class PacketTrace:
+    """Receiver-side arrival log: (virtual time ns, bytes)."""
+
+    arrivals: List[Tuple[int, int]] = field(default_factory=list)
+
+    def throughput_series(self, bucket_ns: int = 20 * MS
+                          ) -> List[Tuple[int, float]]:
+        """(bucket start ns, MB/s) averaged per bucket."""
+        if not self.arrivals:
+            return []
+        series = []
+        bucket_start = self.arrivals[0][0]
+        acc = 0
+        for t, nbytes in self.arrivals:
+            while t >= bucket_start + bucket_ns:
+                series.append((bucket_start, acc / (bucket_ns / 1e9) / 1e6))
+                bucket_start += bucket_ns
+                acc = 0
+            acc += nbytes
+        series.append((bucket_start, acc / (bucket_ns / 1e9) / 1e6))
+        return series
+
+    def interpacket_gaps_ns(self) -> List[int]:
+        times = [t for t, _ in self.arrivals]
+        return [b - a for a, b in zip(times, times[1:])]
+
+    def max_gap_in_window(self, start_ns: int, end_ns: int) -> int:
+        """Largest inter-arrival gap among packets in a window."""
+        times = [t for t, _ in self.arrivals if start_ns <= t <= end_ns]
+        if len(times) < 2:
+            return 0
+        return max(b - a for a, b in zip(times, times[1:]))
+
+    def mean_gap_ns(self) -> float:
+        gaps = self.interpacket_gaps_ns()
+        return sum(gaps) / len(gaps) if gaps else 0.0
+
+
+class IperfSession:
+    """One sender -> receiver stream between two guests.
+
+    The sender is *application-paced*: it writes ``write_chunk`` bytes
+    every ``write_chunk / app_rate`` of virtual time.  This models the
+    paper's setup, where the Xen network path is CPU-bound near 55 MB/s on
+    a 1 Gbps link — the sender is never window-limited, so the amount of
+    data in flight stays near the (tiny) bandwidth-delay product.  Pass
+    ``app_rate_bytes_per_s=None`` for an unpaced, window-limited sender.
+    """
+
+    def __init__(self, sender: GuestKernel, receiver: GuestKernel,
+                 port: int = 5001, write_chunk: int = 16 * KB,
+                 app_rate_bytes_per_s: Optional[int] = 52 * MB,
+                 send_buffer_target: int = 512 * KB) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self.port = port
+        self.write_chunk = write_chunk
+        self.app_rate_bytes_per_s = app_rate_bytes_per_s
+        self.send_buffer_target = send_buffer_target
+        self.trace = PacketTrace()
+        self.connection: Optional[TCPConnection] = None
+        self.server_connection: Optional[TCPConnection] = None
+        self._running = False
+
+    def start(self) -> None:
+        """Open the stream and start pumping."""
+        self._running = True
+        self.receiver.tcp.listen(self.port, self._on_accept)
+        self.connection = self.sender.tcp.connect(self.receiver.name,
+                                                  self.port)
+        self.sender.spawn(self._pump, name="iperf-send")
+
+    def stop(self) -> None:
+        """Stop writing new data."""
+        self._running = False
+
+    def _on_accept(self, conn: TCPConnection) -> None:
+        self.server_connection = conn
+        conn.on_receive = self._on_bytes
+
+    def _on_bytes(self, nbytes: int) -> None:
+        self.trace.arrivals.append((self.receiver.now(), nbytes))
+
+    def _pump(self, k: GuestKernel):
+        conn = self.connection
+        while not conn.established:
+            yield k.sleep(1 * MS)
+        if self.app_rate_bytes_per_s is None:
+            # Window-limited mode: keep the socket buffer topped up.
+            while self._running:
+                if conn.send_queue < self.send_buffer_target:
+                    conn.send(self.send_buffer_target)
+                yield k.sleep(2 * MS)
+            return
+        pace_ns = self.write_chunk * 1_000_000_000 // self.app_rate_bytes_per_s
+        while self._running:
+            if conn.send_queue < self.send_buffer_target:
+                conn.send(self.write_chunk)
+            yield k.sleep(pace_ns)
+
+    # -- summary metrics ---------------------------------------------------------
+
+    @property
+    def bytes_received(self) -> int:
+        return (self.server_connection.bytes_delivered
+                if self.server_connection else 0)
+
+    def sender_stats(self):
+        return self.connection.stats
+
+    def receiver_stats(self):
+        return self.server_connection.stats

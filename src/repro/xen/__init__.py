@@ -1,0 +1,15 @@
+"""Xen-like hypervisor layer: domains, devices, local live checkpoint."""
+
+from repro.xen.checkpoint import (CheckpointConfig, CheckpointResult,
+                                  DomainSnapshot, LocalCheckpointer)
+from repro.xen.devices import VirtualBlockDevice, VirtualNIC
+from repro.xen.hypervisor import (Domain, Hypervisor, ParavirtTimeSource,
+                                  RunState, SharedInfoPage)
+from repro.xen.xenbus import XenBus
+
+__all__ = [
+    "CheckpointConfig", "CheckpointResult", "DomainSnapshot",
+    "LocalCheckpointer", "VirtualBlockDevice", "VirtualNIC", "Domain",
+    "Hypervisor", "ParavirtTimeSource", "RunState", "SharedInfoPage",
+    "XenBus",
+]

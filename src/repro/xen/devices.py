@@ -1,0 +1,113 @@
+"""Paravirtual devices: network and block frontends.
+
+Virtual devices share state with the hypervisor (rings, grant tables), so a
+checkpoint must tear them down and reconnect on resume (§3.1).  Suspending
+a NIC freezes its interface: arriving packets accumulate in the ring and
+are replayed on reconnect — the endpoint in-flight log.  Suspending a block
+device first *drains* in-flight requests; its IRQ handlers are one of the
+activities that run outside the temporal firewall for exactly this purpose
+(§4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import CheckpointError
+from repro.net.interface import Interface
+from repro.sim.core import Event, Simulator
+from repro.units import US
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.disk import Disk
+
+
+class VirtualNIC:
+    """Network frontend bound to a physical interface."""
+
+    def __init__(self, sim: Simulator, iface: Interface) -> None:
+        self.sim = sim
+        self.iface = iface
+        self.suspended = False
+        self.replayed_total = 0
+
+    def suspend(self) -> None:
+        """Disconnect from the backend; ring buffers arrivals."""
+        if self.suspended:
+            raise CheckpointError(f"NIC {self.iface.name} already suspended")
+        self.suspended = True
+        if not self.iface.frozen:
+            self.iface.freeze()
+
+    def resume(self) -> int:
+        """Reconnect; replays ring contents.  Returns packets replayed."""
+        if not self.suspended:
+            raise CheckpointError(f"NIC {self.iface.name} is not suspended")
+        self.suspended = False
+        replayed = self.iface.thaw()
+        self.replayed_total += replayed
+        return replayed
+
+
+class VirtualBlockDevice:
+    """Block frontend with in-flight request tracking.
+
+    The ``backend`` is anything exposing ``read(lba, n) -> Event`` and
+    ``write(lba, n) -> Event`` (a raw :class:`~repro.hw.disk.Disk` or a
+    branching-storage volume).
+    """
+
+    #: polling interval while draining in-flight requests at suspend
+    DRAIN_POLL_NS = 50 * US
+
+    def __init__(self, sim: Simulator, backend, name: str = "vbd") -> None:
+        self.sim = sim
+        self.backend = backend
+        self.name = name
+        self.inflight = 0
+        self.suspended = False
+        self.total_reads = 0
+        self.total_writes = 0
+
+    def read(self, lba: int, nblocks: int = 1) -> Event:
+        """Issue a guest read through the frontend ring."""
+        return self._issue(self.backend.read, lba, nblocks, is_write=False)
+
+    def write(self, lba: int, nblocks: int = 1) -> Event:
+        """Issue a guest write through the frontend ring."""
+        return self._issue(self.backend.write, lba, nblocks, is_write=True)
+
+    def _issue(self, op, lba: int, nblocks: int, is_write: bool) -> Event:
+        if self.suspended:
+            raise CheckpointError(
+                f"I/O issued to suspended block device {self.name}")
+        self.inflight += 1
+        if is_write:
+            self.total_writes += 1
+        else:
+            self.total_reads += 1
+        done = Event(self.sim)
+        inner = op(lba, nblocks)
+
+        def complete(_ev) -> None:
+            # The completion IRQ (BLOCK_IRQ) runs outside the firewall so
+            # in-flight requests can drain during suspend.
+            self.inflight -= 1
+            done.succeed()
+
+        inner.add_callback(complete)
+        return done
+
+    def drain(self):
+        """Generator: waits until all in-flight requests complete."""
+        while self.inflight > 0:
+            yield self.sim.timeout(self.DRAIN_POLL_NS)
+
+    def suspend_after_drain(self):
+        """Generator: drain then disconnect (run from the suspend thread)."""
+        yield from self.drain()
+        self.suspended = True
+
+    def resume(self) -> None:
+        """Reconnect the frontend."""
+        self.suspended = False

@@ -1,0 +1,48 @@
+"""XenBus: event channels between the hypervisor/tools and a guest.
+
+XenBus watch handlers are one of the few activities that run *outside* the
+temporal firewall — they carry the suspend request and checkpoint
+coordination while the rest of the guest is stopped (§4.1).  Delivery
+checks the XENBUS gate, which the firewall deliberately leaves open.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, TYPE_CHECKING
+
+from repro.guest.activities import Activity
+from repro.sim.core import Simulator
+from repro.units import US
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.guest.kernel import GuestKernel
+
+
+class XenBus:
+    """Per-domain event channel endpoint."""
+
+    #: latency of a cross-domain event notification
+    EVENT_LATENCY_NS = 5 * US
+
+    def __init__(self, sim: Simulator, kernel: "GuestKernel") -> None:
+        self.sim = sim
+        self.kernel = kernel
+        self._watches: Dict[str, List[Callable[[Any], None]]] = {}
+        self.events_delivered = 0
+
+    def watch(self, path: str, handler: Callable[[Any], None]) -> None:
+        """Register a watch handler for ``path``."""
+        self._watches.setdefault(path, []).append(handler)
+
+    def notify(self, path: str, value: Any = None) -> None:
+        """Fire the watch handlers for ``path`` (asynchronously)."""
+
+        def deliver() -> None:
+            # XenBus handlers run outside the firewall; the gate check
+            # documents (and enforces) that the firewall leaves them open.
+            self.kernel.gates.check(Activity.XENBUS)
+            self.events_delivered += 1
+            for handler in self._watches.get(path, ()):
+                handler(value)
+
+        self.sim.call_in(self.EVENT_LATENCY_NS, deliver)

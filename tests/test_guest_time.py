@@ -1,0 +1,181 @@
+"""Unit tests for virtual clocks and the virtual timer wheel."""
+
+import random
+
+import pytest
+
+from repro.errors import ClockError, SimulationError
+from repro.guest.timer import VirtualTimerWheel
+from repro.guest.vclock import VirtualClock
+from repro.sim import Simulator
+from repro.units import MS, SECOND, US
+
+
+def make_wheel(sim, slack=0):
+    vclock = VirtualClock(sim)
+    wheel = VirtualTimerWheel(sim, vclock, random.Random(1),
+                              max_slack_ns=slack)
+    return vclock, wheel
+
+
+def test_virtual_clock_tracks_true_time_when_unfrozen():
+    sim = Simulator()
+    vclock = VirtualClock(sim)
+    sim.timeout(5 * SECOND)
+    sim.run()
+    assert vclock.now() == 5 * SECOND
+
+
+def test_virtual_clock_freeze_conceals_downtime():
+    sim = Simulator()
+    vclock = VirtualClock(sim)
+    sim.run(until=1 * SECOND)
+    vclock.freeze()
+    assert vclock.frozen
+    sim.run(until=3 * SECOND)
+    assert vclock.now() == 1 * SECOND
+    downtime = vclock.thaw()
+    assert downtime == 2 * SECOND
+    sim.run(until=4 * SECOND)
+    assert vclock.now() == 2 * SECOND          # 4 s true minus 2 s hidden
+    assert vclock.total_hidden_ns == 2 * SECOND
+
+
+def test_virtual_clock_multiple_freezes_accumulate():
+    sim = Simulator()
+    vclock = VirtualClock(sim)
+    for i in range(3):
+        sim.run(until=sim.now + 1 * SECOND)
+        vclock.freeze()
+        sim.run(until=sim.now + 500 * MS)
+        vclock.thaw()
+    assert vclock.total_hidden_ns == 1500 * MS
+    assert vclock.now() == sim.now - 1500 * MS
+    assert vclock.freezes == 3
+
+
+def test_virtual_clock_double_freeze_rejected():
+    sim = Simulator()
+    vclock = VirtualClock(sim)
+    vclock.freeze()
+    with pytest.raises(ClockError):
+        vclock.freeze()
+    vclock.thaw()
+    with pytest.raises(ClockError):
+        vclock.thaw()
+
+
+def test_wall_time_includes_epoch():
+    sim = Simulator()
+    vclock = VirtualClock(sim, epoch_wall_ns=1_000_000 * SECOND)
+    sim.run(until=5 * SECOND)
+    assert vclock.wall_time() == 1_000_000 * SECOND + 5 * SECOND
+
+
+def test_timer_fires_at_virtual_deadline():
+    sim = Simulator()
+    vclock, wheel = make_wheel(sim)
+    fired = []
+    wheel.call_in(100 * MS, lambda: fired.append(vclock.now()))
+    sim.run()
+    assert fired == [100 * MS]
+
+
+def test_timer_slack_bounded():
+    sim = Simulator()
+    vclock, wheel = make_wheel(sim, slack=25 * US)
+    fired = []
+    for _ in range(50):
+        wheel.call_in(10 * MS, lambda: fired.append(vclock.now()))
+    sim.run()
+    assert all(10 * MS <= t <= 10 * MS + 25 * US for t in fired)
+
+
+def test_frozen_wheel_never_fires():
+    sim = Simulator()
+    vclock, wheel = make_wheel(sim)
+    fired = []
+    wheel.call_in(100 * MS, lambda: fired.append(vclock.now()))
+    sim.run(until=50 * MS)
+    wheel.freeze()
+    vclock.freeze()
+    sim.run(until=10 * SECOND)               # deadline passes in true time
+    assert fired == []
+    vclock.thaw()
+    wheel.thaw()
+    sim.run()
+    # Fires 50 ms of virtual time later, i.e. at virtual 100 ms.
+    assert fired == [100 * MS]
+    assert sim.now == 10 * SECOND + 50 * MS
+
+
+def test_timer_armed_while_frozen_fires_after_thaw():
+    sim = Simulator()
+    vclock, wheel = make_wheel(sim)
+    wheel.freeze()
+    vclock.freeze()
+    fired = []
+    wheel.call_in(30 * MS, lambda: fired.append(vclock.now()))
+    sim.run(until=1 * SECOND)
+    assert fired == []
+    vclock.thaw()
+    wheel.thaw()
+    sim.run()
+    assert fired == [30 * MS]
+
+
+def test_cancelled_timer_does_not_fire():
+    sim = Simulator()
+    vclock, wheel = make_wheel(sim)
+    fired = []
+    handle = wheel.call_in(10 * MS, lambda: fired.append(1))
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert wheel.pending_count == 0
+
+
+def test_cancelled_timer_survives_freeze_thaw():
+    sim = Simulator()
+    vclock, wheel = make_wheel(sim)
+    fired = []
+    handle = wheel.call_in(100 * MS, lambda: fired.append(1))
+    wheel.freeze()
+    vclock.freeze()
+    handle.cancel()
+    vclock.thaw()
+    wheel.thaw()
+    sim.run()
+    assert fired == []
+
+
+def test_thaw_requires_clock_thawed_first():
+    sim = Simulator()
+    vclock, wheel = make_wheel(sim)
+    wheel.freeze()
+    vclock.freeze()
+    with pytest.raises(ClockError):
+        wheel.thaw()
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    _vclock, wheel = make_wheel(sim)
+    with pytest.raises(SimulationError):
+        wheel.call_in(-5, lambda: None)
+
+
+def test_many_timers_keep_relative_order_across_freeze():
+    sim = Simulator()
+    vclock, wheel = make_wheel(sim)
+    fired = []
+    for i, delay in enumerate((30 * MS, 10 * MS, 20 * MS)):
+        wheel.call_in(delay, lambda i=i: fired.append(i))
+    sim.run(until=5 * MS)
+    wheel.freeze()
+    vclock.freeze()
+    sim.run(until=1 * SECOND)
+    vclock.thaw()
+    wheel.thaw()
+    sim.run()
+    assert fired == [1, 2, 0]

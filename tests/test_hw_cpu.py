@@ -1,0 +1,132 @@
+"""Unit tests for the fair-share CPU model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw.cpu import CPU, BackgroundLoad
+from repro.sim import Simulator
+from repro.units import MS, SECOND
+
+
+def test_single_job_runs_at_full_speed():
+    sim = Simulator()
+    cpu = CPU(sim)
+    done = cpu.execute(100 * MS)
+    sim.run(until=done)
+    assert sim.now == pytest.approx(100 * MS, rel=1e-6)
+
+
+def test_two_equal_jobs_share_the_cpu():
+    sim = Simulator()
+    cpu = CPU(sim)
+    a = cpu.execute(100 * MS)
+    b = cpu.execute(100 * MS)
+    sim.run(until=sim.all_of([a, b]))
+    # Each gets half the CPU, so both take ~200 ms of wall time.
+    assert sim.now == pytest.approx(200 * MS, rel=1e-3)
+
+
+def test_weighted_sharing():
+    sim = Simulator()
+    cpu = CPU(sim)
+    heavy = cpu.execute(300 * MS, weight=3.0)
+    light = cpu.execute(100 * MS, weight=1.0)
+    sim.run(until=sim.all_of([heavy, light]))
+    # Both finish together at 400 ms: heavy runs at 3/4 speed, light at 1/4.
+    assert sim.now == pytest.approx(400 * MS, rel=1e-3)
+
+
+def test_staggered_jobs():
+    sim = Simulator()
+    cpu = CPU(sim)
+    finish_times = {}
+
+    def submit(tag, start, work):
+        def run():
+            yield sim.timeout(start)
+            yield cpu.execute(work)
+            finish_times[tag] = sim.now
+        sim.process(run())
+
+    submit("first", 0, 100 * MS)
+    submit("second", 50 * MS, 100 * MS)
+    sim.run()
+    # first: 50 ms alone + 100 ms shared (gains 50 ms) => done at 150 ms.
+    assert finish_times["first"] == pytest.approx(150 * MS, rel=1e-3)
+    # second: shares until 150 ms (gains 50 ms), then alone for 50 ms.
+    assert finish_times["second"] == pytest.approx(200 * MS, rel=1e-3)
+
+
+def test_zero_work_completes_immediately():
+    sim = Simulator()
+    cpu = CPU(sim)
+    done = cpu.execute(0)
+    assert done.triggered
+
+
+def test_negative_work_rejected():
+    sim = Simulator()
+    cpu = CPU(sim)
+    with pytest.raises(SimulationError):
+        cpu.execute(-1)
+    with pytest.raises(SimulationError):
+        cpu.execute(10, weight=0)
+
+
+def test_freeze_stops_progress_and_thaw_resumes():
+    sim = Simulator()
+    cpu = CPU(sim)
+    done = cpu.execute(100 * MS, tag="guest")
+    sim.run(until=30 * MS)
+    cpu.freeze("guest")
+    sim.run(until=530 * MS)   # frozen for 500 ms
+    assert not done.triggered
+    cpu.thaw("guest")
+    sim.run(until=done)
+    # 30 ms before freeze + 70 ms after thaw: finishes at 600 ms.
+    assert sim.now == pytest.approx(600 * MS, rel=1e-3)
+
+
+def test_freeze_is_selective_by_tag():
+    sim = Simulator()
+    cpu = CPU(sim)
+    guest = cpu.execute(100 * MS, tag="guest")
+    dom0 = cpu.execute(100 * MS, tag="dom0")
+    sim.run(until=40 * MS)    # both at 20 ms progress
+    cpu.freeze("guest")
+    sim.run(until=dom0)
+    # dom0 runs alone after the freeze: 80 ms more.
+    assert sim.now == pytest.approx(120 * MS, rel=1e-3)
+    assert not guest.triggered
+
+
+def test_utilization_accounting():
+    sim = Simulator()
+    cpu = CPU(sim)
+    done = cpu.execute(100 * MS)
+    sim.run(until=done)
+    sim.run(until=200 * MS)
+    assert cpu.utilization() == pytest.approx(0.5, rel=1e-3)
+
+
+def test_background_load_perturbs_foreground():
+    sim = Simulator()
+    cpu = CPU(sim)
+    load = BackgroundLoad(cpu, burst_ns=10 * MS, period_ns=40 * MS)
+    load.start()
+    done = cpu.execute(200 * MS, tag="guest")
+    sim.run(until=done)
+    assert sim.now > 200 * MS          # contention slowed the job
+    load.stop()
+
+
+def test_background_load_start_idempotent():
+    sim = Simulator()
+    cpu = CPU(sim)
+    load = BackgroundLoad(cpu, burst_ns=1 * MS, period_ns=10 * MS)
+    load.start()
+    load.start()
+    sim.run(until=25 * MS)
+    load.stop()
+    sim.run(until=1 * SECOND)
+    assert cpu.active_jobs == 0

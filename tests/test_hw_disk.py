@@ -1,0 +1,92 @@
+"""Unit tests for the disk model."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.hw.disk import Disk, DiskSpec
+from repro.sim import Simulator
+from repro.units import MB, MS, transfer_time_ns
+
+
+def make_disk(sim, **kw):
+    return Disk(sim, DiskSpec(**kw))
+
+
+def test_first_access_pays_seek():
+    sim = Simulator()
+    disk = make_disk(sim)
+    done = disk.read(100, 1)
+    sim.run(until=done)
+    expected = (disk.spec.seek_ns + disk.spec.rotational_ns +
+                transfer_time_ns(disk.spec.block_size, disk.spec.transfer_bps))
+    assert sim.now == expected
+    assert disk.seeks == 1
+
+
+def test_sequential_access_avoids_seek():
+    sim = Simulator()
+    disk = make_disk(sim)
+    sim.run(until=disk.read(100, 4))
+    t_after_first = sim.now
+    sim.run(until=disk.read(104, 4))  # continues where the head stopped
+    assert disk.seeks == 1
+    assert (sim.now - t_after_first) == transfer_time_ns(
+        4 * disk.spec.block_size, disk.spec.transfer_bps)
+
+
+def test_random_access_pays_seek_each_time():
+    sim = Simulator()
+    disk = make_disk(sim)
+    sim.run(until=disk.read(100, 1))
+    sim.run(until=disk.read(5000, 1))
+    sim.run(until=disk.read(100, 1))
+    assert disk.seeks == 3
+
+
+def test_requests_serialize_through_one_head():
+    sim = Simulator()
+    disk = make_disk(sim)
+    a = disk.read(0, 100)
+    b = disk.read(5000, 100)
+    sim.run(until=sim.all_of([a, b]))
+    per_req_transfer = transfer_time_ns(100 * disk.spec.block_size,
+                                        disk.spec.transfer_bps)
+    assert sim.now >= 2 * per_req_transfer
+
+
+def test_stats_accounting():
+    sim = Simulator()
+    disk = make_disk(sim)
+    sim.run(until=disk.write(0, 10))
+    sim.run(until=disk.read(0, 5))
+    assert disk.writes == 1 and disk.reads == 1
+    assert disk.bytes_written == 10 * disk.spec.block_size
+    assert disk.bytes_read == 5 * disk.spec.block_size
+    assert disk.busy_ns > 0
+
+
+def test_out_of_range_io_rejected():
+    sim = Simulator()
+    disk = make_disk(sim, capacity_bytes=4096 * 100, block_size=4096)
+    with pytest.raises(StorageError):
+        sim.run(until=disk.read(100, 1))
+    with pytest.raises(StorageError):
+        sim.run(until=disk.read(-1, 1))
+    with pytest.raises(StorageError):
+        sim.run(until=disk.write(0, 0))
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(StorageError):
+        DiskSpec(block_size=0)
+
+
+def test_throughput_matches_media_rate_for_large_sequential_io():
+    sim = Simulator()
+    disk = make_disk(sim)
+    nblocks = (64 * MB) // disk.spec.block_size
+    done = disk.write(0, nblocks)
+    sim.run(until=done)
+    achieved = disk.bytes_written / (sim.now / 1e9)
+    # One seek amortized over 64 MB: within 1% of the media rate.
+    assert achieved == pytest.approx(disk.spec.transfer_bps, rel=0.01)

@@ -1,0 +1,147 @@
+"""Tests for idle-driven swap-out and the ReplayableExperiment adapter."""
+
+import pytest
+
+from repro.errors import TestbedError, TimeTravelError
+from repro.sim import Simulator
+from repro.swap import StatefulSwapper
+from repro.testbed import (Emulab, ExperimentSpec, LinkSpec, NodeSpec,
+                           TestbedConfig)
+from repro.testbed.idleswap import ActivitySample, IdlePolicy, IdleSwapper
+from repro.timetravel import (Perturbation, TimeTravelController,
+                              interrupt_skew, packet_drop)
+from repro.timetravel.replayable import (ExperimentHandle,
+                                         ReplayableExperiment)
+from repro.units import MB, MBPS, MS, SECOND
+
+
+def swapped_in(sim, seed=61):
+    testbed = Emulab(sim, TestbedConfig(num_machines=2, seed=seed))
+    for cache in testbed.image_caches.values():
+        cache.preload("FC4-STD")
+    exp = testbed.define_experiment(
+        ExperimentSpec("idle", nodes=[NodeSpec("node0",
+                                               memory_bytes=64 * MB)]))
+    sim.run(until=exp.swap_in())
+    return testbed, exp
+
+
+# ------------------------------------------------------------------ idle swap
+
+def test_idle_experiment_gets_swapped_out():
+    sim = Simulator()
+    testbed, exp = swapped_in(sim)
+    swapper = StatefulSwapper(exp)
+    watcher = IdleSwapper(exp, swapper,
+                          IdlePolicy(sample_period_ns=5 * SECOND,
+                                     idle_samples=2))
+    watcher.start()
+    sim.run(until=sim.now + 120 * SECOND)
+    assert exp.state == "SWAPPED_OUT_STATEFUL"
+    assert watcher.swapped_out_at_ns is not None
+    assert all(s.idle for s in watcher.samples[-2:])
+    # And it comes back intact.
+    sim.run(until=swapper.swap_in())
+    assert exp.state == "SWAPPED_IN"
+
+
+def test_busy_experiment_is_left_alone():
+    sim = Simulator()
+    testbed, exp = swapped_in(sim)
+    kernel = exp.kernel("node0")
+
+    def busy(k):
+        while True:
+            yield k.cpu(200 * MS)
+            yield k.sleep(50 * MS)
+
+    kernel.spawn(busy, name="busy")
+    swapper = StatefulSwapper(exp)
+    watcher = IdleSwapper(exp, swapper,
+                          IdlePolicy(sample_period_ns=5 * SECOND,
+                                     idle_samples=2))
+    watcher.start()
+    sim.run(until=sim.now + 60 * SECOND)
+    assert exp.state == "SWAPPED_IN"
+    assert not any(s.idle for s in watcher.samples)
+    watcher.stop()
+
+
+def test_idle_watcher_requires_swapped_in():
+    sim = Simulator()
+    testbed = Emulab(sim, TestbedConfig(num_machines=2, seed=62))
+    exp = testbed.define_experiment(
+        ExperimentSpec("x", nodes=[NodeSpec("node0")]))
+    watcher = IdleSwapper(exp, StatefulSwapper.__new__(StatefulSwapper))
+    with pytest.raises(TestbedError):
+        watcher.start()
+
+
+# ------------------------------------------------------------------ replayable
+
+def build_counter_experiment(sim, seed):
+    testbed = Emulab(sim, TestbedConfig(num_machines=4, seed=seed))
+    for cache in testbed.image_caches.values():
+        cache.preload("FC4-STD")
+    exp = testbed.define_experiment(ExperimentSpec(
+        "replay",
+        nodes=[NodeSpec("node0", memory_bytes=64 * MB),
+               NodeSpec("node1", memory_bytes=64 * MB)],
+        links=[LinkSpec("l0", "node0", "node1",
+                        bandwidth_bps=100 * MBPS, delay_ns=40 * MS)]))
+    sim.run(until=exp.swap_in())
+    state = {"pings": 0}
+    k0, k1 = exp.kernel("node0"), exp.kernel("node1")
+    sock = k1.udp.bind(7000)
+    sock.on_datagram = lambda p: state.__setitem__("pings",
+                                                   state["pings"] + 1)
+    client = k0.udp.bind()
+
+    def pinger(k):
+        while True:
+            client.sendto("node1", 7000, 64)
+            yield k.sleep(50 * MS)
+
+    k0.spawn(pinger, name="pinger")
+    return ExperimentHandle(exp, digest=lambda: state["pings"])
+
+
+def test_replayable_experiment_is_deterministic():
+    factory = ReplayableExperiment.factory(build_counter_experiment)
+    ctl = TimeTravelController(factory, seed=3)
+    ctl.run_to(ctl.active_run.virtual_now() + 5 * SECOND)
+    node = ctl.checkpoint()
+    assert ctl.verify_reproducibility(node.node_id)
+    assert ctl.active_run.state_digest() > 10
+
+
+def test_replayable_experiment_applies_knobs():
+    factory = ReplayableExperiment.factory(build_counter_experiment)
+    base_run = factory(3, [])
+    base_run.advance_to(base_run.virtual_now() + 5 * SECOND)
+    base = base_run.state_digest()
+    drop_at = base_run.virtual_now() - 2 * SECOND
+    # Replay with injected losses at the link's delay node, staggered
+    # across the ping period so they cannot all fall into the same
+    # between-pings gap.
+    perturbed_run = factory(3, [
+        Perturbation(drop_at, "packet-drop", "l0"),
+        Perturbation(drop_at + 75 * MS, "packet-drop", "l0"),
+        Perturbation(drop_at + 165 * MS, "packet-drop", "l0")])
+    perturbed_run.advance_to(base_run.virtual_now())
+    assert len(perturbed_run.applied) == 3
+    assert perturbed_run.state_digest() <= base - 1
+    node = perturbed_run.handle.delay_nodes["l0"]
+    assert node._pipe_ab.dropped_queue + node._pipe_ba.dropped_queue >= 1
+
+
+def test_replayable_experiment_rejects_unknown_perturbations():
+    factory = ReplayableExperiment.factory(build_counter_experiment)
+    run = factory(3, [Perturbation(0, "not-a-knob", None)])
+    with pytest.raises(TimeTravelError):
+        run.advance_to(run.virtual_now() + 10 * SECOND)
+
+
+def test_replayable_snapshot_bytes_accounts_memory_and_disk():
+    run = ReplayableExperiment(build_counter_experiment, seed=3)
+    assert run.snapshot_bytes() >= 2 * 64 * MB

@@ -1,0 +1,92 @@
+"""Integration: multiple experiments time-sharing one testbed."""
+
+import pytest
+
+from repro.errors import SwapError, TestbedError
+from repro.sim import Simulator
+from repro.swap import StatefulSwapper
+from repro.testbed import (Emulab, ExperimentSpec, LinkSpec, NodeSpec,
+                           TestbedConfig)
+from repro.units import MB, MBPS, MS, SECOND
+
+
+def make_testbed(sim, machines=8, seed=41):
+    testbed = Emulab(sim, TestbedConfig(num_machines=machines, seed=seed))
+    for cache in testbed.image_caches.values():
+        cache.preload("FC4-STD")
+    return testbed
+
+
+def two_node_spec(name):
+    return ExperimentSpec(
+        name,
+        nodes=[NodeSpec(f"{name}-a", memory_bytes=64 * MB),
+               NodeSpec(f"{name}-b", memory_bytes=64 * MB)],
+        links=[LinkSpec("l0", f"{name}-a", f"{name}-b",
+                        bandwidth_bps=100 * MBPS, delay_ns=5 * MS)])
+
+
+def test_two_experiments_coexist_and_pool_accounts():
+    sim = Simulator()
+    testbed = make_testbed(sim)
+    exp1 = testbed.define_experiment(two_node_spec("one"))
+    exp2 = testbed.define_experiment(two_node_spec("two"))
+    sim.run(until=exp1.swap_in())
+    sim.run(until=exp2.swap_in())
+    used1 = set(exp1.placement.machines_used)
+    used2 = set(exp2.placement.machines_used)
+    assert not (used1 & used2)
+    assert len(testbed.free_machines) == 8 - 6
+
+
+def test_checkpointing_one_experiment_leaves_the_other_untouched():
+    sim = Simulator()
+    testbed = make_testbed(sim)
+    exp1 = testbed.define_experiment(two_node_spec("one"))
+    exp2 = testbed.define_experiment(two_node_spec("two"))
+    sim.run(until=exp1.swap_in())
+    sim.run(until=exp2.swap_in())
+    sim.run(until=sim.now + 30 * SECOND)
+    result = sim.run(until=exp1.coordinator.checkpoint_scheduled())
+    sim.run(until=sim.now + 2 * SECOND)
+    assert all(r is not None for r in result.node_results.values())
+    # Bus topics are namespaced per experiment, so exp2's guests were
+    # never frozen and their delay nodes never captured anything.
+    for node in exp1.nodes.values():
+        assert node.kernel.vclock.freezes == 1
+    for node in exp2.nodes.values():
+        assert node.kernel.vclock.freezes == 0
+        assert node.kernel.vclock.total_hidden_ns == 0
+    assert all(a.last_snapshot is None
+               for a in exp2.delay_agents.values())
+
+
+def test_pool_exhaustion_rejects_third_experiment():
+    sim = Simulator()
+    testbed = make_testbed(sim)
+    exp1 = testbed.define_experiment(two_node_spec("one"))
+    exp2 = testbed.define_experiment(two_node_spec("two"))
+    sim.run(until=exp1.swap_in())
+    sim.run(until=exp2.swap_in())
+    exp3 = testbed.define_experiment(two_node_spec("three"))
+    with pytest.raises(TestbedError):
+        sim.run(until=exp3.swap_in())
+
+
+def test_stateful_swap_frees_machines_for_another_experiment():
+    sim = Simulator()
+    testbed = make_testbed(sim, machines=3)
+    exp1 = testbed.define_experiment(two_node_spec("one"))
+    sim.run(until=exp1.swap_in())
+    swapper = StatefulSwapper(exp1)
+    sim.run(until=swapper.swap_out())
+    # The freed machines host a second experiment.
+    exp2 = testbed.define_experiment(two_node_spec("two"))
+    sim.run(until=exp2.swap_in())
+    assert exp2.state == "SWAPPED_IN"
+    # exp1 cannot come back while its machines are taken.
+    with pytest.raises(TestbedError):
+        sim.run(until=swapper.swap_in())
+    exp2.swap_out()
+    sim.run(until=swapper.swap_in())
+    assert exp1.state == "SWAPPED_IN"

@@ -1,0 +1,151 @@
+"""Unit tests for interfaces, links, and the VLAN switch."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import Host, Interface, Link, Packet, Switch
+from repro.sim import Simulator
+from repro.units import GBPS, MBPS, US, transmission_time_ns
+
+
+def make_pair(sim, bandwidth=GBPS, propagation=1 * US, queue=1000):
+    a = Interface(sim, "a0", "hostA")
+    b = Interface(sim, "b0", "hostB")
+    link = Link(sim, a, b, bandwidth, propagation, queue)
+    return a, b, link
+
+
+def test_packet_crosses_link_with_tx_plus_propagation():
+    sim = Simulator()
+    a, b, link = make_pair(sim, bandwidth=100 * MBPS, propagation=50 * US)
+    got = []
+    b.attach(lambda p: got.append(sim.now))
+    pkt = Packet("hostA", "hostB", "test", 1434)   # 1500 wire bytes
+    a.send(pkt)
+    sim.run()
+    expected = transmission_time_ns(1500, 100 * MBPS) + 50 * US
+    assert got == [expected]
+
+
+def test_back_to_back_packets_serialize():
+    sim = Simulator()
+    a, b, link = make_pair(sim, bandwidth=100 * MBPS, propagation=0)
+    arrivals = []
+    b.attach(lambda p: arrivals.append(sim.now))
+    for _ in range(3):
+        a.send(Packet("hostA", "hostB", "test", 1434))
+    sim.run()
+    tx = transmission_time_ns(1500, 100 * MBPS)
+    assert arrivals == [tx, 2 * tx, 3 * tx]
+
+
+def test_directions_are_independent():
+    sim = Simulator()
+    a, b, link = make_pair(sim, bandwidth=100 * MBPS, propagation=0)
+    arrivals = {"a": [], "b": []}
+    a.attach(lambda p: arrivals["a"].append(sim.now))
+    b.attach(lambda p: arrivals["b"].append(sim.now))
+    a.send(Packet("hostA", "hostB", "test", 1434))
+    b.send(Packet("hostB", "hostA", "test", 1434))
+    sim.run()
+    tx = transmission_time_ns(1500, 100 * MBPS)
+    assert arrivals["a"] == [tx] and arrivals["b"] == [tx]
+
+
+def test_queue_overflow_drops():
+    sim = Simulator()
+    a, b, link = make_pair(sim, bandwidth=1 * MBPS, queue=2)
+    delivered = []
+    b.attach(lambda p: delivered.append(p))
+    for _ in range(5):
+        a.send(Packet("hostA", "hostB", "test", 1000))
+    sim.run()
+    assert len(delivered) == 2
+    assert link.drops(a) == 3
+
+
+def test_interface_requires_link():
+    sim = Simulator()
+    lone = Interface(sim, "x", "addrX")
+    with pytest.raises(NetworkError):
+        lone.send(Packet("a", "b", "t", 10))
+
+
+def test_interface_cannot_join_two_links():
+    sim = Simulator()
+    a, b, _ = make_pair(sim)
+    c = Interface(sim, "c0", "hostC")
+    with pytest.raises(NetworkError):
+        Link(sim, a, c)
+
+
+def test_interface_freeze_buffers_and_thaw_replays_in_order():
+    sim = Simulator()
+    a, b, _ = make_pair(sim, bandwidth=100 * MBPS, propagation=0)
+    got = []
+    b.attach(lambda p: got.append(p.headers["n"]))
+    b.freeze()
+    for n in range(4):
+        a.send(Packet("hostA", "hostB", "test", 100, headers={"n": n}))
+    sim.run()
+    assert got == []
+    assert b.frozen_arrivals == 4
+    replayed = b.thaw()
+    assert replayed == 4
+    assert got == [0, 1, 2, 3]
+
+
+def test_interface_double_freeze_rejected():
+    sim = Simulator()
+    a, b, _ = make_pair(sim)
+    b.freeze()
+    with pytest.raises(NetworkError):
+        b.freeze()
+    b.thaw()
+    with pytest.raises(NetworkError):
+        b.thaw()
+
+
+def test_host_routes_and_demuxes():
+    sim = Simulator()
+    ha, hb = Host(sim, "A"), Host(sim, "B")
+    ia = Interface(sim, "A.0", "A")
+    ib = Interface(sim, "B.0", "B")
+    ha.add_interface(ia)
+    hb.add_interface(ib)
+    Link(sim, ia, ib)
+    ha.add_route("B", ia)
+    got = []
+    hb.register_protocol("ping", got.append)
+    ha.send(Packet("A", "B", "ping", 64))
+    ha.send(Packet("A", "B", "unknown-proto", 64))
+    sim.run()
+    assert len(got) == 1
+    assert hb.dropped_no_proto == 1
+
+
+def test_host_duplicate_protocol_rejected():
+    sim = Simulator()
+    h = Host(sim, "A")
+    h.register_protocol("x", lambda p: None)
+    with pytest.raises(NetworkError):
+        h.register_protocol("x", lambda p: None)
+
+
+def test_switch_forwards_within_vlan_only():
+    sim = Simulator()
+    switch = Switch(sim, "sw")
+    hosts, seen = {}, {}
+    for name, vlan in (("A", 1), ("B", 1), ("C", 2)):
+        h = Host(sim, name)
+        iface = Interface(sim, f"{name}.0", name)
+        h.add_interface(iface)
+        switch.attach(iface, vlan=vlan)
+        seen[name] = []
+        h.register_protocol("test", seen[name].append)
+        hosts[name] = h
+    hosts["A"].send(Packet("A", "B", "test", 100))
+    hosts["A"].send(Packet("A", "C", "test", 100))   # cross-VLAN: flooded in vlan1 only
+    sim.run()
+    assert len(seen["B"]) == 1
+    assert seen["C"] == []

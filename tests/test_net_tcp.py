@@ -1,0 +1,187 @@
+"""Unit tests for the TCP implementation."""
+
+import random
+
+import pytest
+
+from repro.net import (Host, Interface, Link, LinkShape, MSS, Packet,
+                       TCPStack, install_shaped_link)
+from repro.sim import Simulator
+from repro.units import GBPS, MB, MBPS, MS, SECOND, US
+
+
+def direct_pair(sim, bandwidth=GBPS, propagation=10 * US):
+    """Two hosts joined by a plain link."""
+    ha, hb = Host(sim, "A"), Host(sim, "B")
+    ia, ib = Interface(sim, "A.0", "A"), Interface(sim, "B.0", "B")
+    ha.add_interface(ia)
+    hb.add_interface(ib)
+    Link(sim, ia, ib, bandwidth, propagation)
+    ha.add_route("B", ia)
+    hb.add_route("A", ib)
+    return ha, hb
+
+
+def shaped_pair(sim, shape, seed=1):
+    ha, hb = Host(sim, "A"), Host(sim, "B")
+    node = install_shaped_link(sim, ha, hb, shape, rng=random.Random(seed))
+    return ha, hb, node
+
+
+def connect(sim, ha, hb, port=5001):
+    sa, sb = TCPStack(ha), TCPStack(hb)
+    accepted = []
+    sb.listen(port, accepted.append)
+    conn = sa.connect("B", port)
+    sim.run(until=sim.now + 500 * MS)
+    assert conn.established
+    assert accepted and accepted[0].established
+    return conn, accepted[0]
+
+
+def test_handshake_establishes_both_ends():
+    sim = Simulator()
+    ha, hb = direct_pair(sim)
+    client, server = connect(sim, ha, hb)
+    assert client.state == "ESTABLISHED"
+    assert server.state == "ESTABLISHED"
+
+
+def test_data_transfer_delivers_every_byte():
+    sim = Simulator()
+    ha, hb = direct_pair(sim)
+    client, server = connect(sim, ha, hb)
+    client.send(1 * MB)
+    sim.run(until=sim.now + 2 * SECOND)
+    assert server.bytes_delivered == 1 * MB
+    assert client.snd_una == 1 * MB
+    assert client.stats.retransmits == 0
+
+
+def test_transfer_respects_link_bandwidth():
+    sim = Simulator()
+    ha, hb, _ = shaped_pair(sim, LinkShape(bandwidth_bps=10 * MBPS))
+    client, server = connect(sim, ha, hb)
+    start = sim.now
+    client.send(1 * MB)
+    while server.bytes_delivered < 1 * MB:
+        sim.run(until=sim.now + 100 * MS)
+        if sim.now > 60 * SECOND:
+            pytest.fail("transfer stalled")
+    elapsed_s = (sim.now - start) / 1e9
+    goodput_bps = 8 * MB / elapsed_s
+    # Goodput close to, and not exceeding, the shaped rate.
+    assert goodput_bps < 10 * MBPS
+    assert goodput_bps > 0.7 * 10 * MBPS
+
+
+def test_loss_triggers_retransmission_and_recovery():
+    sim = Simulator()
+    ha, hb, _ = shaped_pair(
+        sim, LinkShape(bandwidth_bps=50 * MBPS, loss_probability=0.02))
+    client, server = connect(sim, ha, hb)
+    client.send(2 * MB)
+    sim.run(until=sim.now + 30 * SECOND)
+    assert server.bytes_delivered == 2 * MB          # reliable despite loss
+    assert client.stats.retransmits > 0
+
+
+def test_queue_overflow_causes_reno_sawtooth_not_stall():
+    sim = Simulator()
+    ha, hb, _ = shaped_pair(
+        sim, LinkShape(bandwidth_bps=20 * MBPS, delay_ns=5 * MS,
+                       queue_slots=20))
+    client, server = connect(sim, ha, hb)
+    client.send(4 * MB)
+    sim.run(until=sim.now + 30 * SECOND)
+    assert server.bytes_delivered == 4 * MB
+    # Window outgrew the queue at some point: fast retransmits happened.
+    assert client.stats.fast_retransmits + client.stats.timeouts > 0
+
+
+def test_rtt_estimation_tracks_path_delay():
+    sim = Simulator()
+    ha, hb, _ = shaped_pair(
+        sim, LinkShape(bandwidth_bps=100 * MBPS, delay_ns=20 * MS))
+    client, server = connect(sim, ha, hb)
+    client.send(256 * 1024)
+    sim.run(until=sim.now + 5 * SECOND)
+    assert client.stats.rtt_samples > 0
+    assert client.srtt >= 40 * MS            # >= two one-way delays
+
+
+def test_receiver_window_limits_inflight():
+    sim = Simulator()
+    ha, hb = direct_pair(sim)
+    sa, sb = TCPStack(ha), TCPStack(hb)
+    server_conns = []
+    sb.listen(5001, server_conns.append)
+    client = sa.connect("B", 5001)
+    sim.run(until=sim.now + 10 * MS)
+    server = server_conns[0]
+    server.auto_consume = False              # application stops reading
+    client.send(4 * MB)
+    sim.run(until=sim.now + 5 * SECOND)
+    # Only about one receive buffer's worth can be delivered.
+    assert server.recv_buffered <= server.recv_buffer_capacity
+    assert server.bytes_delivered <= server.recv_buffer_capacity + 64 * 1024
+    # Application drains; the transfer proceeds.
+    server.consume(server.recv_buffered)
+    server.auto_consume = True
+    sim.run(until=sim.now + 20 * SECOND)
+    assert server.bytes_delivered == 4 * MB
+
+
+def test_close_sends_fin_and_peer_notices():
+    sim = Simulator()
+    ha, hb = direct_pair(sim)
+    client, server = connect(sim, ha, hb)
+    closed = []
+    server.on_close = lambda: closed.append(True)
+    client.send(10_000)
+    client.close()
+    sim.run(until=sim.now + 1 * SECOND)
+    assert server.bytes_delivered == 10_000
+    assert closed == [True]
+    assert client.state in ("FIN_WAIT", "CLOSED")
+
+
+def test_send_after_close_rejected():
+    sim = Simulator()
+    ha, hb = direct_pair(sim)
+    client, _server = connect(sim, ha, hb)
+    client.close()
+    from repro.errors import NetworkError
+    with pytest.raises(NetworkError):
+        client.send(100)
+
+
+def test_syn_retransmitted_when_lost():
+    sim = Simulator()
+    # 30% loss: the first SYN may die; connection must still form.
+    ha, hb, _ = shaped_pair(
+        sim, LinkShape(bandwidth_bps=100 * MBPS, loss_probability=0.3),
+        seed=7)
+    sa, sb = TCPStack(ha), TCPStack(hb)
+    sb.listen(5001)
+    conn = sa.connect("B", 5001)
+    sim.run(until=sim.now + 60 * SECOND)
+    assert conn.established
+
+
+def test_out_of_order_delivery_generates_dupacks_and_recovers():
+    sim = Simulator()
+    ha, hb = direct_pair(sim)
+    client, server = connect(sim, ha, hb)
+    # Hand-deliver segments out of order, bypassing the wire.
+    base = {"sport": client.local_port, "dport": 5001, "flags": "ACK",
+            "win": 1 << 20, "retransmit": False}
+    def seg(seq, length):
+        return Packet("A", "B", "tcp", length,
+                      headers={**base, "seq": seq, "ack": 0, "len": length})
+    server.handle(seg(MSS, MSS))            # hole at [0, MSS)
+    assert server.stats.dupacks_sent == 1
+    assert server.bytes_delivered == 0
+    server.handle(seg(0, MSS))              # hole filled
+    assert server.bytes_delivered == 2 * MSS
+    assert server.rcv_nxt == 2 * MSS

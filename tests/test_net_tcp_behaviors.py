@@ -1,0 +1,158 @@
+"""Focused TCP behaviour tests: delayed ACKs, byte counting, windows."""
+
+import pytest
+
+from repro.net import (Host, Interface, Link, MSS, Packet, TCPStack)
+from repro.net.tcp import DELACK_SEGMENTS, DELACK_TIMEOUT_NS
+from repro.sim import Simulator
+from repro.units import GBPS, KB, MB, MS, SECOND, US
+
+
+def direct_pair(sim):
+    ha, hb = Host(sim, "A"), Host(sim, "B")
+    ia, ib = Interface(sim, "A.0", "A"), Interface(sim, "B.0", "B")
+    ha.add_interface(ia)
+    hb.add_interface(ib)
+    Link(sim, ia, ib, GBPS, 10 * US)
+    ha.add_route("B", ia)
+    hb.add_route("A", ib)
+    return ha, hb
+
+
+def connected(sim):
+    ha, hb = direct_pair(sim)
+    sa, sb = TCPStack(ha), TCPStack(hb)
+    acc = []
+    sb.listen(5001, acc.append)
+    conn = sa.connect("B", 5001)
+    sim.run(until=sim.now + 50 * MS)
+    return conn, acc[0]
+
+
+def test_delayed_acks_halve_pure_ack_traffic():
+    sim = Simulator()
+    client, server = connected(sim)
+    client.send(1 * MB)
+    sim.run(until=sim.now + 2 * SECOND)
+    data_segments = -(-1 * MB // MSS)
+    # Roughly one ack per DELACK_SEGMENTS data segments (plus handshake).
+    assert server.stats.segments_sent < data_segments * 0.75
+    assert server.stats.segments_sent > data_segments / (DELACK_SEGMENTS + 1)
+
+
+def test_lone_segment_still_acked_by_delack_timer():
+    sim = Simulator()
+    client, server = connected(sim)
+    client.send(100)                      # a single small segment
+    sim.run(until=sim.now + DELACK_TIMEOUT_NS + 60 * MS)
+    assert client.snd_una == 100          # acked despite being odd-sized
+    assert client.stats.timeouts == 0     # well before the sender's RTO
+
+
+def test_gap_fill_acked_immediately():
+    sim = Simulator()
+    client, server = connected(sim)
+    base = {"sport": client.local_port, "dport": 5001, "flags": "ACK",
+            "win": 1 << 20, "retransmit": False}
+
+    def seg(seq, length):
+        return Packet("A", "B", "tcp", length,
+                      headers={**base, "seq": seq, "ack": 0, "len": length})
+
+    server.handle(seg(MSS, MSS))              # hole: dupack now
+    dupacks = server.stats.dupacks_sent
+    sent_before = server.stats.segments_sent
+    server.handle(seg(0, MSS))                # fills the hole
+    # RFC 5681: the fill is acknowledged immediately, not delayed.
+    assert server.stats.segments_sent == sent_before + 1
+    assert server.stats.dupacks_sent == dupacks
+    assert server.rcv_nxt == 2 * MSS
+
+
+def test_slow_start_uses_appropriate_byte_counting():
+    sim = Simulator()
+    client, server = connected(sim)
+    cwnd0 = client.cwnd
+    client.send(256 * KB)
+    sim.run(until=sim.now + 1 * SECOND)
+    # With delayed acks and ABC, cwnd grows ~1 MSS per acked MSS (capped
+    # at 2 MSS per ack), i.e. close to the bytes actually acknowledged.
+    growth = client.cwnd - cwnd0
+    assert growth >= 200 * KB
+    assert growth <= 256 * KB + 4 * MSS
+
+
+def test_congestion_avoidance_grows_one_mss_per_window():
+    sim = Simulator()
+    client, server = connected(sim)
+    client.ssthresh = client.cwnd            # start in congestion avoidance
+    cwnd0 = client.cwnd
+    client.send(cwnd0)                       # exactly one window of data
+    sim.run(until=sim.now + 1 * SECOND)
+    assert client.cwnd - cwnd0 <= 2 * MSS
+
+
+def test_zero_window_probe_path():
+    sim = Simulator()
+    client, server = connected(sim)
+    server.auto_consume = False
+    client.send(1 * MB)
+    sim.run(until=sim.now + 2 * SECOND)
+    assert client.peer_window == 0
+    stalled = client.snd_una
+    # Reads resume; the window update restarts the stream.
+    server.consume(server.recv_buffered)
+    server.auto_consume = True
+    sim.run(until=sim.now + 5 * SECOND)
+    assert server.bytes_delivered == 1 * MB
+    assert client.snd_una > stalled
+
+
+def test_fin_handshake_states():
+    sim = Simulator()
+    client, server = connected(sim)
+    client.send(10_000)
+    client.close()
+    sim.run(until=sim.now + 1 * SECOND)
+    assert client.fin_sent
+    assert server.fin_received
+    assert server.state == "CLOSE_WAIT"
+    assert client.state == "FIN_WAIT"
+
+
+def test_listener_rejects_non_syn_for_unknown_connection():
+    sim = Simulator()
+    ha, hb = direct_pair(sim)
+    sb = TCPStack(hb)
+    sb.listen(5001)
+    # A stray data segment for a connection that never existed.
+    stray = Packet("A", "B", "tcp", 100,
+                   headers={"sport": 999, "dport": 5001, "flags": "ACK",
+                            "seq": 0, "ack": 0, "len": 100, "win": 1000,
+                            "retransmit": False})
+    hb._on_receive(stray)                     # must not create state
+    assert (5001, "A", 999) not in sb.connections
+
+
+def test_duplicate_listen_rejected():
+    from repro.errors import NetworkError
+
+    sim = Simulator()
+    ha, _hb = direct_pair(sim)
+    sa = TCPStack(ha)
+    sa.listen(80)
+    with pytest.raises(NetworkError):
+        sa.listen(80)
+
+
+def test_old_duplicate_segment_reacked():
+    sim = Simulator()
+    client, server = connected(sim)
+    base = {"sport": client.local_port, "dport": 5001, "flags": "ACK",
+            "win": 1 << 20, "retransmit": False}
+    seg = Packet("A", "B", "tcp", MSS,
+                 headers={**base, "seq": 0, "ack": 0, "len": MSS})
+    server.handle(seg)
+    server.handle(seg.copy())                 # stale retransmission
+    assert server.stats.dupacks_sent == 1
+    assert server.bytes_delivered == MSS      # delivered exactly once

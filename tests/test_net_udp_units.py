@@ -1,0 +1,135 @@
+"""Unit tests for UDP, the units module, and packet helpers."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import FRAME_OVERHEAD_BYTES, Host, Interface, Link, Packet
+from repro.net.udp import UDPStack
+from repro.sim import Simulator
+from repro.units import (GBPS, KB, MB, MBPS, MS, SECOND, US, bytes_in_time,
+                         from_seconds, micros, millis, seconds,
+                         transfer_time_ns, transmission_time_ns)
+
+
+def udp_pair(sim):
+    ha, hb = Host(sim, "A"), Host(sim, "B")
+    ia, ib = Interface(sim, "A.0", "A"), Interface(sim, "B.0", "B")
+    ha.add_interface(ia)
+    hb.add_interface(ib)
+    Link(sim, ia, ib)
+    ha.add_route("B", ia)
+    hb.add_route("A", ib)
+    return UDPStack(ha), UDPStack(hb)
+
+
+def test_udp_datagram_delivery_and_demux():
+    sim = Simulator()
+    sa, sb = udp_pair(sim)
+    server = sb.bind(9000)
+    client = sa.bind()
+    client.sendto("B", 9000, 512, tag="hello")
+    sim.run(until=1 * MS)
+    assert len(server.received) == 1
+    assert server.received[0].headers["tag"] == "hello"
+    assert server.received[0].payload_bytes == 512
+
+
+def test_udp_callback_delivery():
+    sim = Simulator()
+    sa, sb = udp_pair(sim)
+    got = []
+    server = sb.bind(9000)
+    server.on_datagram = got.append
+    sa.bind().sendto("B", 9000, 100)
+    sim.run(until=1 * MS)
+    assert len(got) == 1
+    assert server.received == []          # callback consumed it
+
+
+def test_udp_unbound_port_drops():
+    sim = Simulator()
+    sa, sb = udp_pair(sim)
+    sa.bind().sendto("B", 4242, 100)
+    sim.run(until=1 * MS)
+    assert sb.dropped_no_port == 1
+
+
+def test_udp_port_conflicts_and_close():
+    sim = Simulator()
+    sa, _sb = udp_pair(sim)
+    sock = sa.bind(5000)
+    with pytest.raises(NetworkError):
+        sa.bind(5000)
+    sock.close()
+    sa.bind(5000)                          # reusable after close
+
+
+def test_udp_ephemeral_ports_are_distinct():
+    sim = Simulator()
+    sa, _sb = udp_pair(sim)
+    ports = {sa.bind().port for _ in range(10)}
+    assert len(ports) == 10
+
+
+def test_udp_negative_size_rejected():
+    sim = Simulator()
+    sa, _sb = udp_pair(sim)
+    with pytest.raises(NetworkError):
+        sa.bind().sendto("B", 1, -5)
+
+
+def test_packet_wire_bytes_and_copy():
+    p = Packet("a", "b", "t", 1000, headers={"x": 1})
+    assert p.wire_bytes == 1000 + FRAME_OVERHEAD_BYTES
+    q = p.copy()
+    assert q.uid != p.uid
+    assert q.headers == p.headers
+    q.headers["x"] = 2
+    assert p.headers["x"] == 1             # deep enough for headers
+
+
+# ------------------------------------------------------------------ units
+
+def test_time_conversions():
+    assert seconds(2_500_000_000) == 2.5
+    assert from_seconds(2.5) == 2_500_000_000
+    assert millis(1_500_000) == 1.5
+    assert micros(1_500) == 1.5
+
+
+def test_transmission_time_rounds_up():
+    # 1 byte at 1 Gbps = 8 ns exactly.
+    assert transmission_time_ns(1, GBPS) == 8
+    # 1500 bytes at 100 Mbps = 120 us.
+    assert transmission_time_ns(1500, 100 * MBPS) == 120 * US
+    # Rounding up: 1 byte at 3 bps is ceil(8/3 s).
+    assert transmission_time_ns(1, 3) == -(-8 * SECOND // 3)
+    with pytest.raises(ValueError):
+        transmission_time_ns(1, 0)
+
+
+def test_transfer_time_and_inverse():
+    assert transfer_time_ns(10 * MB, 10 * MB) == 1 * SECOND
+    assert bytes_in_time(1 * SECOND, 10 * MB) == 10 * MB
+    assert bytes_in_time(500 * MS, 10 * MB) == 5 * MB
+    with pytest.raises(ValueError):
+        transfer_time_ns(1, 0)
+
+
+def test_experiment_event_system_wired_at_swap_in():
+    """spec.events (the dynamic part, §2) arm an in-experiment scheduler."""
+    from repro.testbed import (Emulab, EventSpec, ExperimentSpec, NodeSpec,
+                               TestbedConfig)
+
+    sim = Simulator()
+    testbed = Emulab(sim, TestbedConfig(num_machines=2, seed=13))
+    fired = []
+    exp = testbed.define_experiment(ExperimentSpec(
+        "evt", nodes=[NodeSpec("node0")],
+        events=[EventSpec(2 * SECOND, "node0", "start-load", "phase-1")]))
+    sim.run(until=exp.swap_in())
+    exp.event_agents["node0"].on("start-load", fired.append)
+    sim.run(until=sim.now + 5 * SECOND)
+    assert fired == ["phase-1"]
+    handled = exp.event_agents["node0"].handled[0]
+    assert abs(handled.lateness_ns) < 100 * MS

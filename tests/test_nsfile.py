@@ -1,0 +1,128 @@
+"""Unit tests for the Emulab NS-file parser."""
+
+import pytest
+
+from repro.errors import TestbedError
+from repro.testbed.nsfile import (parse_bandwidth, parse_delay,
+                                  parse_ns_file)
+from repro.units import GBPS, MBPS, MS, SECOND, US
+
+CLASSIC = """
+set ns [new Simulator]
+source tb_compat.tcl
+
+# a classic two-node Emulab experiment
+set node0 [$ns node]
+set node1 [$ns node]
+tb-set-node-os $node0 FC4-STD
+tb-set-node-os $node1 FC4-STD
+
+set link0 [$ns duplex-link $node0 $node1 100Mb 10ms DropTail]
+tb-set-link-loss $link0 0.01
+tb-set-queue-size $link0 100
+
+$ns at 60.0 "$node0 start-load phase1"
+$ns at 120.5 "$node1 stop-load"
+
+$ns run
+"""
+
+
+def test_parse_classic_experiment():
+    spec = parse_ns_file(CLASSIC, name="classic")
+    assert [n.name for n in spec.nodes] == ["node0", "node1"]
+    assert all(n.image == "FC4-STD" for n in spec.nodes)
+    link = spec.links[0]
+    assert (link.node_a, link.node_b) == ("node0", "node1")
+    assert link.bandwidth_bps == 100 * MBPS
+    assert link.delay_ns == 10 * MS
+    assert link.loss_probability == 0.01
+    assert link.queue_slots == 100
+    assert [e.action for e in spec.events] == ["start-load", "stop-load"]
+    assert spec.events[0].at_ns == 60 * SECOND
+    assert spec.events[1].at_ns == int(120.5 * SECOND)
+    assert spec.events[0].payload == "phase1"
+
+
+def test_parse_lan_experiment():
+    text = """
+set ns [new Simulator]
+set a [$ns node]
+set b [$ns node]
+set c [$ns node]
+set lan0 [$ns make-lan "$a $b $c" 100Mb 0ms]
+$ns run
+"""
+    spec = parse_ns_file(text)
+    assert spec.lans[0].members == ("a", "b", "c")
+    assert spec.lans[0].bandwidth_bps == 100 * MBPS
+
+
+def test_parsed_spec_swaps_in():
+    from repro.sim import Simulator
+    from repro.testbed import Emulab, TestbedConfig
+
+    spec = parse_ns_file(CLASSIC, name="from-ns")
+    sim = Simulator()
+    testbed = Emulab(sim, TestbedConfig(num_machines=4, seed=2))
+    exp = testbed.define_experiment(spec)
+    sim.run(until=exp.swap_in())
+    assert exp.state == "SWAPPED_IN"
+    assert "link0" in exp.delay_nodes
+    assert exp.event_scheduler is not None
+
+
+def test_units_parsers():
+    assert parse_bandwidth("100Mb") == 100 * MBPS
+    assert parse_bandwidth("1Gb") == GBPS
+    assert parse_bandwidth("56kb") == 56_000
+    assert parse_bandwidth("1.5Mb") == 1_500_000
+    assert parse_delay("10ms") == 10 * MS
+    assert parse_delay("50us") == 50 * US
+    assert parse_delay("0.5s") == 500 * MS
+    with pytest.raises(TestbedError):
+        parse_bandwidth("fast")
+    with pytest.raises(TestbedError):
+        parse_delay("soon")
+
+
+def test_missing_run_rejected():
+    with pytest.raises(TestbedError, match="run"):
+        parse_ns_file("set ns [new Simulator]\nset a [$ns node]\n")
+
+
+def test_unknown_node_reference_rejected():
+    text = """
+set ns [new Simulator]
+set a [$ns node]
+set l [$ns duplex-link $a $ghost 100Mb 0ms DropTail]
+$ns run
+"""
+    with pytest.raises(TestbedError, match="ghost"):
+        parse_ns_file(text)
+
+
+def test_malformed_lines_rejected_with_line_numbers():
+    text = "set ns [new Simulator]\nthis is not tcl\n$ns run\n"
+    with pytest.raises(TestbedError, match="line 2"):
+        parse_ns_file(text)
+
+
+def test_unsupported_verb_rejected():
+    text = "set ns [new Simulator]\nset x [$ns warp-link]\n$ns run\n"
+    with pytest.raises(TestbedError, match="warp-link"):
+        parse_ns_file(text)
+
+
+def test_comments_and_blank_lines_ignored():
+    text = """
+
+# just a comment
+set ns [new Simulator]   # trailing comment
+set a [$ns node]
+set b [$ns node]
+set l [$ns duplex-link $a $b 1Gb 0ms DropTail]
+$ns run
+"""
+    spec = parse_ns_file(text)
+    assert len(spec.nodes) == 2

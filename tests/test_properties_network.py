@@ -1,0 +1,126 @@
+"""Property-based tests on networking and checkpoint data structures."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.checkpoint import Barrier, NotificationBus
+from repro.guest import GuestKernel
+from repro.hw import Machine
+from repro.net import LinkShape, install_shaped_link
+from repro.sim import Simulator
+from repro.storage import ByteChannel
+from repro.timetravel import CheckpointTree
+from repro.units import KB, MB, MBPS, MS, SECOND
+
+
+@given(loss_permille=st.integers(min_value=0, max_value=120),
+       nbytes_kb=st.integers(min_value=8, max_value=512),
+       seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=12, deadline=None)
+def test_tcp_delivers_every_byte_under_random_loss(loss_permille, nbytes_kb,
+                                                   seed):
+    """Reliability: any loss rate < 12%, any size, any seed."""
+    sim = Simulator()
+    kernels = []
+    for i, name in enumerate(("a", "b")):
+        machine = Machine(sim, name, rng=random.Random(seed + i))
+        kernels.append(GuestKernel(sim, machine, name,
+                                   rng=random.Random(seed + 10 + i)))
+    install_shaped_link(sim, kernels[0].host, kernels[1].host,
+                        LinkShape(bandwidth_bps=50 * MBPS,
+                                  loss_probability=loss_permille / 1000),
+                        rng=random.Random(seed + 99))
+    acc = []
+    kernels[1].tcp.listen(5001, acc.append)
+    conn = kernels[0].tcp.connect("b", 5001)
+    nbytes = nbytes_kb * KB
+
+    def send_when_up(k):
+        while not conn.established:
+            yield k.sleep(5 * MS)
+        conn.send(nbytes)
+
+    kernels[0].spawn(send_when_up)
+    deadline = 600 * SECOND
+    while sim.now < deadline:
+        sim.run(until=min(deadline, sim.now + 5 * SECOND))
+        if acc and acc[0].bytes_delivered >= nbytes:
+            break
+    assert acc and acc[0].bytes_delivered == nbytes
+
+
+@given(st.lists(st.integers(min_value=1, max_value=5 * MB), min_size=1,
+                max_size=12))
+@settings(max_examples=30, deadline=None)
+def test_byte_channel_serializes_exactly(sizes):
+    sim = Simulator()
+    channel = ByteChannel(sim, rate_bytes_per_s=10 * MB)
+    events = [channel.transfer(n) for n in sizes]
+    sim.run(until=sim.all_of(events))
+    assert channel.bytes_moved == sum(sizes)
+    assert channel.transfers == len(sizes)
+    # Serialized: total time >= sum of individual times.
+    expected = sum(channel.transfer_time_ns(n) for n in sizes)
+    assert sim.now >= expected
+
+
+@given(st.lists(st.integers(min_value=0, max_value=4), min_size=1,
+                max_size=40),
+       st.integers(min_value=1, max_value=1_000_000))
+@settings(max_examples=40, deadline=None)
+def test_checkpoint_tree_paths_and_storage(parent_choices, snapshot_bytes):
+    tree = CheckpointTree()
+    nodes = [tree.add(None, 0, snapshot_bytes=snapshot_bytes)]
+    for i, choice in enumerate(parent_choices, start=1):
+        parent = nodes[choice % len(nodes)]
+        nodes.append(tree.add(parent.node_id,
+                              parent.virtual_time_ns + 1,
+                              snapshot_bytes=snapshot_bytes))
+    assert len(tree) == len(nodes)
+    assert tree.storage_used_bytes == snapshot_bytes * len(nodes)
+    # Path invariants: every path starts at the root, times non-decreasing.
+    for node in nodes:
+        path = tree.path_to(node.node_id)
+        assert path[0].node_id == tree.root_id
+        assert path[-1].node_id == node.node_id
+        times = [n.virtual_time_ns for n in path]
+        assert times == sorted(times)
+        assert tree.depth(node.node_id) == len(path) - 1
+    # Leaves + internal nodes partition the tree.
+    leaves = {n.node_id for n in tree.leaves()}
+    internal = {n.node_id for n in tree.nodes.values() if n.children}
+    assert leaves | internal == set(tree.nodes)
+    assert not (leaves & internal)
+
+
+@given(st.integers(min_value=1, max_value=20),
+       st.integers(min_value=0, max_value=100))
+@settings(max_examples=30, deadline=None)
+def test_bus_delivers_to_every_subscriber(n_subs, seed):
+    sim = Simulator()
+    bus = NotificationBus(sim, random.Random(seed))
+    got = {i: [] for i in range(n_subs)}
+    for i in range(n_subs):
+        bus.subscribe("topic", f"s{i}", lambda m, i=i: got[i].append(m))
+    scheduled = bus.publish("topic", "payload")
+    sim.run(until=sim.now + 1 * SECOND)
+    assert scheduled == n_subs
+    assert all(len(v) == 1 for v in got.values())
+    assert bus.delivered == n_subs
+    # Delivery times differ per subscriber (independent path delays) but
+    # all carry the same payload.
+    assert {v[0].payload for v in got.values()} == {"payload"}
+
+
+@given(st.integers(min_value=1, max_value=30))
+@settings(max_examples=20, deadline=None)
+def test_barrier_fires_exactly_at_expected(n):
+    sim = Simulator()
+    barrier = Barrier(sim, n)
+    for i in range(n - 1):
+        barrier.arrive(i)
+        assert not barrier.event.triggered
+    barrier.arrive("last")
+    assert barrier.event.triggered
+    assert len(barrier.event.value) == n

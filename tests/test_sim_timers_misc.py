@@ -1,0 +1,77 @@
+"""Tests for the TimerService layer and posix-style sleep rounding."""
+
+import random
+
+import pytest
+
+from repro.guest import GuestKernel
+from repro.hw import Machine
+from repro.sim import Simulator
+from repro.sim.timers import SimTimerService, TimerHandle
+from repro.units import MS, SECOND, US
+
+
+def test_sim_timer_service_now_and_call_in():
+    sim = Simulator()
+    timers = SimTimerService(sim)
+    fired = []
+    timers.call_in(100 * MS, lambda: fired.append(timers.now()))
+    sim.run()
+    assert fired == [100 * MS]
+
+
+def test_timer_handle_cancel_before_fire():
+    sim = Simulator()
+    timers = SimTimerService(sim)
+    fired = []
+    handle = timers.call_in(50 * MS, lambda: fired.append(1))
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert handle.cancelled and not handle.fired
+
+
+def test_timer_handle_fires_exactly_once():
+    handle = TimerHandle(lambda: None)
+    handle._fire()
+    assert handle.fired
+    handle._fire()                       # idempotent
+    handle.cancel()                      # cancel after fire: harmless
+
+
+def test_posix_sleep_rounds_to_timer_ticks():
+    """usleep semantics on a HZ=100 kernel (Figure 4's 20 ms iterations)."""
+    sim = Simulator()
+    machine = Machine(sim, "m0", rng=random.Random(1))
+    kernel = GuestKernel(sim, machine, "g0", rng=random.Random(2))
+    wakeups = []
+
+    def body(k):
+        for request_ns in (1 * MS, 10 * MS, 15 * MS, 20 * MS):
+            start = k.now()
+            yield k.sleep(request_ns, posix=True)
+            wakeups.append((request_ns, k.now() - start))
+
+    kernel.spawn(body)
+    sim.run(until=1 * SECOND)
+    expected = {1 * MS: 10 * MS, 10 * MS: 20 * MS,
+                15 * MS: 20 * MS, 20 * MS: 30 * MS}
+    for request_ns, actual in wakeups:
+        assert expected[request_ns] <= actual <= \
+            expected[request_ns] + 50 * US
+
+
+def test_non_posix_sleep_is_precise():
+    sim = Simulator()
+    machine = Machine(sim, "m0", rng=random.Random(1))
+    kernel = GuestKernel(sim, machine, "g0", rng=random.Random(2))
+    wakeups = []
+
+    def body(k):
+        start = k.now()
+        yield k.sleep(7 * MS)
+        wakeups.append(k.now() - start)
+
+    kernel.spawn(body)
+    sim.run(until=1 * SECOND)
+    assert 7 * MS <= wakeups[0] <= 7 * MS + 50 * US

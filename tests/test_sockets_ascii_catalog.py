@@ -1,0 +1,223 @@
+"""Tests for stream sockets, ASCII charts, and the snapshot catalog."""
+
+import random
+
+import pytest
+
+from repro.analysis.ascii import sparkline, timeseries_chart
+from repro.errors import NetworkError, TestbedError
+from repro.guest import GuestKernel
+from repro.hw import Machine
+from repro.net import LinkShape, install_shaped_link
+from repro.net.sockets import StreamSocket, connect_stream, listen_stream
+from repro.sim import Simulator
+from repro.testbed.catalog import SnapshotCatalog
+from repro.units import GB, KB, MB, MBPS, MS, SECOND
+
+
+def linked_kernels(sim, bandwidth=100 * MBPS):
+    kernels = []
+    for i, name in enumerate(("a", "b")):
+        machine = Machine(sim, name, rng=random.Random(i))
+        kernels.append(GuestKernel(sim, machine, name,
+                                   rng=random.Random(i + 7)))
+    install_shaped_link(sim, kernels[0].host, kernels[1].host,
+                        LinkShape(bandwidth_bps=bandwidth, queue_slots=256),
+                        rng=random.Random(9))
+    return kernels
+
+
+# ------------------------------------------------------------------ sockets
+
+def test_stream_socket_send_all_and_recv():
+    sim = Simulator()
+    ka, kb = linked_kernels(sim)
+    log = []
+
+    def server(k):
+        socks = listen_stream(k, 5001)
+        while not socks:
+            yield k.sleep(1 * MS)
+        sock = socks[0]
+        total = yield sock.recv(1 * MB)
+        log.append(("received", total))
+        yield sock.send_all(64 * KB)
+        log.append(("replied", k.now()))
+
+    def client(k):
+        sock = connect_stream(k, "b", 5001)
+        yield sock.wait_established()
+        yield sock.send_all(1 * MB)
+        log.append(("sent", k.now()))
+        yield sock.recv(64 * KB)
+        log.append(("got-reply", k.now()))
+
+    kb.spawn(server, name="server")
+    ka.spawn(client, name="client")
+    sim.run(until=30 * SECOND)
+    events = [tag for tag, _v in log]
+    assert set(events) == {"received", "sent", "replied", "got-reply"}
+    assert dict(log)["received"] == 1 * MB
+
+
+def test_stream_socket_close_notifies_peer():
+    sim = Simulator()
+    ka, kb = linked_kernels(sim)
+    closed = []
+
+    def server(k):
+        socks = listen_stream(k, 5001)
+        while not socks:
+            yield k.sleep(1 * MS)
+        yield socks[0].wait_closed()
+        closed.append(k.now())
+
+    def client(k):
+        sock = connect_stream(k, "b", 5001)
+        yield sock.wait_established()
+        yield sock.send_all(10 * KB)
+        sock.close()
+
+    kb.spawn(server, name="server")
+    ka.spawn(client, name="client")
+    sim.run(until=10 * SECOND)
+    assert closed
+
+
+def test_recv_validates_size():
+    sim = Simulator()
+    ka, kb = linked_kernels(sim)
+    kb.tcp.listen(5001)
+    sock = connect_stream(ka, "b", 5001)
+    with pytest.raises(NetworkError):
+        sock.recv(0)
+
+
+def test_stream_socket_survives_firewall_freeze():
+    """Socket waits run on guest timers, so they freeze transparently."""
+    sim = Simulator()
+    ka, kb = linked_kernels(sim)
+    done = []
+
+    def server(k):
+        socks = listen_stream(k, 5001)
+        while not socks:
+            yield k.sleep(1 * MS)
+        yield socks[0].recv(2 * MB)
+        done.append(k.now())
+
+    def client(k):
+        sock = connect_stream(k, "a", 5001)   # b connects to a? no: ka listens
+        yield sock.wait_established()
+        yield sock.send_all(2 * MB)
+
+    ka.spawn(server, name="server")
+    kb.spawn(client, name="client")
+
+    def freeze_both():
+        for k in (ka, kb):
+            for nic_host in ():
+                pass
+        def seq():
+            for k in (ka, kb):
+                k.host.freeze_network()
+                yield from k.firewall.raise_sequence()
+            yield sim.timeout(2 * SECOND)
+            for k in (ka, kb):
+                yield from k.firewall.lower_sequence()
+                k.host.thaw_network()
+        sim.process(seq())
+
+    sim.call_in(200 * MS, freeze_both)
+    sim.run(until=30 * SECOND)
+    assert done, "transfer must complete across the freeze"
+
+
+# ------------------------------------------------------------------ ascii
+
+def test_sparkline_shape():
+    line = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8], width=9)
+    assert len(line) == 9
+    assert line[0] == " " and line[-1] == "█"
+    assert sparkline([]) == ""
+
+
+def test_sparkline_resamples_long_series():
+    line = sparkline([1.0] * 1000, width=40)
+    assert len(line) == 40
+    assert len(set(line)) == 1
+
+
+def test_timeseries_chart_renders_with_marks():
+    series = [(float(t), 10.0 if 20 <= t <= 25 else 50.0)
+              for t in range(60)]
+    chart = timeseries_chart(series, width=60, height=4,
+                             title="throughput", unit="MB/s",
+                             marks=[22.0])
+    lines = chart.splitlines()
+    assert lines[0].startswith("throughput")
+    assert any("|" in line for line in lines if line.startswith("  ckpts"))
+    # The dip appears as a gap in the top row.
+    top = lines[1]
+    assert " " in top[10:40]
+    assert timeseries_chart([]) == ": (no data)"
+
+
+# ------------------------------------------------------------------ catalog
+
+def test_catalog_accounts_and_lists():
+    catalog = SnapshotCatalog(quota_bytes=1 * GB)
+    a = catalog.store("exp0", "memory", 256 * MB, now_ns=1)
+    b = catalog.store("exp0", "delta", 100 * MB, now_ns=2)
+    assert catalog.used_bytes == 356 * MB
+    assert [s.snapshot_id for s in catalog.snapshots("exp0")] == \
+        [a.snapshot_id, b.snapshot_id]
+    assert catalog.free_bytes == 1 * GB - 356 * MB
+
+
+def test_catalog_evicts_oldest_of_same_experiment():
+    catalog = SnapshotCatalog(quota_bytes=1 * GB)
+    first = catalog.store("exp0", "memory", 400 * MB, now_ns=1)
+    catalog.store("exp0", "memory", 400 * MB, now_ns=2)
+    catalog.store("exp0", "memory", 400 * MB, now_ns=3)   # evicts first
+    assert catalog.used_bytes == 800 * MB
+    assert catalog.evicted == [first]
+
+
+def test_catalog_eviction_disabled_raises():
+    catalog = SnapshotCatalog(quota_bytes=500 * MB)
+    catalog.store("exp0", "memory", 400 * MB, now_ns=1)
+    with pytest.raises(TestbedError):
+        catalog.store("exp0", "memory", 200 * MB, now_ns=2, evict=False)
+
+
+def test_catalog_validation_and_drop():
+    with pytest.raises(TestbedError):
+        SnapshotCatalog(quota_bytes=0)
+    catalog = SnapshotCatalog(quota_bytes=1 * GB)
+    with pytest.raises(TestbedError):
+        catalog.store("e", "memory", 2 * GB, now_ns=0)
+    catalog.store("e", "memory", 100 * MB, now_ns=0)
+    assert catalog.drop_experiment("e") == 100 * MB
+    assert catalog.used_bytes == 0
+
+
+def test_swapper_records_into_the_catalog():
+    from repro.swap import StatefulSwapper
+    from repro.testbed import (Emulab, ExperimentSpec, NodeSpec,
+                               TestbedConfig)
+
+    sim = Simulator()
+    testbed = Emulab(sim, TestbedConfig(num_machines=2, seed=19))
+    for cache in testbed.image_caches.values():
+        cache.preload("FC4-STD")
+    exp = testbed.define_experiment(
+        ExperimentSpec("cat", nodes=[NodeSpec("node0",
+                                              memory_bytes=64 * MB)]))
+    sim.run(until=exp.swap_in())
+    sim.run(until=exp.node("node0").filesystem.write_file("d", 10 * MB))
+    swapper = StatefulSwapper(exp)
+    sim.run(until=swapper.swap_out())
+    kinds = {s.kind for s in testbed.catalog.snapshots("cat")}
+    assert kinds == {"memory", "delta"}
+    assert testbed.catalog.used_bytes >= 64 * MB + 10 * MB

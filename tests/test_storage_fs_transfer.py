@@ -1,0 +1,187 @@
+"""Unit tests: ext3 model, free-block plugin, channels, background transfer."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.hw import Disk, DiskSpec
+from repro.sim import Simulator
+from repro.storage import (BranchConfig, ByteChannel, EagerCopyOut,
+                           Ext3Filesystem, Ext3FreeBlockPlugin, ImageStore,
+                           LazyCopyIn, LazyVolume, NodeImageCache,
+                           TransferConfig, VolumeManager)
+from repro.units import GB, MB, SECOND
+
+
+def make_branch_fs(sim, golden_blocks=200_000):
+    disk = Disk(sim, DiskSpec(capacity_bytes=64 * GB))
+    vm = VolumeManager(sim, disk)
+    golden = vm.create_golden("img", golden_blocks)
+    branch = vm.create_branch("b0", golden,
+                              log_blocks=golden_blocks,
+                              aggregated_blocks=golden_blocks)
+    fs = Ext3Filesystem(sim, branch)
+    return branch, fs, disk
+
+
+def test_write_file_allocates_and_writes_blocks():
+    sim = Simulator()
+    branch, fs, disk = make_branch_fs(sim)
+    done = fs.write_file("a.o", 1 * MB)
+    sim.run(until=done)
+    assert fs.files["a.o"].nblocks == -(-1 * MB // 4096)
+    assert branch.current_delta_blocks == fs.files["a.o"].nblocks
+    assert disk.bytes_written >= 1 * MB
+
+
+def test_delete_frees_blocks_without_data_io():
+    sim = Simulator()
+    branch, fs, disk = make_branch_fs(sim)
+    sim.run(until=fs.write_file("tmp", 2 * MB))
+    writes_before = disk.writes
+    freed = fs.delete("tmp")
+    assert freed == -(-2 * MB // 4096)
+    assert disk.writes == writes_before          # metadata-only in model
+    assert fs.free_blocks >= freed
+    with pytest.raises(StorageError):
+        fs.delete("tmp")
+
+
+def test_freed_blocks_are_reused_first():
+    sim = Simulator()
+    branch, fs, disk = make_branch_fs(sim)
+    sim.run(until=fs.write_file("a", 1 * MB))
+    blocks_a = list(fs.files["a"].blocks)
+    fs.delete("a")
+    sim.run(until=fs.write_file("b", 512 * 1024))
+    assert set(fs.files["b"].blocks) <= set(blocks_a)
+
+
+def test_read_and_overwrite_file():
+    sim = Simulator()
+    branch, fs, disk = make_branch_fs(sim)
+    sim.run(until=fs.write_file("data", 1 * MB))
+    sim.run(until=fs.read_file("data"))
+    assert branch.stats.reads_from_current == -(-1 * MB // 4096)
+    sim.run(until=fs.overwrite_file("data"))
+    assert branch.stats.in_place_log_writes == -(-1 * MB // 4096)
+
+
+def test_filesystem_full_rejected():
+    sim = Simulator()
+    disk = Disk(sim, DiskSpec(capacity_bytes=64 * GB))
+    vm = VolumeManager(sim, disk)
+    golden = vm.create_golden("img", 2000)
+    branch = vm.create_branch("b0", golden, log_blocks=4000)
+    fs = Ext3Filesystem(sim, branch, reserved_blocks=100)
+    with pytest.raises(StorageError):
+        sim.run(until=fs.write_file("big", 100 * MB))
+
+
+def test_free_block_plugin_tracks_fs_state():
+    """The §5.1 make/make-clean effect: deltas shrink after elimination."""
+    sim = Simulator()
+    branch, fs, disk = make_branch_fs(sim)
+    plugin = Ext3FreeBlockPlugin(fs)
+    sim.run(until=fs.write_file("kernel.tar", 5 * MB))
+    sim.run(until=fs.write_file("build.o", 20 * MB))
+    fs.delete("build.o")
+    total_delta = branch.current_delta_blocks
+    live = plugin.live_delta_blocks(branch)
+    eliminated = plugin.eliminated_blocks(branch)
+    assert total_delta == live + eliminated
+    assert live == -(-5 * MB // 4096)
+    assert eliminated == -(-20 * MB // 4096)
+    # Reallocating the freed blocks makes them live again.
+    sim.run(until=fs.write_file("new.o", 8 * MB))
+    assert plugin.live_delta_blocks(branch) == -(-5 * MB // 4096) + -(-8 * MB // 4096)
+
+
+def test_byte_channel_serializes_and_accounts():
+    sim = Simulator()
+    chan = ByteChannel(sim, rate_bytes_per_s=10 * MB)
+    a = chan.transfer(10 * MB)
+    b = chan.transfer(10 * MB)
+    sim.run(until=sim.all_of([a, b]))
+    assert sim.now == pytest.approx(2 * SECOND, rel=1e-3)
+    assert chan.bytes_moved == 20 * MB
+    with pytest.raises(StorageError):
+        ByteChannel(sim, 0)
+
+
+def test_eager_copy_out_moves_all_blocks_and_paces_itself():
+    sim = Simulator()
+    disk = Disk(sim, DiskSpec(capacity_bytes=64 * GB))
+    chan = ByteChannel(sim, rate_bytes_per_s=12 * MB)
+    blocks = list(range(0, 25_000))               # ~100 MB
+    copy = EagerCopyOut(sim, disk, blocks, chan,
+                        TransferConfig(rate_limit_bytes_per_s=6 * MB))
+    done = copy.start()
+    sim.run(until=done)
+    assert copy.copied_blocks == 25_000
+    elapsed_s = sim.now / 1e9
+    # Rate limiting keeps the effective rate at ~6 MB/s, not channel speed.
+    assert elapsed_s == pytest.approx(100 / 6, rel=0.15)
+
+
+def test_eager_copy_out_resends_dirtied_blocks():
+    sim = Simulator()
+    disk = Disk(sim, DiskSpec(capacity_bytes=64 * GB))
+    chan = ByteChannel(sim, rate_bytes_per_s=12 * MB)
+    copy = EagerCopyOut(sim, disk, list(range(10_000)), chan)
+    done = copy.start()
+    sim.run(until=2 * SECOND)
+    already = copy.copied_blocks
+    assert already > 0
+    copy.mark_dirty(range(0, min(500, already)))
+    sim.run(until=done)
+    assert copy.resent_blocks == min(500, already)
+
+
+def test_lazy_copy_in_demand_faults_then_completes():
+    sim = Simulator()
+    disk = Disk(sim, DiskSpec(capacity_bytes=64 * GB))
+    chan = ByteChannel(sim, rate_bytes_per_s=12 * MB)
+    pager = LazyCopyIn(sim, disk, total_blocks=5_000, channel=chan)
+    done = pager.start()
+    # Touch a block far ahead of the prefetcher: demand fetch.
+    sim.run(until=pager.ensure_present(4_900, 10))
+    assert pager.demand_fetches == 10
+    sim.run(until=done)
+    assert pager.complete
+    assert pager.prefetched_blocks + pager.demand_fetches >= 5_000
+
+
+def test_lazy_volume_faults_reads_but_not_whole_block_writes():
+    sim = Simulator()
+    disk = Disk(sim, DiskSpec(capacity_bytes=64 * GB))
+    from repro.storage import Extent, LinearVolume
+    vol = LinearVolume(Extent(disk, 0, 10_000))
+    chan = ByteChannel(sim, rate_bytes_per_s=12 * MB)
+    pager = LazyCopyIn(sim, disk, total_blocks=10_000, channel=chan)
+    lazy = LazyVolume(sim, vol, pager)
+    sim.run(until=lazy.read(100, 4))
+    assert pager.demand_fetches == 4
+    fetches = pager.demand_fetches
+    sim.run(until=lazy.write(200, 4))             # overwrite: no fetch
+    assert pager.demand_fetches == fetches
+    sim.run(until=lazy.read(200, 4))              # now present
+    assert pager.demand_fetches == fetches
+
+
+def test_image_cache_hit_and_miss():
+    sim = Simulator()
+    store = ImageStore()
+    store.register("FC4", 6 * GB // 100)          # scaled-down image
+    chan = ByteChannel(sim, rate_bytes_per_s=12 * MB)
+    cache = NodeImageCache(sim, store, chan)
+    t0 = sim.now
+    sim.run(until=cache.ensure("FC4"))
+    miss_time = sim.now - t0
+    assert miss_time > 0
+    assert cache.misses == 1
+    t1 = sim.now
+    sim.run(until=cache.ensure("FC4"))
+    assert sim.now == t1                          # cached: instant
+    assert cache.hits == 1
+    with pytest.raises(StorageError):
+        cache.preload("unknown")

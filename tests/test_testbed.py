@@ -1,0 +1,162 @@
+"""Integration tests for the testbed layer: mapping, swap-in, services."""
+
+import pytest
+
+from repro.errors import TestbedError
+from repro.sim import Simulator
+from repro.testbed import (Emulab, EventSpec, ExperimentSpec, LinkSpec,
+                           NodeSpec, TestbedConfig, solve, virtual_topology)
+from repro.units import GBPS, MB, MBPS, MS, SECOND
+
+
+def two_node_spec(name="exp0", bandwidth=100 * MBPS, delay=5 * MS):
+    return ExperimentSpec(
+        name=name,
+        nodes=[NodeSpec("node0"), NodeSpec("node1")],
+        links=[LinkSpec("link0", "node0", "node1",
+                        bandwidth_bps=bandwidth, delay_ns=delay)])
+
+
+# ------------------------------------------------------------------ spec/mapping
+
+def test_spec_validation_catches_errors():
+    with pytest.raises(TestbedError):
+        ExperimentSpec("e", nodes=[]).validate()
+    with pytest.raises(TestbedError):
+        ExperimentSpec("e", nodes=[NodeSpec("a"), NodeSpec("a")]).validate()
+    with pytest.raises(TestbedError):
+        ExperimentSpec("e", nodes=[NodeSpec("a")],
+                       links=[LinkSpec("l", "a", "zzz")]).validate()
+    with pytest.raises(TestbedError):
+        ExperimentSpec("e", nodes=[NodeSpec("a")],
+                       links=[LinkSpec("l", "a", "a")]).validate()
+    with pytest.raises(TestbedError):
+        ExperimentSpec("e", nodes=[NodeSpec("a")],
+                       events=[EventSpec(0, "zzz", "x")]).validate()
+
+
+def test_virtual_topology_annotates_shaping():
+    spec = two_node_spec()
+    graph = virtual_topology(spec)
+    assert graph.number_of_nodes() == 2
+    assert graph["node0"]["node1"]["shaped"]
+    unshaped = ExperimentSpec(
+        "e", nodes=[NodeSpec("a"), NodeSpec("b")],
+        links=[LinkSpec("l", "a", "b", bandwidth_bps=GBPS)])
+    assert not virtual_topology(unshaped)["a"]["b"]["shaped"]
+
+
+def test_solver_allocates_delay_nodes_for_shaped_links():
+    spec = two_node_spec()
+    placement = solve(spec, [f"pc{i}" for i in range(5)])
+    assert len(placement.node_to_machine) == 2
+    assert len(placement.link_to_delay_machine) == 1
+    assert len(set(placement.machines_used)) == 3
+
+
+def test_solver_rejects_insufficient_pool():
+    spec = two_node_spec()
+    with pytest.raises(TestbedError):
+        solve(spec, ["pc0", "pc1"])          # needs 3 with the delay node
+
+
+def test_solver_rejects_port_exhaustion():
+    spec = two_node_spec()
+    with pytest.raises(TestbedError):
+        solve(spec, [f"pc{i}" for i in range(5)], switch_ports_free=1)
+
+
+# ------------------------------------------------------------------ swap-in
+
+def test_swap_in_builds_everything():
+    sim = Simulator()
+    testbed = Emulab(sim, TestbedConfig(num_machines=4))
+    exp = testbed.define_experiment(two_node_spec())
+    sim.run(until=exp.swap_in())
+    assert exp.state == "SWAPPED_IN"
+    assert set(exp.nodes) == {"node0", "node1"}
+    assert "link0" in exp.delay_nodes
+    assert exp.coordinator is not None
+    # The pool shrank by three machines (2 nodes + 1 delay node).
+    assert len(testbed.free_machines) == 1
+    # Guests exist with storage and checkpoint agents.
+    node = exp.node("node0")
+    assert node.kernel.name == "node0"
+    assert node.branch.nblocks == node.spec.disk_blocks
+    assert node.domain.nics, "experiment NIC must be attached to the domain"
+
+
+def test_swap_in_twice_rejected_and_swap_out_frees_machines():
+    sim = Simulator()
+    testbed = Emulab(sim, TestbedConfig(num_machines=4))
+    exp = testbed.define_experiment(two_node_spec())
+    sim.run(until=exp.swap_in())
+    with pytest.raises(TestbedError):
+        sim.run(until=exp.swap_in())
+    exp.swap_out()
+    assert exp.state == "SWAPPED_OUT"
+    assert len(testbed.free_machines) == 4
+    with pytest.raises(TestbedError):
+        exp.kernel("node0")
+
+
+def test_image_cache_shared_across_swap_ins():
+    sim = Simulator()
+    testbed = Emulab(sim, TestbedConfig(num_machines=4))
+    exp = testbed.define_experiment(two_node_spec())
+    sim.run(until=exp.swap_in())
+    caches = [exp.node(n).image_cache for n in ("node0", "node1")]
+    assert all(c.misses == 1 for c in caches)
+    exp.swap_out()
+    exp2 = testbed.define_experiment(two_node_spec(name="exp1"))
+    sim.run(until=exp2.swap_in())
+    # Machines are re-used (sorted order), so the images are already there.
+    hits = sum(exp2.node(n).image_cache.hits for n in ("node0", "node1"))
+    assert hits == 2
+
+
+def test_duplicate_experiment_name_rejected():
+    sim = Simulator()
+    testbed = Emulab(sim)
+    testbed.define_experiment(two_node_spec())
+    with pytest.raises(TestbedError):
+        testbed.define_experiment(two_node_spec())
+
+
+def test_guests_communicate_over_shaped_link_after_swap_in():
+    sim = Simulator()
+    testbed = Emulab(sim, TestbedConfig(num_machines=4))
+    exp = testbed.define_experiment(two_node_spec())
+    sim.run(until=exp.swap_in())
+    k0, k1 = exp.kernel("node0"), exp.kernel("node1")
+    acc = []
+    k1.tcp.listen(5001, acc.append)
+    conn = k0.tcp.connect("node1", 5001)
+    sim.run(until=sim.now + 1 * SECOND)
+    assert conn.established
+    conn.send(1 * MB)
+    sim.run(until=sim.now + 5 * SECOND)
+    assert acc[0].bytes_delivered == 1 * MB
+
+
+def test_coordinated_checkpoint_through_the_testbed():
+    sim = Simulator()
+    testbed = Emulab(sim, TestbedConfig(num_machines=4))
+    exp = testbed.define_experiment(two_node_spec())
+    sim.run(until=exp.swap_in())
+    sim.run(until=sim.now + 60 * SECOND)          # NTP convergence
+    result = sim.run(until=exp.coordinator.checkpoint_scheduled())
+    assert set(result.node_results) == {"node0", "node1"}
+    assert result.suspend_skew_ns < 1 * MS
+    assert result.delay_snapshots["link0"] is not None
+
+
+def test_dns_service_resolves_experiment_nodes():
+    sim = Simulator()
+    testbed = Emulab(sim, TestbedConfig(num_machines=4))
+    exp = testbed.define_experiment(two_node_spec())
+    sim.run(until=exp.swap_in())
+    record = sim.run(until=testbed.dns.resolve("node0"))
+    assert record.address == "node0"
+    with pytest.raises(TestbedError):
+        sim.run(until=testbed.dns.resolve("nope"))

@@ -1,0 +1,183 @@
+"""Unit tests for time travel: checkpoint trees and replay navigation."""
+
+import random
+
+import pytest
+
+from repro.errors import TimeTravelError
+from repro.sim import Simulator
+from repro.timetravel import (CheckpointTree, Perturbation,
+                              TimeTravelController)
+from repro.units import MB, MS, SECOND
+
+
+class MiniRun:
+    """A tiny deterministic experiment for replay tests.
+
+    A counter accumulates a seeded random increment every 10 ms; a
+    "boost" perturbation adds its payload when its time passes.
+    """
+
+    def __init__(self, seed, perturbations):
+        self.sim = Simulator()
+        self.rng = random.Random(seed)
+        self.counter = 0
+        self.log = []
+        self._perturbations = sorted(perturbations,
+                                     key=lambda p: p.at_virtual_ns)
+        self.sim.process(self._tick())
+
+    def _tick(self):
+        while True:
+            yield self.sim.timeout(10 * MS)
+            while (self._perturbations and
+                   self._perturbations[0].at_virtual_ns <= self.sim.now):
+                p = self._perturbations.pop(0)
+                if p.name == "boost":
+                    self.counter += p.payload
+            step = self.rng.randint(1, 10)
+            self.counter += step
+            self.log.append((self.sim.now, self.counter))
+
+    # ReplayableRun interface -------------------------------------------------
+
+    def virtual_now(self):
+        return self.sim.now
+
+    def advance_to(self, virtual_ns):
+        if virtual_ns > self.sim.now:
+            self.sim.run(until=virtual_ns)
+
+    def state_digest(self):
+        return (self.sim.now, self.counter)
+
+    def snapshot_bytes(self):
+        return 1 * MB
+
+
+def make_controller(**kw):
+    return TimeTravelController(MiniRun, seed=42, **kw)
+
+
+# ------------------------------------------------------------------ tree
+
+def test_tree_root_and_children():
+    tree = CheckpointTree()
+    root = tree.add(None, 0, "origin")
+    a = tree.add(root.node_id, 100, "a")
+    b = tree.add(root.node_id, 200, "b")
+    assert tree.root_id == root.node_id
+    assert [n.node_id for n in tree.path_to(b.node_id)] == \
+        [root.node_id, b.node_id]
+    assert tree.depth(a.node_id) == 1
+    assert len(tree) == 3
+    assert {n.node_id for n in tree.leaves()} == {a.node_id, b.node_id}
+
+
+def test_tree_rejects_second_root_and_time_regression():
+    tree = CheckpointTree()
+    root = tree.add(None, 100)
+    with pytest.raises(TimeTravelError):
+        tree.add(None, 0)
+    with pytest.raises(TimeTravelError):
+        tree.add(root.node_id, 50)          # child before parent
+    with pytest.raises(TimeTravelError):
+        tree.node(999)
+
+
+def test_tree_storage_budget_enforced():
+    tree = CheckpointTree(storage_budget_bytes=3 * MB)
+    root = tree.add(None, 0, snapshot_bytes=1 * MB)
+    tree.add(root.node_id, 1, snapshot_bytes=1 * MB)
+    tree.add(root.node_id, 2, snapshot_bytes=1 * MB)
+    with pytest.raises(TimeTravelError):
+        tree.add(root.node_id, 3, snapshot_bytes=1 * MB)
+    assert tree.storage_used_bytes == 3 * MB
+
+
+def test_tree_supports_thousands_of_nodes():
+    """§6: the scratch disk holds time-travel trees with 1000s of nodes."""
+    tree = CheckpointTree(storage_budget_bytes=146_000_000_000)
+    parent = tree.add(None, 0, snapshot_bytes=40 * MB).node_id
+    for i in range(1, 3000):
+        parent = tree.add(parent, i, snapshot_bytes=40 * MB).node_id
+    assert len(tree) == 3000
+
+
+# ------------------------------------------------------------------ controller
+
+def test_checkpoint_and_rollback_restores_state():
+    ctl = make_controller()
+    ctl.run_to(1 * SECOND)
+    node = ctl.checkpoint("t=1s")
+    digest_at_ckpt = ctl.active_run.state_digest()
+    ctl.run_to(3 * SECOND)
+    assert ctl.active_run.state_digest() != digest_at_ckpt
+    run = ctl.travel_to(node.node_id)
+    assert run.state_digest() == digest_at_ckpt
+
+
+def test_deterministic_replay_reproduces_execution():
+    ctl = make_controller()
+    ctl.run_to(2 * SECOND)
+    node = ctl.checkpoint()
+    assert ctl.verify_reproducibility(node.node_id)
+
+
+def test_forward_replay_without_perturbation_matches_original():
+    ctl = make_controller()
+    ctl.run_to(1 * SECOND)
+    node = ctl.checkpoint()
+    ctl.run_to(2 * SECOND)
+    original = ctl.active_run.state_digest()
+    ctl.travel_to(node.node_id)
+    ctl.run_to(2 * SECOND)
+    assert ctl.active_run.state_digest() == original
+
+
+def test_perturbed_replay_diverges_and_branches():
+    ctl = make_controller()
+    ctl.run_to(1 * SECOND)
+    node = ctl.checkpoint("before")
+    ctl.run_to(2 * SECOND)
+    original = ctl.active_run.state_digest()
+    ctl.checkpoint("original-2s")
+    # Roll back and replay with a state mutation.
+    ctl.travel_to(node.node_id)
+    ctl.perturb(Perturbation(1500 * MS, "boost", 10_000))
+    ctl.run_to(2 * SECOND)
+    perturbed = ctl.active_run.state_digest()
+    assert perturbed != original
+    assert perturbed[1] >= original[1] + 10_000
+    branched = ctl.checkpoint("mutated-2s")
+    # Two children of `node`: the original continuation and the branch.
+    assert len(ctl.tree.node(node.node_id).children) == 2
+    assert branched.perturbations
+
+
+def test_perturbation_history_carried_to_descendants():
+    ctl = make_controller()
+    ctl.run_to(1 * SECOND)
+    base = ctl.checkpoint()
+    ctl.perturb(Perturbation(1100 * MS, "boost", 500))
+    ctl.run_to(1200 * MS)
+    child = ctl.checkpoint("after-boost")
+    digest = ctl.active_run.state_digest()
+    # Travelling back to the child must replay the boost too.
+    ctl.travel_to(base.node_id)
+    run = ctl.travel_to(child.node_id)
+    assert run.state_digest() == digest
+
+
+def test_run_to_backwards_rejected():
+    ctl = make_controller()
+    ctl.run_to(1 * SECOND)
+    with pytest.raises(TimeTravelError):
+        ctl.run_to(500 * MS)
+
+
+def test_perturbation_in_the_past_rejected():
+    ctl = make_controller()
+    ctl.run_to(1 * SECOND)
+    with pytest.raises(TimeTravelError):
+        ctl.perturb(Perturbation(500 * MS, "boost", 1))

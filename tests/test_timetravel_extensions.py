@@ -1,0 +1,195 @@
+"""Tests for the §6 extensions: recorder, explorer, perturbation knobs."""
+
+import random
+
+import pytest
+
+from repro.errors import TimeTravelError
+from repro.guest import GuestKernel
+from repro.hw import Machine
+from repro.sim import Simulator
+from repro.testbed import (Emulab, ExperimentSpec, LinkSpec, NodeSpec,
+                           TestbedConfig)
+from repro.timetravel import (ExperimentRecorder, Perturbation,
+                              StateExplorer, TimeTravelController,
+                              apply_standard_perturbation, interrupt_skew,
+                              packet_drop, packet_reorder, state_mutate)
+from repro.units import MB, MBPS, MS, SECOND
+
+
+# ------------------------------------------------------------------ recorder
+
+def swapped_in(sim, seed=90):
+    testbed = Emulab(sim, TestbedConfig(num_machines=4, seed=seed))
+    exp = testbed.define_experiment(ExperimentSpec(
+        "rec",
+        nodes=[NodeSpec("node0", memory_bytes=64 * MB),
+               NodeSpec("node1", memory_bytes=64 * MB)],
+        links=[LinkSpec("l0", "node0", "node1",
+                        bandwidth_bps=100 * MBPS, delay_ns=5 * MS)]))
+    sim.run(until=exp.swap_in())
+    return testbed, exp
+
+
+def test_recorder_builds_a_linear_chain_of_checkpoints():
+    sim = Simulator()
+    _tb, exp = swapped_in(sim)
+    recorder = ExperimentRecorder(exp, period_ns=3 * SECOND)
+    recorder.start()
+    sim.run(until=sim.now + 16 * SECOND)
+    recorder.stop()
+    sim.run(until=sim.now + 5 * SECOND)
+    assert len(recorder.recorded) >= 3
+    # A straight recording is a linear chain under the origin.
+    depth = recorder.tree.depth(recorder.head.node_id)
+    assert depth == len(recorder.recorded)
+    # Snapshot sizes: both memory images are accounted.
+    assert recorder.recorded[0].node.snapshot_bytes >= 2 * 64 * MB
+    assert recorder.tree.storage_used_bytes > 0
+
+
+def test_recorder_nearest_before():
+    sim = Simulator()
+    _tb, exp = swapped_in(sim)
+    recorder = ExperimentRecorder(exp, period_ns=2 * SECOND)
+    recorder.start()
+    sim.run(until=sim.now + 9 * SECOND)
+    recorder.stop()
+    sim.run(until=sim.now + 3 * SECOND)
+    target = recorder.recorded[1].node
+    found = recorder.nearest_before(target.virtual_time_ns + 1 * MS)
+    assert found.node_id == target.node_id
+    with pytest.raises(TimeTravelError):
+        recorder.nearest_before(-1)
+
+
+def test_recorder_requires_swapped_in_experiment():
+    sim = Simulator()
+    testbed = Emulab(sim, TestbedConfig(num_machines=2, seed=91))
+    exp = testbed.define_experiment(
+        ExperimentSpec("x", nodes=[NodeSpec("node0")]))
+    with pytest.raises(TimeTravelError):
+        ExperimentRecorder(exp, period_ns=SECOND)
+
+
+# ------------------------------------------------------------------ knobs
+
+def test_interrupt_skew_knob_widens_timer_slack():
+    sim = Simulator()
+    machine = Machine(sim, "m", rng=random.Random(1))
+    kernel = GuestKernel(sim, machine, "n0", rng=random.Random(2))
+    before = kernel.timers.max_slack_ns
+    applied = apply_standard_perturbation(
+        interrupt_skew(0, "n0", 500_000), {"n0": kernel})
+    assert applied
+    assert kernel.timers.max_slack_ns == before + 500_000
+
+
+def test_packet_knobs_act_on_delay_node_queues():
+    import random as _r
+    from repro.net import DelayNode, LinkShape, Packet
+
+    sim = Simulator()
+    node = DelayNode(sim, "d0", LinkShape(bandwidth_bps=1 * MBPS),
+                     rng=_r.Random(3))
+    for n in range(4):
+        node._pipe_ab.submit(Packet("a", "b", "t", 1000, headers={"n": n}))
+    # One transmitting + three queued.
+    assert apply_standard_perturbation(packet_reorder(0, "d0"), {},
+                                       {"d0": node})
+    assert [p.headers["n"] for p in node._pipe_ab._queue[:2]] == [2, 1]
+    before = node.packets_in_flight
+    assert apply_standard_perturbation(packet_drop(0, "d0"), {},
+                                       {"d0": node})
+    assert node.packets_in_flight == before - 1
+
+
+def test_state_mutate_knob_and_unknown_names():
+    hits = []
+    assert apply_standard_perturbation(
+        state_mutate(0, lambda run: hits.append(run)), {}, run="RUN")
+    assert hits == ["RUN"]
+    unknown = Perturbation(0, "custom-thing", None)
+    assert not apply_standard_perturbation(unknown, {})
+
+
+def test_knob_errors_on_missing_targets():
+    with pytest.raises(TimeTravelError):
+        apply_standard_perturbation(interrupt_skew(0, "ghost", 1), {})
+    with pytest.raises(TimeTravelError):
+        apply_standard_perturbation(packet_drop(0, "ghost"), {}, {})
+
+
+# ------------------------------------------------------------------ explorer
+
+class CounterRun:
+    """Replayable run whose counter can be bumped by 'boost' knobs."""
+
+    def __init__(self, seed, perturbations):
+        self.sim = Simulator()
+        self.counter = 0
+        self._pending = sorted(perturbations, key=lambda p: p.at_virtual_ns)
+        self.sim.process(self._tick())
+
+    def _tick(self):
+        while True:
+            yield self.sim.timeout(10 * MS)
+            while self._pending and \
+                    self._pending[0].at_virtual_ns <= self.sim.now:
+                p = self._pending.pop(0)
+                if p.name == "boost":
+                    self.counter += p.payload
+            self.counter += 1
+
+    def virtual_now(self):
+        return self.sim.now
+
+    def advance_to(self, t):
+        if t > self.sim.now:
+            self.sim.run(until=t)
+
+    def state_digest(self):
+        return self.counter
+
+    def snapshot_bytes(self):
+        return 1024
+
+
+def test_explorer_finds_a_reachable_state():
+    ctl = TimeTravelController(CounterRun, seed=1)
+    ctl.run_to(1 * SECOND)
+    ctl.checkpoint("start")
+
+    def boost(at_ns):
+        return Perturbation(at_ns, "boost", 1000)
+
+    explorer = StateExplorer(ctl, [boost], step_ns=100 * MS)
+    # Counter > 2100 needs at least two boosts: depth >= 2.
+    result = explorer.explore(lambda digest: digest > 2100, max_depth=3)
+    assert result.found
+    assert result.depth >= 2
+    assert len(result.path) >= 2
+    assert result.states_explored > 2
+    # The counterexample path is replayable: applying it reproduces the
+    # digest exactly.
+    ctl.travel_to(ctl.position.node_id)
+    for p in result.path:
+        ctl.perturb(p)
+    ctl.run_to(1 * SECOND + result.depth * 100 * MS)
+    assert ctl.active_run.state_digest() == result.digest
+
+
+def test_explorer_reports_not_found_within_depth():
+    ctl = TimeTravelController(CounterRun, seed=1)
+    ctl.run_to(1 * SECOND)
+    ctl.checkpoint()
+    explorer = StateExplorer(ctl, [], step_ns=100 * MS)
+    result = explorer.explore(lambda digest: digest > 10 ** 9, max_depth=2)
+    assert not result.found
+    assert result.states_explored == 3   # the no-action chain only
+
+
+def test_explorer_validates_step():
+    ctl = TimeTravelController(CounterRun, seed=1)
+    with pytest.raises(TimeTravelError):
+        StateExplorer(ctl, [], step_ns=0)

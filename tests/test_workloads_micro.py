@@ -1,0 +1,132 @@
+"""Unit tests for the sleeper, cpuburn, bonnie, filecopy, and kernel-build
+workloads (without checkpointing — transparency is covered by benchmarks)."""
+
+import random
+
+import pytest
+
+from repro.guest import GuestKernel
+from repro.hw import CPU, Disk, DiskSpec, Machine
+from repro.sim import Simulator
+from repro.storage import Extent, LinearVolume, VolumeManager
+from repro.units import GB, MB, MS, SECOND, US
+from repro.workloads import (BonnieBenchmark, BonnieConfig, CpuBurnBenchmark,
+                             FileCopyBenchmark, KernelBuildConfig,
+                             KernelBuildWorkload, SleeperBenchmark)
+from repro.workloads.bonnie import BonnieResult
+
+
+def make_kernel(sim, name="n0", seed=5):
+    machine = Machine(sim, name, rng=random.Random(seed))
+    return GuestKernel(sim, machine, name, rng=random.Random(seed + 1))
+
+
+def test_sleeper_iterations_are_twenty_ms():
+    sim = Simulator()
+    kernel = make_kernel(sim)
+    bench = SleeperBenchmark(kernel, iterations=200)
+    bench.start()
+    sim.run(until=bench.join())
+    assert len(bench.result.iteration_ns) == 200
+    # usleep(10ms) on a HZ=100 kernel: ~20 ms per iteration.
+    assert bench.result.within(20 * MS, 100 * US) > 0.95
+
+
+def test_sleeper_result_statistics():
+    sim = Simulator()
+    kernel = make_kernel(sim)
+    bench = SleeperBenchmark(kernel, iterations=50)
+    bench.start()
+    sim.run(until=bench.join())
+    assert bench.finished
+    assert bench.result.max_deviation_ns(20 * MS) < 1 * MS
+    empty = SleeperBenchmark(kernel, iterations=0)
+    assert empty.result.within(20 * MS, 1 * MS) == 0.0
+
+
+def test_cpuburn_uncontended_iterations_match_work():
+    sim = Simulator()
+    kernel = make_kernel(sim)
+    bench = CpuBurnBenchmark(kernel, work_ns=100 * MS, iterations=20)
+    bench.start()
+    sim.run(until=bench.join())
+    assert bench.result.baseline_ns() == pytest.approx(100 * MS, rel=0.01)
+    assert bench.result.max_excess_ns() < 1 * MS
+
+
+def test_cpuburn_detects_contention():
+    sim = Simulator()
+    kernel = make_kernel(sim)
+    bench = CpuBurnBenchmark(kernel, work_ns=100 * MS, iterations=30)
+    bench.start()
+    # Inject dom0 interference partway through the run.
+    sim.call_in(1 * SECOND, lambda: kernel.cpu_outside(300 * MS, weight=0.5))
+    sim.run(until=bench.join())
+    assert bench.result.max_excess_ns() > 10 * MS
+
+
+def raw_volume(sim, nblocks=400_000):
+    disk = Disk(sim, DiskSpec(capacity_bytes=64 * GB))
+    return LinearVolume(Extent(disk, 0, nblocks)), disk
+
+
+def test_bonnie_runs_all_phases_with_plausible_ordering():
+    sim = Simulator()
+    volume, _ = raw_volume(sim)
+    bench = BonnieBenchmark(sim, volume,
+                            config=BonnieConfig(file_bytes=64 * MB))
+    result = sim.run(until=bench.run())
+    assert set(result.throughput) == set(BonnieResult.PHASES)
+    # Char phases are CPU-bound and slower than their block counterparts.
+    assert result.throughput["char-writes"] < result.throughput["block-writes"]
+    assert result.throughput["char-reads"] < result.throughput["block-reads"]
+    # Block phases run near the media rate (72 MB/s).
+    assert result.throughput["block-writes"] > 50
+
+
+def test_bonnie_char_rate_is_cpu_bound():
+    sim = Simulator()
+    volume, _ = raw_volume(sim)
+    cfg = BonnieConfig(file_bytes=32 * MB, char_cpu_ns_per_kb=100_000)
+    bench = BonnieBenchmark(sim, volume, config=cfg)
+    result = sim.run(until=bench.run())
+    # 100 us/KB of CPU caps char I/O near 10 MB/s.
+    assert result.throughput["char-writes"] < 11
+
+
+def test_filecopy_reports_throughput_series():
+    sim = Simulator()
+    volume, disk = raw_volume(sim)
+    bench = FileCopyBenchmark(sim, volume, total_bytes=64 * MB,
+                              dst_vba=200_000)
+    result = sim.run(until=bench.run())
+    assert result.duration_ns > 0
+    assert result.samples
+    # Read+write on one spindle: effective copy rate is about half the
+    # media rate, minus seek overhead between the two regions.
+    assert 5 < result.mean_mbps() < 40
+    assert disk.bytes_read >= 64 * MB
+    assert disk.bytes_written >= 64 * MB
+
+
+def test_kernel_build_delta_shape():
+    """§5.1: make writes ~490 MB; clean frees all but ~36 MB."""
+    sim = Simulator()
+    disk = Disk(sim, DiskSpec(capacity_bytes=64 * GB))
+    manager = VolumeManager(sim, disk)
+    golden = manager.create_golden("img", 400_000)
+    branch = manager.create_branch("b", golden, log_blocks=400_000)
+    from repro.storage import Ext3Filesystem, Ext3FreeBlockPlugin
+    fs = Ext3Filesystem(sim, branch)
+    plugin = Ext3FreeBlockPlugin(fs)
+    cfg = KernelBuildConfig(total_output_bytes=49 * MB,
+                            retained_bytes=4 * MB)   # 1/10 scale for speed
+    build = KernelBuildWorkload(sim, fs, cfg)
+    sim.run(until=build.make())
+    delta_before = branch.current_delta_blocks * 4096
+    assert delta_before >= 49 * MB * 0.98
+    build.make_clean()
+    live = plugin.effective_delta_bytes(branch)
+    # Without elimination the delta stays ~49 MB; with it, ~4 MB.
+    assert branch.current_delta_blocks * 4096 >= 49 * MB * 0.98
+    assert live == pytest.approx(4 * MB, rel=0.1)

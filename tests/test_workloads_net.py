@@ -1,0 +1,148 @@
+"""Unit tests for the network workloads (iperf, BitTorrent) and LANs."""
+
+import random
+
+import pytest
+
+from repro.guest import GuestKernel
+from repro.hw import Machine
+from repro.net import LanSegment, LinkShape, install_lan, install_shaped_link
+from repro.sim import Simulator
+from repro.units import GBPS, MB, MBPS, MS, SECOND
+from repro.workloads import BitTorrentSwarm, IperfSession, PacketTrace
+
+
+def make_kernel(sim, name, seed):
+    machine = Machine(sim, name, rng=random.Random(seed))
+    return GuestKernel(sim, machine, name, rng=random.Random(seed + 100))
+
+
+def linked_kernels(sim, shape, names=("a", "b")):
+    kernels = [make_kernel(sim, n, i) for i, n in enumerate(names)]
+    install_shaped_link(sim, kernels[0].host, kernels[1].host, shape,
+                        rng=random.Random(9))
+    return kernels
+
+
+def test_iperf_saturates_a_shaped_link():
+    sim = Simulator()
+    ka, kb = linked_kernels(sim, LinkShape(bandwidth_bps=100 * MBPS))
+    session = IperfSession(ka, kb)
+    session.start()
+    sim.run(until=5 * SECOND)
+    session.stop()
+    goodput_bps = session.bytes_received * 8 / 5
+    assert goodput_bps > 0.8 * 100 * MBPS
+    assert goodput_bps <= 100 * MBPS
+
+
+def test_iperf_trace_interpacket_gaps_are_tight():
+    sim = Simulator()
+    ka, kb = linked_kernels(sim, LinkShape(bandwidth_bps=100 * MBPS))
+    session = IperfSession(ka, kb)
+    session.start()
+    sim.run(until=3 * SECOND)
+    gaps = session.trace.interpacket_gaps_ns()
+    assert gaps
+    # Steady state: mean gap is about one MSS at 100 Mbps (~120 us).
+    assert session.trace.mean_gap_ns() < 400_000
+
+
+def test_packet_trace_throughput_series():
+    trace = PacketTrace(arrivals=[(0, 1000), (10 * MS, 1000),
+                                  (25 * MS, 2000), (45 * MS, 500)])
+    series = trace.throughput_series(bucket_ns=20 * MS)
+    assert len(series) == 3
+    assert series[0][1] == pytest.approx(2000 / 0.02 / 1e6)
+    assert trace.max_gap_in_window(0, 50 * MS) == 20 * MS
+    assert PacketTrace().throughput_series() == []
+    assert PacketTrace().mean_gap_ns() == 0.0
+
+
+def test_lan_members_reach_each_other():
+    sim = Simulator()
+    kernels = [make_kernel(sim, f"n{i}", i) for i in range(3)]
+    lan = install_lan(sim, [k.host for k in kernels],
+                      LinkShape(bandwidth_bps=100 * MBPS),
+                      rng=random.Random(3))
+    got = []
+    kernels[2].host.register_protocol("ping", got.append)
+    from repro.net import Packet
+    kernels[0].host.send(Packet("n0", "n2", "ping", 100))
+    kernels[1].host.send(Packet("n1", "n2", "ping", 100))
+    sim.run(until=sim.now + 100 * MS)
+    assert len(got) == 2
+    assert isinstance(lan, LanSegment)
+
+
+def test_lan_requires_two_members():
+    sim = Simulator()
+    k = make_kernel(sim, "solo", 1)
+    from repro.errors import NetworkError
+    with pytest.raises(NetworkError):
+        install_lan(sim, [k.host], LinkShape(bandwidth_bps=100 * MBPS))
+
+
+def test_lan_shaping_applies_per_member():
+    sim = Simulator()
+    kernels = [make_kernel(sim, f"n{i}", i) for i in range(2)]
+    install_lan(sim, [k.host for k in kernels],
+                LinkShape(bandwidth_bps=10 * MBPS, delay_ns=10 * MS),
+                rng=random.Random(4))
+    got = []
+    kernels[1].host.register_protocol("t", lambda p: got.append(sim.now))
+    from repro.net import Packet
+    start = sim.now
+    kernels[0].host.send(Packet("n0", "n1", "t", 1434))
+    sim.run(until=sim.now + 1 * SECOND)
+    # Two pipes in the path: two delay-line traversals of 10 ms each.
+    assert got and got[0] - start > 20 * MS
+
+
+def bt_swarm(sim, clients=3, file_mb=8, **kw):
+    kernels = [make_kernel(sim, f"peer{i}", 20 + i)
+               for i in range(clients + 1)]
+    install_lan(sim, [k.host for k in kernels],
+                LinkShape(bandwidth_bps=100 * MBPS), rng=random.Random(7))
+    swarm = BitTorrentSwarm(kernels, file_bytes=file_mb * MB,
+                            rng=random.Random(8), **kw)
+    swarm.start()
+    return swarm
+
+
+def test_bittorrent_clients_complete_download():
+    sim = Simulator()
+    swarm = bt_swarm(sim, clients=2, file_mb=4,
+                     piece_process_ns=5 * MS)
+    for _ in range(600):
+        sim.run(until=sim.now + 1 * SECOND)
+        if all(c.complete for c in swarm.clients):
+            break
+    assert all(c.complete for c in swarm.clients)
+    for client in swarm.clients:
+        assert client.stats.bytes_downloaded >= 4 * MB
+
+
+def test_bittorrent_peers_serve_each_other():
+    sim = Simulator()
+    swarm = bt_swarm(sim, clients=3, file_mb=6, piece_process_ns=5 * MS)
+    for _ in range(600):
+        sim.run(until=sim.now + 1 * SECOND)
+        if all(c.complete for c in swarm.clients):
+            break
+    # Client-to-client transfer happened (peers act as servers too).
+    uploaded_by_clients = sum(c.stats.bytes_uploaded for c in swarm.clients)
+    assert uploaded_by_clients > 0
+
+
+def test_bittorrent_throughput_series_shape():
+    sim = Simulator()
+    swarm = bt_swarm(sim, clients=3, file_mb=64, piece_process_ns=100 * MS)
+    sim.run(until=30 * SECOND)
+    series = swarm.seeder_throughput_series(bucket_ns=1 * SECOND)
+    assert set(series) == {c.name for c in swarm.clients}
+    for client, samples in series.items():
+        assert samples, f"{client} received nothing from the seeder"
+        values = [v for _t, v in samples[1:-1]]
+        # App-limited: clearly below the 12.5 MB/s line rate.
+        assert max(values) < 12.0
