@@ -8,6 +8,8 @@ Subcommands:
                   transparency); exits non-zero on failure
 * ``results``   — print the benchmark result tables recorded under
                   ``benchmarks/results/``
+* ``lint``      — the determinism sanitizer (rules DET001–DET007 over
+                  the given paths; see docs/determinism.md)
 """
 
 from __future__ import annotations
@@ -103,6 +105,17 @@ def cmd_results(_args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lint.cli import list_rules, run_lint
+
+    if args.list_rules:
+        print("determinism rules:")
+        list_rules(sys.stdout)
+        return 0
+    return run_lint(args.paths or ["src"], json_output=args.json,
+                    select=args.select)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -111,9 +124,19 @@ def main(argv=None) -> int:
     sub.add_parser("info", help="package and experiment summary")
     sub.add_parser("selftest", help="fast end-to-end smoke test")
     sub.add_parser("results", help="print recorded benchmark tables")
+    lint = sub.add_parser("lint", help="determinism sanitizer (static rules)")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable JSON report")
+    lint.add_argument("--select", metavar="CODES",
+                      help="comma-separated rule codes to run "
+                           "(default: all)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
     args = parser.parse_args(argv)
     return {"info": cmd_info, "selftest": cmd_selftest,
-            "results": cmd_results}[args.command](args)
+            "results": cmd_results, "lint": cmd_lint}[args.command](args)
 
 
 if __name__ == "__main__":

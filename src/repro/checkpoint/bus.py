@@ -16,6 +16,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.clocksync.ntp import PathDelayModel
 from repro.sim.core import Simulator
+from repro.sim.random import derived_rng
 
 
 @dataclass
@@ -35,7 +36,7 @@ class NotificationBus:
     def __init__(self, sim: Simulator, rng: Optional[random.Random] = None,
                  path: PathDelayModel = PathDelayModel()) -> None:
         self.sim = sim
-        self.rng = rng or random.Random(0)
+        self.rng = rng or derived_rng("notification-bus")
         self.path = path
         self._subscribers: Dict[str, List[tuple]] = {}
         self.published = 0

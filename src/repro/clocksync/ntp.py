@@ -75,6 +75,11 @@ class NTPClient:
     Parameters mirror ntpd behaviour at the fidelity the experiments need:
     ``burst_polls`` quick exchanges at startup (iburst), then steady polling
     at ``poll_interval_ns``.
+
+    ``rng`` is deliberately required (no seed-0 fallback): every client
+    must be handed its own named :class:`~repro.sim.random.RandomStreams`
+    substream, otherwise co-located clients would sample identical path
+    jitter and their convergence would be artificially correlated.
     """
 
     STEP_THRESHOLD_NS = 128 * MS

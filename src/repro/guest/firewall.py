@@ -29,6 +29,7 @@ from typing import Generator, Optional, TYPE_CHECKING
 
 from repro.errors import FirewallViolation
 from repro.guest.activities import INSIDE_FIREWALL
+from repro.sim.random import derived_rng
 from repro.units import US
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -52,7 +53,7 @@ class TemporalFirewall:
         self.kernel = kernel
         self.min_step_cost_ns = min_step_cost_ns
         self.max_step_cost_ns = max_step_cost_ns
-        self.rng = rng or random.Random(0)
+        self.rng = rng or derived_rng(f"firewall.{kernel.name}")
         self.state = FirewallState.DOWN
         self.raises = 0
         self.last_freeze_window_ns = 0

@@ -24,6 +24,7 @@ from repro.net.host import Host
 from repro.net.tcp import TCPStack
 from repro.net.udp import UDPStack
 from repro.sim.core import Event, Simulator
+from repro.sim.random import derived_rng
 from repro.sim.trace import Tracer, maybe_record
 from repro.units import US
 
@@ -38,7 +39,7 @@ class GuestKernel:
         self.sim = sim
         self.machine = machine
         self.name = name
-        self.rng = rng or random.Random(0)
+        self.rng = rng or derived_rng(f"guest.{name}")
         self.tracer = tracer
         self.vclock = VirtualClock(sim, epoch_wall_ns, rng=self.rng,
                                    rebase_jitter_ns=45_000)

@@ -21,6 +21,7 @@ from typing import Callable, Optional
 from repro.errors import ClockError, SimulationError
 from repro.guest.vclock import VirtualClock
 from repro.sim.core import Simulator
+from repro.sim.random import derived_rng
 from repro.sim.timers import TimerHandle
 from repro.units import US
 
@@ -43,10 +44,15 @@ class VirtualTimerWheel:
                  max_slack_ns: int = 25 * US, name: str = "timers") -> None:
         self.sim = sim
         self.vclock = vclock
-        self.rng = rng or random.Random(0)
+        self.rng = rng or derived_rng(f"timers.{name}")
         self.max_slack_ns = max_slack_ns
         self.name = name
         self._pending: list[_TimerEntry] = []
+        #: entries grouped by absolute fire instant: all timers expiring at
+        #: one simulation instant fire from a single scheduled event, in
+        #: arming order — never from heap-tiebreak order between separate
+        #: events (the event-race detector flags that as a hazard)
+        self._due: dict[int, list[_TimerEntry]] = {}
         self._frozen = False
         self._version = 0
 
@@ -73,17 +79,26 @@ class VirtualTimerWheel:
 
     def _arm(self, entry: _TimerEntry) -> None:
         remaining = max(0, entry.vdeadline - self.vclock.now())
+        fire_at = self.sim.now + remaining + entry.slack
+        batch = self._due.get(fire_at)
+        if batch is not None:
+            batch.append(entry)             # an event for this instant exists
+            return
+        self._due[fire_at] = [entry]
         version = self._version
 
-        def fire() -> None:
+        def fire_batch() -> None:
             if version != self._version:
                 return                      # wheel was frozen since arming
-            if entry not in self._pending:
-                return                      # cancelled or already fired
-            self._pending.remove(entry)
-            entry.handle._fire()
+            for due in self._due.pop(fire_at, ()):
+                if version != self._version:
+                    return                  # froze mid-batch; rest re-arm at thaw
+                if due not in self._pending:
+                    continue                # cancelled or already fired
+                self._pending.remove(due)
+                due.handle._fire()
 
-        self.sim.call_in(remaining + entry.slack, fire)
+        self.sim.call_at(fire_at, fire_batch)
 
     # -- freeze protocol ----------------------------------------------------------------
 
@@ -110,6 +125,7 @@ class VirtualTimerWheel:
             raise ClockError(f"timer wheel {self.name} already frozen")
         self._frozen = True
         self._version += 1                  # disarm every scheduled callback
+        self._due.clear()
         now = self.vclock.now()
         for entry in self._pending:
             entry.frozen_remaining = max(0, entry.vdeadline - now)

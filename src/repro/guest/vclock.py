@@ -16,6 +16,7 @@ from typing import Optional
 
 from repro.errors import ClockError
 from repro.sim.core import Simulator
+from repro.sim.random import derived_rng
 
 
 class VirtualClock:
@@ -35,7 +36,7 @@ class VirtualClock:
                  rebase_jitter_ns: int = 0) -> None:
         self.sim = sim
         self.epoch_wall_ns = epoch_wall_ns
-        self.rng = rng or random.Random(0)
+        self.rng = rng or derived_rng("vclock")
         self.rebase_jitter_ns = rebase_jitter_ns
         self._hidden = 0
         self._frozen = False

@@ -11,6 +11,7 @@ from repro.hw.cpu import CPU
 from repro.hw.disk import Disk, DiskSpec
 from repro.hw.tsc import Oscillator
 from repro.sim.core import Simulator
+from repro.sim.random import derived_rng
 from repro.units import GB, MILLISECOND, MS
 
 
@@ -40,7 +41,7 @@ class Machine:
         self.sim = sim
         self.name = name
         self.spec = spec
-        rng = rng or random.Random(0)
+        rng = rng or derived_rng(f"machine.{name}")
         drift = rng.uniform(-spec.max_drift_ppm, spec.max_drift_ppm)
         offset = rng.randint(-spec.max_boot_clock_offset_ns,
                              spec.max_boot_clock_offset_ns)

@@ -1,0 +1,27 @@
+"""repro.lint — the determinism sanitizer.
+
+The simulation kernel promises bit-for-bit reproducible runs
+(:mod:`repro.sim.core`); this package enforces that promise two ways:
+
+* **statically**, with an AST lint engine (:mod:`repro.lint.engine`) and a
+  catalogue of repo-specific determinism rules (:mod:`repro.lint.rules`,
+  codes ``DET001``–``DET007``), runnable as ``repro lint`` or via
+  :func:`check_source` / :func:`check_paths`;
+* **dynamically**, with an opt-in event-race detector and a shadow-run
+  divergence checker (:mod:`repro.lint.runtime`).
+
+See ``docs/determinism.md`` for the rule catalogue and rationale.
+"""
+
+from repro.lint.engine import (Violation, check_paths, check_source,
+                               iter_python_files)
+from repro.lint.rules import RULES, Rule, all_codes
+from repro.lint.runtime import (EventRace, EventRaceDetector,
+                                ShadowRunReport, shadow_run, trace_digest)
+
+__all__ = [
+    "Violation", "check_paths", "check_source", "iter_python_files",
+    "RULES", "Rule", "all_codes",
+    "EventRace", "EventRaceDetector", "ShadowRunReport", "shadow_run",
+    "trace_digest",
+]

@@ -1,0 +1,50 @@
+"""The ``repro lint`` subcommand.
+
+Exit codes follow pre-commit conventions: 0 clean, 1 violations found,
+2 usage error (unknown rule code or missing path).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, Sequence, TextIO
+
+from repro.lint.engine import (check_source, iter_python_files, render_human,
+                               render_json)
+from repro.lint.rules import RULES, all_codes
+
+
+def list_rules(out: TextIO) -> None:
+    for code in all_codes():
+        rule = RULES[code]
+        scope = "src/repro only" if rule.library_only else "all code"
+        out.write(f"  {code}  {rule.name:<24} {rule.summary} [{scope}]\n")
+
+
+def run_lint(paths: Sequence[str], json_output: bool = False,
+             select: Optional[str] = None,
+             out: Optional[TextIO] = None) -> int:
+    """Lint ``paths``; print a report; return the process exit code."""
+    out = out if out is not None else sys.stdout
+    selected = None
+    if select:
+        selected = [c.strip().upper() for c in select.split(",") if c.strip()]
+        unknown = sorted(set(selected) - set(RULES))
+        if unknown:
+            out.write(f"unknown rule code(s): {', '.join(unknown)} "
+                      f"(known: {', '.join(all_codes())})\n")
+            return 2
+    files = list(iter_python_files(paths))
+    if not files:
+        out.write(f"no python files found under: {', '.join(paths)}\n")
+        return 2
+    violations = []
+    for f in files:
+        violations.extend(check_source(f.read_text(encoding="utf-8"),
+                                       path=str(f), select=selected))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    if json_output:
+        out.write(render_json(violations, len(files)) + "\n")
+    else:
+        out.write(render_human(violations, len(files)) + "\n")
+    return 1 if violations else 0

@@ -1,0 +1,198 @@
+"""The lint engine: file walking, parsing, suppressions, output.
+
+The engine is rule-agnostic: it parses each file once, builds a
+:class:`LintContext` (source, import map, suppression table), and hands the
+tree to every enabled rule from :data:`repro.lint.rules.RULES`.  Violations
+on a line carrying ``# repro: noqa`` (all codes) or
+``# repro: noqa=DET001,DET004`` (listed codes) are dropped.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+#: directories never descended into when walking a tree
+SKIP_DIRS = {"__pycache__", ".git", ".hg", "build", "dist", "node_modules"}
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\s*=\s*(?P<codes>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*))?")
+
+#: pseudo-code for files the parser rejects
+PARSE_ERROR_CODE = "E999"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding, pinned to a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> dict:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "code": self.code, "message": self.message}
+
+
+class ImportMap:
+    """Resolves local names to the dotted module path they were bound from.
+
+    ``import time as t`` maps ``t -> time``; ``from datetime import datetime``
+    maps ``datetime -> datetime.datetime``.  Rules use this to recognise
+    calls like ``perf_counter()`` regardless of import spelling.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.names: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    self.names[local] = alias.name if alias.asname \
+                        else alias.name.split(".")[0]
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.names[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted origin of a Name/Attribute chain, or None if unknown."""
+        if isinstance(node, ast.Name):
+            return self.names.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            return f"{base}.{node.attr}" if base else None
+        return None
+
+
+class LintContext:
+    """Everything a rule may consult about the file being linted."""
+
+    def __init__(self, path: str, source: str, tree: ast.AST) -> None:
+        self.path = path.replace("\\", "/")
+        self.source = source
+        self.tree = tree
+        self.imports = ImportMap(tree)
+        self.violations: List[Violation] = []
+
+    @property
+    def in_library(self) -> bool:
+        """True for files under the ``repro`` package itself."""
+        return "src/repro/" in self.path or self.path.startswith("repro/")
+
+    def add(self, code: str, node: ast.AST, message: str) -> None:
+        self.violations.append(Violation(
+            self.path, getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0) + 1, code, message))
+
+
+def _noqa_table(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Map line number -> suppressed codes (None means all codes)."""
+    table: Dict[int, Optional[Set[str]]] = {}
+    for i, line in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(line)
+        if not m:
+            continue
+        codes = m.group("codes")
+        table[i] = (None if codes is None else
+                    {c.strip() for c in codes.split(",")})
+    return table
+
+
+def check_source(source: str, path: str = "<string>",
+                 select: Optional[Iterable[str]] = None) -> List[Violation]:
+    """Lint one source string as if it lived at ``path``.
+
+    ``select`` restricts the run to the given rule codes; the default runs
+    every registered rule.
+    """
+    from repro.lint.rules import RULES
+
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(path.replace("\\", "/"), exc.lineno or 0,
+                          (exc.offset or 0), PARSE_ERROR_CODE,
+                          f"syntax error: {exc.msg}")]
+    ctx = LintContext(path, source, tree)
+    wanted = set(select) if select is not None else None
+    for code, rule_cls in RULES.items():
+        if wanted is not None and code not in wanted:
+            continue
+        if rule_cls.library_only and not ctx.in_library:
+            continue
+        rule_cls(ctx).run()
+    suppressed = _noqa_table(source)
+    kept = []
+    for v in ctx.violations:
+        codes = suppressed.get(v.line, ())
+        if codes is None or v.code in codes:       # None == blanket noqa
+            continue
+        kept.append(v)
+    kept.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return kept
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (files or directories)."""
+    for raw in paths:
+        p = Path(raw)
+        if p.is_file():
+            if p.suffix == ".py":
+                yield p
+        elif p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                parts = set(f.parts)
+                if parts & SKIP_DIRS or any(part.endswith(".egg-info")
+                                            for part in f.parts):
+                    continue
+                yield f
+
+
+def check_paths(paths: Sequence[str],
+                select: Optional[Iterable[str]] = None) -> List[Violation]:
+    """Lint every python file under ``paths``; returns sorted violations."""
+    violations: List[Violation] = []
+    for f in iter_python_files(paths):
+        try:
+            source = f.read_text(encoding="utf-8")
+        except OSError as exc:
+            violations.append(Violation(str(f), 0, 0, PARSE_ERROR_CODE,
+                                        f"unreadable: {exc}"))
+            continue
+        violations.extend(check_source(source, path=str(f), select=select))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return violations
+
+
+def render_human(violations: Sequence[Violation],
+                 files_scanned: int) -> str:
+    lines = [v.format() for v in violations]
+    noun = "violation" if len(violations) == 1 else "violations"
+    lines.append(f"{len(violations)} {noun} in {files_scanned} files")
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[Violation], files_scanned: int) -> str:
+    counts: Dict[str, int] = {}
+    for v in violations:
+        counts[v.code] = counts.get(v.code, 0) + 1
+    return json.dumps({
+        "files_scanned": files_scanned,
+        "violation_count": len(violations),
+        "counts_by_code": counts,
+        "violations": [v.to_json() for v in violations],
+    }, indent=2, sort_keys=True)

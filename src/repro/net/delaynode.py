@@ -25,6 +25,7 @@ from repro.net.interface import Interface
 from repro.net.link import Link
 from repro.net.packet import Packet
 from repro.sim.core import Simulator
+from repro.sim.random import derived_rng
 from repro.units import GBPS, US
 
 
@@ -62,7 +63,7 @@ class DelayNode:
         self.sim = sim
         self.name = name
         self.shape = shape
-        rng = rng or random.Random(0)
+        rng = rng or derived_rng(f"delaynode.{name}")
         self.port_a = Interface(sim, f"{name}.a", address=f"{name}.a")
         self.port_b = Interface(sim, f"{name}.b", address=f"{name}.b")
         config = shape.pipe_config()

@@ -25,6 +25,7 @@ from typing import Callable, List, Optional, Tuple
 from repro.errors import CheckpointError, NetworkError
 from repro.net.packet import Packet
 from repro.sim.core import Simulator
+from repro.sim.random import derived_rng
 from repro.units import MBPS, transmission_time_ns
 
 
@@ -71,7 +72,7 @@ class Pipe:
         self.sim = sim
         self.config = config
         self.sink = sink
-        self.rng = rng or random.Random(0)
+        self.rng = rng or derived_rng(f"pipe.{name}")
         self.name = name
         self._queue: List[Packet] = []
         self._transmitting: Optional[Tuple[Packet, int]] = None  # (pkt, finish)

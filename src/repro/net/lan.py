@@ -19,6 +19,7 @@ from repro.net.delaynode import DelayNode, LinkShape, install_shaped_link
 from repro.net.host import Host
 from repro.net.packet import Packet
 from repro.sim.core import Simulator
+from repro.sim.random import derived_rng
 
 
 @dataclass
@@ -41,7 +42,6 @@ def install_lan(sim: Simulator, members: List[Host], shape: LinkShape,
     """Wire ``members`` into a shaped LAN; returns the segment."""
     if len(members) < 2:
         raise NetworkError("a LAN needs at least two members")
-    rng = rng or random.Random(0)
     hub = Host(sim, f"{name}.hub")
     segment = LanSegment(name, hub, list(members))
 
@@ -53,8 +53,13 @@ def install_lan(sim: Simulator, members: List[Host], shape: LinkShape,
 
     hub.forwarder = forward
     for member in members:
+        # Each member link gets its own loss/jitter stream: with the old
+        # shared seed-0 fallback every uplink saw identical draw sequences.
+        member_rng = rng if rng is not None else derived_rng(
+            f"lan.{name}.{member.name}")
         node = install_shaped_link(
-            sim, member, hub, shape, name=f"{name}.{member.name}", rng=rng)
+            sim, member, hub, shape, name=f"{name}.{member.name}",
+            rng=member_rng)
         segment.delay_nodes[member.name] = node
         # Every other member is reachable through this one uplink.
         uplink = member.routes.pop(hub.name)

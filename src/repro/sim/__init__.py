@@ -4,12 +4,12 @@ from repro.sim.core import Event, Simulator, Timeout, URGENT, NORMAL, LOW
 from repro.sim.process import Interrupt, Process
 from repro.sim.primitives import AllOf, AnyOf, Condition
 from repro.sim.resources import Container, Request, Resource, Store
-from repro.sim.random import RandomStreams
+from repro.sim.random import RandomStreams, derived_rng
 from repro.sim.trace import TraceRecord, Tracer, maybe_record
 
 __all__ = [
     "Event", "Simulator", "Timeout", "URGENT", "NORMAL", "LOW",
     "Interrupt", "Process", "AllOf", "AnyOf", "Condition",
     "Container", "Request", "Resource", "Store",
-    "RandomStreams", "TraceRecord", "Tracer", "maybe_record",
+    "RandomStreams", "derived_rng", "TraceRecord", "Tracer", "maybe_record",
 ]

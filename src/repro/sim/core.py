@@ -154,6 +154,9 @@ class Simulator:
         self._heap: list[tuple[int, int, int, Event]] = []
         self._seq = 0
         self._running = False
+        #: opt-in runtime determinism checker (see repro.lint.runtime);
+        #: None means zero-overhead normal operation
+        self.race_detector = None
 
     # -- event construction ---------------------------------------------------
 
@@ -202,11 +205,25 @@ class Simulator:
 
     def step(self) -> None:
         """Process exactly one event."""
-        when, _prio, _seq, event = heapq.heappop(self._heap)
+        when, prio, seq, event = heapq.heappop(self._heap)
         if when < self.now:
             raise SimulationError("event heap corrupted: time went backwards")
         self.now = when
+        if self.race_detector is not None:
+            self.race_detector.observe(when, prio, seq, event)
         event._process()
+
+    def enable_race_detection(self):
+        """Attach an event-race detector; returns it for later inspection.
+
+        Opt-in: detection watches every popped event for same-timestamp
+        ties whose callbacks touch a shared component (a latent ordering
+        hazard).  See :class:`repro.lint.runtime.EventRaceDetector`.
+        """
+        from repro.lint.runtime import EventRaceDetector
+
+        self.race_detector = EventRaceDetector()
+        return self.race_detector
 
     def run(self, until: Optional[Any] = None) -> Any:
         """Run the simulation.

@@ -35,3 +35,19 @@ class RandomStreams:
         digest = hashlib.sha256(
             f"{self.seed}:fork:{name}".encode("utf-8")).digest()
         return RandomStreams(int.from_bytes(digest[:8], "big"))
+
+
+def derived_rng(name: str, seed: int = 0) -> random.Random:
+    """A standalone deterministic RNG for one named consumer.
+
+    The default-argument fallback for components constructed without an
+    explicit stream (``rng = rng or derived_rng("pipe.ab")``).  Unlike the
+    old ``random.Random(0)`` pattern, two differently named consumers never
+    share a draw sequence, and the sequence for a given name is stable no
+    matter how many other consumers exist.  Components wired by the testbed
+    layer still receive explicit :class:`RandomStreams` substreams; this
+    exists so hand-built components (tests, examples) stay deterministic
+    too.  This module is the only place ``random.Random`` may be
+    constructed (lint rule DET003).
+    """
+    return RandomStreams(seed).stream(name)

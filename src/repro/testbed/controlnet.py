@@ -20,6 +20,7 @@ from repro.checkpoint.bus import NotificationBus
 from repro.clocksync.clock import SystemClock
 from repro.clocksync.ntp import NTPClient, NTPServer, PathDelayModel
 from repro.sim.core import Simulator
+from repro.sim.random import derived_rng
 from repro.storage.channel import ByteChannel
 from repro.units import MB, US
 
@@ -36,7 +37,7 @@ class ControlNetwork:
                  path: PathDelayModel = PathDelayModel(),
                  bulk_rate_bytes_per_s: int = CONTROL_NET_BULK_RATE) -> None:
         self.sim = sim
-        self.rng = rng or random.Random(0)
+        self.rng = rng or derived_rng("controlnet")
         self.path = path
         self.ntp_server = NTPServer(server_clock)
         self.bus = NotificationBus(sim, self.rng, path)

@@ -88,11 +88,16 @@ class Emulab:
     DEFAULT_IMAGES = {"FC4-STD": 6 * GB}
 
     def __init__(self, sim: Simulator, config: TestbedConfig = TestbedConfig(),
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 streams: Optional[RandomStreams] = None) -> None:
         self.sim = sim
         self.config = config
         self.tracer = tracer
-        self.streams = RandomStreams(config.seed)
+        # An injected streams factory (e.g. repro.lint.runtime's recording /
+        # perturbed variants for shadow runs) must be draw-equivalent to
+        # RandomStreams(config.seed).
+        self.streams = streams if streams is not None \
+            else RandomStreams(config.seed)
         self.machines: Dict[str, Machine] = {}
         for i in range(config.num_machines):
             name = f"pc{i}"

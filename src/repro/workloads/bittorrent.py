@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.guest.kernel import GuestKernel
 from repro.net.tcp import TCPConnection
+from repro.sim.random import derived_rng
 from repro.units import GB, KB, MB, MS
 
 
@@ -162,7 +163,7 @@ class BitTorrentSwarm:
         self.pipeline_depth = pipeline_depth
         self.piece_process_ns = piece_process_ns
         self.port = port
-        self.rng = rng or random.Random(0)
+        self.rng = rng or derived_rng(f"bittorrent.swarm.{port}")
         self.peers: List[BitTorrentPeer] = [
             BitTorrentPeer(self, k, is_seeder=(i == seeder_index))
             for i, k in enumerate(kernels)]

@@ -21,6 +21,7 @@ from repro.hw.machine import Machine
 from repro.hw.tsc import GuestTSC
 from repro.net.interface import Interface
 from repro.sim.core import Simulator
+from repro.sim.random import derived_rng
 from repro.sim.trace import Tracer
 from repro.units import MB, MS
 from repro.xen.devices import VirtualBlockDevice, VirtualNIC
@@ -162,9 +163,14 @@ class Hypervisor:
     def create_domain(self, name: str, memory_bytes: int = 256 * MB,
                       rng: Optional[random.Random] = None,
                       epoch_wall_ns: int = 0) -> Domain:
-        """Boot a new paravirtualized guest."""
+        """Boot a new paravirtualized guest.
+
+        Without an explicit ``rng`` the domain draws from its own named
+        substream, so co-hosted domains never share a draw sequence.
+        """
         if name in self.domains:
             raise CheckpointError(f"domain {name} already exists")
+        rng = rng or derived_rng(f"domain.{self.machine.name}.{name}")
         kernel = GuestKernel(self.sim, self.machine, name, rng=rng,
                              tracer=self.tracer, epoch_wall_ns=epoch_wall_ns)
         domain = Domain(self, name, memory_bytes, kernel)

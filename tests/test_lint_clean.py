@@ -1,0 +1,61 @@
+"""The determinism gate: ``repro lint src/ tests/ benchmarks/`` must be clean.
+
+This is the tier-1 enforcement point for the static sanitizer — any
+wall-clock read, ambient randomness, bare RNG construction, or unordered
+iteration feeding scheduling that sneaks into the tree fails the suite with
+the offending file:line in the assertion message.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import check_paths, iter_python_files
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINTED_TREES = [REPO_ROOT / "src", REPO_ROOT / "tests",
+                REPO_ROOT / "benchmarks"]
+
+
+def test_tree_is_lint_clean():
+    paths = [str(p) for p in LINTED_TREES if p.is_dir()]
+    assert len(list(iter_python_files(paths))) > 100, \
+        "lint walked suspiciously few files"
+    violations = check_paths(paths)
+    formatted = "\n".join(v.format() for v in violations)
+    assert not violations, f"determinism lint violations:\n{formatted}"
+
+
+def test_cli_gate_exits_zero_on_tree():
+    paths = [str(p) for p in LINTED_TREES if p.is_dir()]
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *paths],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_cli_gate_catches_seeded_violation(tmp_path):
+    # Pre-commit semantics: a newly introduced violation must flip the
+    # exit code to 1 and name the file, line, and rule.
+    bad = tmp_path / "src" / "repro" / "seeded.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\n\n\ndef stamp():\n    return time.time()\n")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", str(tmp_path)],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 1
+    assert f"{bad}:5:" in proc.stdout
+    assert "DET001" in proc.stdout
+
+
+def test_cli_gate_usage_error_on_empty_dir(tmp_path):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", str(tmp_path)],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 2

@@ -1,0 +1,230 @@
+"""Dynamic determinism checks: event races and shadow-run divergence.
+
+Covers the runtime half of ``repro.lint``:
+
+* the :class:`EventRaceDetector` must flag two *independently* scheduled
+  events that pop at the same ``(time, priority)`` and touch the same
+  component, and must stay silent for causal chains, distinct components,
+  and the repo's real scenarios (quickstart, Fig. 6 iperf);
+* :func:`shadow_run` must converge on a clean Emulab scenario under
+  perturbed stream-creation order, and diverge when state leaks in from
+  outside the named :class:`RandomStreams`.
+"""
+
+import random
+
+from repro.analysis.digest import experiment_digest
+from repro.lint.runtime import (PerturbedStreams, RecordingStreams,
+                                shadow_run)
+from repro.sim import Simulator
+from repro.sim.random import RandomStreams
+from repro.testbed import (Emulab, ExperimentSpec, LinkSpec, NodeSpec,
+                           TestbedConfig)
+from repro.units import GBPS, MB, MBPS, MS, SECOND
+
+
+class _Register:
+    """Minimal simulation component: has a ``sim`` attribute and state."""
+
+    def __init__(self, sim, name):
+        self.sim = sim
+        self.name = name
+        self.value = 0
+
+    def bump(self):
+        self.value += 1
+
+    def double(self):
+        self.value *= 2
+
+
+# ---------------------------------------------------------------------------
+# event-race detector: synthetic scenarios
+# ---------------------------------------------------------------------------
+
+def test_racy_scenario_is_flagged():
+    # bump-then-double differs from double-then-bump: the outcome hangs on
+    # the heap's sequence tiebreak, which is exactly what must be flagged.
+    sim = Simulator()
+    detector = sim.enable_race_detection()
+    reg = _Register(sim, "reg")
+    sim.call_at(100, reg.bump)
+    sim.call_at(100, reg.double)
+    sim.run()
+    assert detector.race_count == 1
+    race = detector.races[0]
+    assert race.time == 100
+    assert "reg" in race.component
+    assert "order is decided only by scheduling sequence" in race.format()
+    assert "1 races" in detector.report()
+
+
+def test_distinct_components_do_not_race():
+    sim = Simulator()
+    detector = sim.enable_race_detection()
+    a = _Register(sim, "a")
+    b = _Register(sim, "b")
+    sim.call_at(100, a.bump)
+    sim.call_at(100, b.bump)
+    sim.run()
+    assert detector.race_count == 0
+
+
+def test_causal_chain_is_exempt():
+    # The second touch is scheduled *by* the first at zero delay: same
+    # timestamp, same component, but the order is forced — not a race.
+    sim = Simulator()
+    detector = sim.enable_race_detection()
+    reg = _Register(sim, "reg")
+
+    def first():
+        reg.bump()
+        sim.call_in(0, reg.double)
+
+    sim.call_at(100, first)
+    sim.run()
+    assert detector.race_count == 0
+    assert detector.events_observed >= 2
+
+
+def test_different_times_do_not_race():
+    sim = Simulator()
+    detector = sim.enable_race_detection()
+    reg = _Register(sim, "reg")
+    sim.call_at(100, reg.bump)
+    sim.call_at(101, reg.double)
+    sim.run()
+    assert detector.race_count == 0
+
+
+def test_duplicate_race_reported_once():
+    sim = Simulator()
+    detector = sim.enable_race_detection()
+    reg = _Register(sim, "reg")
+    sim.call_at(100, reg.bump)
+    sim.call_at(100, reg.double)
+    sim.call_at(100, reg.bump)
+    sim.run()
+    # three-way tie on one component is still one hazard, not three
+    assert detector.race_count == 1
+
+
+def test_detection_is_opt_in():
+    sim = Simulator()
+    assert sim.race_detector is None
+    reg = _Register(sim, "reg")
+    sim.call_at(100, reg.bump)
+    sim.call_at(100, reg.double)
+    sim.run()          # no detector attached; nothing observed, no crash
+    assert reg.value in (1, 2)
+
+
+# ---------------------------------------------------------------------------
+# event-race detector: real scenarios must be race-free
+# ---------------------------------------------------------------------------
+
+def _checkpointed_transfer(bandwidth_bps, transfer_bytes, seed):
+    """Quickstart-shaped scenario: transfer, checkpoint mid-flight, drain."""
+    sim = Simulator()
+    detector = sim.enable_race_detection()
+    testbed = Emulab(sim, TestbedConfig(num_machines=4, seed=seed))
+    exp = testbed.define_experiment(ExperimentSpec(
+        "racecheck",
+        nodes=[NodeSpec("client"), NodeSpec("server")],
+        links=[LinkSpec("link0", "client", "server",
+                        bandwidth_bps=bandwidth_bps, delay_ns=10 * MS,
+                        queue_slots=256)]))
+    sim.run(until=exp.swap_in())
+    received = []
+    exp.kernel("server").tcp.listen(5001, received.append)
+    conn = exp.kernel("client").tcp.connect("server", 5001)
+    sim.run(until=sim.now + 1 * SECOND)
+    conn.send(transfer_bytes)
+    sim.run(until=sim.now + 1 * SECOND)
+    sim.run(until=exp.coordinator.checkpoint_scheduled())
+    sim.run(until=sim.now + 10 * SECOND)
+    assert received and received[0].bytes_delivered == transfer_bytes
+    return detector
+
+
+def test_quickstart_scenario_is_race_free():
+    detector = _checkpointed_transfer(100 * MBPS, 20 * MB, seed=1)
+    assert detector.events_observed > 10_000
+    assert detector.race_count == 0, detector.report()
+
+
+def test_fig6_iperf_scenario_is_race_free():
+    # The Fig. 6 shape: 1 Gbps link, checkpoint mid-stream (shortened).
+    detector = _checkpointed_transfer(GBPS, 60 * MB, seed=6)
+    assert detector.events_observed > 10_000
+    assert detector.race_count == 0, detector.report()
+
+
+# ---------------------------------------------------------------------------
+# shadow runs
+# ---------------------------------------------------------------------------
+
+def test_perturbed_streams_are_equivalent():
+    # Substream seeds are pure in (seed, name): pre-creating streams in any
+    # order must not change a single draw.
+    warmed = PerturbedStreams(42, warm_names=["a", "b", "c"])
+    for name in ("c", "a", "b"):
+        plain = RandomStreams(42)       # fresh: never touched other streams
+        expect = [plain.stream(name).random() for _ in range(5)]
+        got = [warmed.stream(name).random() for _ in range(5)]
+        assert got == expect
+
+
+def test_recording_streams_remember_request_order():
+    streams = RecordingStreams(7)
+    streams.stream("b")
+    streams.stream("a")
+    streams.stream("b")                 # repeat requests are not re-recorded
+    assert streams.requested == ["b", "a"]
+
+
+def _emulab_scenario(streams):
+    """A full experiment digested for shadow comparison."""
+    sim = Simulator()
+    testbed = Emulab(sim, TestbedConfig(num_machines=4, seed=3),
+                     streams=streams)
+    exp = testbed.define_experiment(ExperimentSpec(
+        "shadow",
+        nodes=[NodeSpec("client"), NodeSpec("server")],
+        links=[LinkSpec("link0", "client", "server",
+                        bandwidth_bps=100 * MBPS, delay_ns=5 * MS)]))
+    sim.run(until=exp.swap_in())
+    received = []
+    exp.kernel("server").tcp.listen(5001, received.append)
+    conn = exp.kernel("client").tcp.connect("server", 5001)
+    sim.run(until=sim.now + 1 * SECOND)
+    conn.send(2 * MB)
+    sim.run(until=sim.now + 5 * SECOND)
+    assert received and received[0].bytes_delivered == 2 * MB
+    return experiment_digest(exp)
+
+
+def test_shadow_run_converges_on_clean_scenario():
+    report = shadow_run(_emulab_scenario, seed=3)
+    assert not report.diverged, report.format()
+    assert len(report.streams_requested) > 5
+    assert "converged" in report.format()
+
+
+def test_shadow_run_catches_state_leaking_past_streams():
+    # One RNG shared across both runs stands in for any state channel that
+    # bypasses the named streams (ambient `random`, module globals, ...):
+    # run B continues where run A's draws left off, so digests diverge.
+    ambient = random.Random(12345)
+
+    def leaky_scenario(streams):
+        sim = Simulator()
+        rng = streams.stream("app")
+        leak = ambient.randint(0, 10 ** 9)
+        sim.call_in(1000 + leak, lambda: None)
+        sim.run()
+        return (sim.now, rng.randint(0, 10 ** 9))
+
+    report = shadow_run(leaky_scenario, seed=0)
+    assert report.diverged
+    assert "DIVERGED" in report.format()
