@@ -8,6 +8,7 @@ result (who wins, by roughly what factor) rather than absolute numbers.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import List, Optional, Tuple
 
@@ -22,12 +23,27 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
 def emit_report(report: ExperimentReport, filename: str) -> None:
-    """Print the report and persist it under benchmarks/results/."""
+    """Print the report; persist it under benchmarks/results/ as text + JSON.
+
+    The ``.json`` twin carries the same rows machine-readably, so result
+    diffs (e.g. the fast-path equivalence gate) and external tooling never
+    have to parse the aligned text table.
+    """
     text = report.render()
     print("\n" + text + "\n")
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, filename), "w") as fh:
         fh.write(text + "\n")
+    stem = filename.rsplit(".", 1)[0]
+    payload = {
+        "experiment": report.experiment,
+        "rows": [{"metric": r.metric, "paper": r.paper,
+                  "measured": r.measured, "note": r.note}
+                 for r in report.rows],
+    }
+    with open(os.path.join(RESULTS_DIR, stem + ".json"), "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
 
 
 def single_node_rig(seed: int = 0, memory: int = 256 * MB

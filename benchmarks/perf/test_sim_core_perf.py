@@ -1,0 +1,52 @@
+"""Event-core microbenchmarks: the scheduling fast path vs the legacy path.
+
+Run with ``pytest benchmarks/perf/ --benchmark-only -s`` for interactive
+pytest-benchmark tables, or ``python -m repro bench`` for the
+machine-readable ``BENCH_sim_core.json`` artifact (which also acts as a
+fast/legacy equivalence gate).  Scenarios live in :mod:`repro.bench`.
+"""
+
+import pytest
+
+from repro.bench.scenarios import (make_sim, run_event_churn, run_fig6,
+                                   run_fig7, run_timer_storm)
+
+
+@pytest.mark.parametrize("fast_path", [True, False],
+                         ids=["fast", "legacy"])
+def test_event_churn(benchmark, fast_path):
+    fired = benchmark.pedantic(
+        lambda: run_event_churn(make_sim(fast_path=fast_path), events=50_000),
+        rounds=3, iterations=1)
+    assert fired == 50_000
+
+
+@pytest.mark.parametrize("fast_path", [True, False],
+                         ids=["fast", "legacy"])
+def test_timer_cancel_rearm_storm(benchmark, fast_path):
+    armed, fired = benchmark.pedantic(
+        lambda: run_timer_storm(make_sim(fast_path=fast_path), rounds=100),
+        rounds=3, iterations=1)
+    assert armed == 100 * 250
+    assert fired == 100          # one survivor per round
+
+
+@pytest.mark.parametrize("mode", ["fast", "legacy"])
+def test_fig6_iperf_wall_clock(benchmark, mode):
+    fast = mode == "fast"
+    digest = benchmark.pedantic(
+        lambda: run_fig6(make_sim(fast_path=fast, packet_trains=fast),
+                         run_seconds=6, num_ckpts=1),
+        rounds=1, iterations=1)
+    assert digest            # non-empty hex digest; equality is gated in
+    #                          tests/test_fastpath_equivalence.py
+
+
+@pytest.mark.parametrize("mode", ["fast", "legacy"])
+def test_fig7_bittorrent_wall_clock(benchmark, mode):
+    fast = mode == "fast"
+    digest = benchmark.pedantic(
+        lambda: run_fig7(make_sim(fast_path=fast, packet_trains=fast),
+                         run_seconds=8, num_ckpts=1),
+        rounds=1, iterations=1)
+    assert digest

@@ -10,6 +10,9 @@ Subcommands:
                   ``benchmarks/results/``
 * ``lint``      — the determinism sanitizer (rules DET001–DET007 over
                   the given paths; see docs/determinism.md)
+* ``bench``     — event-core performance benchmarks (fast path vs the
+                  legacy Event path; writes ``BENCH_sim_core.json``; see
+                  docs/performance.md)
 """
 
 from __future__ import annotations
@@ -116,6 +119,12 @@ def cmd_lint(args) -> int:
                     select=args.select)
 
 
+def cmd_bench(args) -> int:
+    from repro.bench import run_bench
+
+    return run_bench(quick=args.quick, output=args.output)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -134,9 +143,16 @@ def main(argv=None) -> int:
                            "(default: all)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
+    bench = sub.add_parser("bench", help="event-core performance benchmarks")
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller workloads (CI smoke run)")
+    bench.add_argument("--output", metavar="PATH",
+                       help="JSON artifact path "
+                            "(default: BENCH_sim_core.json at repo root)")
     args = parser.parse_args(argv)
     return {"info": cmd_info, "selftest": cmd_selftest,
-            "results": cmd_results, "lint": cmd_lint}[args.command](args)
+            "results": cmd_results, "lint": cmd_lint,
+            "bench": cmd_bench}[args.command](args)
 
 
 if __name__ == "__main__":

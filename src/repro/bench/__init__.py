@@ -1,0 +1,20 @@
+"""Performance benchmarks for the event-core hot path.
+
+``repro bench`` measures the scheduling fast path against the legacy
+Event-per-callback path on four scenarios — two synthetic kernel
+microbenchmarks and the two paper figures whose rigs stress the network
+hot path — and records the results in ``BENCH_sim_core.json`` at the
+repository root.  The same scenario builders back the equivalence tests
+(`tests/test_fastpath_equivalence.py`), which prove the two paths produce
+bit-identical experiment digests.
+"""
+
+from repro.bench.scenarios import (build_fig6_rig, build_fig7_rig,
+                                   run_event_churn, run_fig6, run_fig7,
+                                   run_timer_storm)
+from repro.bench.runner import run_bench
+
+__all__ = [
+    "build_fig6_rig", "build_fig7_rig", "run_event_churn", "run_fig6",
+    "run_fig7", "run_timer_storm", "run_bench",
+]

@@ -1,0 +1,148 @@
+"""The ``repro bench`` runner: fast path vs legacy path, timed.
+
+Each scenario is executed twice — once with the optimized scheduler
+(``fast_path=True, packet_trains=True``) and once with the legacy
+Event-per-callback path (``fast_path=False, packet_trains=False``) — and
+the wall-clock ratio is recorded.  The figure scenarios also record their
+experiment digests in both modes, so the JSON doubles as an equivalence
+artifact: ``digest_match`` must be ``true``.
+
+Output goes to ``BENCH_sim_core.json`` at the repository root (or the
+path given with ``--output``).  Wall-clock reads below are the *host*
+clock measuring the benchmark harness itself, never simulated time —
+hence the targeted DET001 suppressions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.bench.scenarios import (make_sim, run_event_churn, run_fig6,
+                                   run_fig7, run_timer_storm)
+
+FAST = {"fast_path": True, "packet_trains": True}
+LEGACY = {"fast_path": False, "packet_trains": False}
+
+
+def _time_run(fn: Callable[[], object]) -> Tuple[float, object]:
+    start = time.perf_counter()     # repro: noqa=DET001 — host-side timing
+    result = fn()
+    elapsed = time.perf_counter() - start   # repro: noqa=DET001
+    return elapsed, result
+
+
+def _bench_event_churn(quick: bool) -> Dict:
+    events = 40_000 if quick else 200_000
+    fast_s, fired = _time_run(
+        lambda: run_event_churn(make_sim(**FAST), events=events))
+    legacy_s, _ = _time_run(
+        lambda: run_event_churn(make_sim(**LEGACY), events=events))
+    return {
+        "events": fired,
+        "fast_seconds": round(fast_s, 4),
+        "legacy_seconds": round(legacy_s, 4),
+        "events_per_sec_fast": round(fired / fast_s),
+        "events_per_sec_legacy": round(fired / legacy_s),
+        "speedup": round(legacy_s / fast_s, 3),
+    }
+
+
+def _bench_timer_storm(quick: bool) -> Dict:
+    rounds = 80 if quick else 400
+    fast_s, (armed, _) = _time_run(
+        lambda: run_timer_storm(make_sim(**FAST), rounds=rounds))
+    legacy_s, _ = _time_run(
+        lambda: run_timer_storm(make_sim(**LEGACY), rounds=rounds))
+    return {
+        "timers_armed": armed,
+        "fast_seconds": round(fast_s, 4),
+        "legacy_seconds": round(legacy_s, 4),
+        "events_per_sec_fast": round(armed / fast_s),
+        "events_per_sec_legacy": round(armed / legacy_s),
+        "speedup": round(legacy_s / fast_s, 3),
+    }
+
+
+def _bench_figure(scenario: Callable, quick: bool, **kwargs) -> Dict:
+    if quick:
+        kwargs = dict(kwargs)
+        kwargs["run_seconds"] = max(4, kwargs.get("run_seconds", 10) // 4)
+        kwargs["num_ckpts"] = 1
+    # Best-of-N wall clock (interleaved) to suppress host noise; the runs
+    # are deterministic, so every repetition returns the same digest.
+    reps = 1 if quick else 2
+    fast_s = legacy_s = float("inf")
+    digest_fast = digest_legacy = None
+    for _ in range(reps):
+        s, digest_fast = _time_run(
+            lambda: scenario(make_sim(**FAST), **kwargs))
+        fast_s = min(fast_s, s)
+        s, digest_legacy = _time_run(
+            lambda: scenario(make_sim(**LEGACY), **kwargs))
+        legacy_s = min(legacy_s, s)
+    return {
+        "fast_seconds": round(fast_s, 4),
+        "legacy_seconds": round(legacy_s, 4),
+        "speedup": round(legacy_s / fast_s, 3),
+        "wall_clock_reduction_pct": round(100 * (1 - fast_s / legacy_s), 1),
+        "digest_fast": digest_fast,
+        "digest_legacy": digest_legacy,
+        "digest_match": digest_fast == digest_legacy,
+    }
+
+
+def run_bench(quick: bool = False, output: Optional[str] = None,
+              out=sys.stdout) -> int:
+    """Run all scenarios, write the JSON artifact, print a summary.
+
+    Returns a process exit code: non-zero if any figure scenario's
+    fast/legacy digests diverge (the bench is also an equivalence gate).
+    """
+    scenarios = {
+        "event_churn": lambda: _bench_event_churn(quick),
+        "timer_cancel_rearm_storm": lambda: _bench_timer_storm(quick),
+        "fig6_iperf": lambda: _bench_figure(run_fig6, quick, run_seconds=20),
+        "fig7_bittorrent": lambda: _bench_figure(run_fig7, quick,
+                                                 run_seconds=25),
+    }
+    results: Dict[str, Dict] = {}
+    for name, fn in scenarios.items():
+        print(f"bench: {name} ...", file=out, flush=True)
+        results[name] = fn()
+
+    payload = {
+        "bench": "sim_core",
+        "mode": "quick" if quick else "full",
+        "python": sys.version.split()[0],
+        "fast_config": FAST,
+        "legacy_config": LEGACY,
+        "scenarios": results,
+    }
+    if output is None:
+        repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))))
+        output = os.path.join(repo_root, "BENCH_sim_core.json")
+    with open(output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    print(file=out)
+    print(f"{'scenario':<28} {'fast':>9} {'legacy':>9} {'speedup':>8}",
+          file=out)
+    ok = True
+    for name, r in results.items():
+        print(f"{name:<28} {r['fast_seconds']:>8.3f}s "
+              f"{r['legacy_seconds']:>8.3f}s {r['speedup']:>7.2f}x",
+              file=out)
+        if "digest_match" in r and not r["digest_match"]:
+            ok = False
+            print(f"  DIGEST MISMATCH: {r['digest_fast']} != "
+                  f"{r['digest_legacy']}", file=out)
+    print(f"\nwrote {output}", file=out)
+    if not ok:
+        print("bench FAILED: fast/legacy digests diverged", file=out)
+    return 0 if ok else 1

@@ -1,0 +1,178 @@
+"""Benchmark scenarios, parameterized by the simulator's scheduling mode.
+
+Every scenario builds its world through the public API with an explicitly
+configured :class:`~repro.sim.core.Simulator`, so the same code runs the
+optimized path (``fast_path=True, packet_trains=True``) and the legacy
+Event-per-callback path (``fast_path=False, packet_trains=False``)
+side by side.  The figure scenarios return an
+:func:`~repro.analysis.digest.experiment_digest`, which the equivalence
+tests assert is identical across modes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.analysis.digest import experiment_digest
+from repro.sim import Simulator
+from repro.sim.random import RandomStreams
+from repro.sim.timers import SimTimerService
+from repro.units import GB, GBPS, MB, MBPS, MS, SECOND, US
+
+
+def make_sim(fast_path: bool = True, packet_trains: bool = True) -> Simulator:
+    """A simulator in the requested scheduling mode."""
+    return Simulator(fast_path=fast_path, packet_trains=packet_trains)
+
+
+# -- kernel microbenchmarks ----------------------------------------------------
+
+
+def run_event_churn(sim: Simulator, events: int = 200_000,
+                    chains: int = 64) -> int:
+    """Schedule-and-fire churn: ``chains`` self-rescheduling callbacks.
+
+    Models the steady-state heap load of a busy experiment: a bounded set
+    of concurrent activities, each rescheduling itself after firing.
+    Returns the number of callbacks fired.
+    """
+    state = {"fired": 0}
+    limit = events
+
+    def tick() -> None:
+        state["fired"] += 1
+        if state["fired"] <= limit - chains:
+            sim.schedule_fn(sim.now + 1000, tick)
+
+    for i in range(chains):
+        sim.schedule_fn(sim.now + 10 + i, tick)
+    sim.run()
+    return state["fired"]
+
+
+def run_timer_storm(sim: Simulator, rounds: int = 400,
+                    timers: int = 250) -> Tuple[int, int]:
+    """A TCP-RTO-style cancel/rearm storm.
+
+    Each round arms ``timers`` long-deadline timers (60 s out, like
+    retransmission timers) and immediately cancels all but one — the
+    "ack arrived, rearm" pattern.  On the legacy path every cancelled
+    timer's Event stays on the heap until its 60 s deadline, so the heap
+    grows by ~``rounds * timers`` tombstones; the fast path reclaims them
+    via lazy deletion + compaction.  Returns (timers armed, timers fired).
+    """
+    svc = SimTimerService(sim)
+    state = {"fired": 0}
+
+    def on_fire() -> None:
+        state["fired"] += 1
+
+    armed = 0
+    for _ in range(rounds):
+        handles = [svc.call_in(60 * SECOND, on_fire) for _ in range(timers)]
+        armed += len(handles)
+        for handle in handles[:-1]:
+            handle.cancel()
+        sim.run(until=sim.now + 1 * MS)
+    sim.run(until=sim.now + 61 * SECOND)
+    return armed, state["fired"]
+
+
+# -- figure rigs ----------------------------------------------------------------
+
+
+def build_fig6_rig(sim: Simulator, seed: int = 6, memory: int = 64 * MB,
+                   streams: Optional[RandomStreams] = None):
+    """The Figure 6 topology: two guests joined by one shaped GigE link."""
+    from repro.testbed import (Emulab, ExperimentSpec, LinkSpec, NodeSpec,
+                              TestbedConfig)
+
+    testbed = Emulab(sim, TestbedConfig(num_machines=4, seed=seed),
+                     streams=streams)
+    exp = testbed.define_experiment(ExperimentSpec(
+        "bench",
+        nodes=[NodeSpec("node0", memory_bytes=memory),
+               NodeSpec("node1", memory_bytes=memory)],
+        links=[LinkSpec("link0", "node0", "node1", bandwidth_bps=GBPS)]))
+    sim.run(until=exp.swap_in())
+    return testbed, exp
+
+
+def build_fig7_rig(sim: Simulator, num_nodes: int = 4,
+                   bandwidth_bps: int = 100 * MBPS, seed: int = 7,
+                   memory: int = 64 * MB,
+                   streams: Optional[RandomStreams] = None):
+    """The Figure 7 topology: ``num_nodes`` guests on a shaped LAN."""
+    from repro.testbed import (Emulab, ExperimentSpec, NodeSpec,
+                              TestbedConfig)
+    from repro.testbed.experiment import LanSpec
+
+    testbed = Emulab(sim, TestbedConfig(num_machines=2 * num_nodes + 1,
+                                        seed=seed), streams=streams)
+    names = [f"node{i}" for i in range(num_nodes)]
+    exp = testbed.define_experiment(ExperimentSpec(
+        "bench",
+        nodes=[NodeSpec(n, memory_bytes=memory) for n in names],
+        lans=[LanSpec("lan0", tuple(names), bandwidth_bps=bandwidth_bps)]))
+    sim.run(until=exp.swap_in())
+    return testbed, exp
+
+
+def _periodic_checkpoints(sim: Simulator, experiment, period_ns: int,
+                          count: int, start_at_ns: int) -> list:
+    results: list = []
+
+    def loop():
+        if start_at_ns > sim.now:
+            yield sim.timeout(start_at_ns - sim.now)
+        for _ in range(count):
+            next_at = sim.now + period_ns
+            result = yield experiment.coordinator.checkpoint_scheduled()
+            results.append(result)
+            if next_at > sim.now:
+                yield sim.timeout(next_at - sim.now)
+
+    sim.process(loop())
+    return results
+
+
+def run_fig6(sim: Simulator, run_seconds: int = 20, num_ckpts: int = 3,
+             seed: int = 6,
+             streams: Optional[RandomStreams] = None) -> str:
+    """The Figure 6 scenario (iperf under coordinated checkpoints).
+
+    Returns the experiment digest, which covers guest virtual time, TCP
+    sequence state and counters, storage content maps, and delay-node
+    occupancy — any scheduling divergence between modes changes it.
+    """
+    from repro.workloads import IperfSession
+
+    testbed, exp = build_fig6_rig(sim, seed=seed, streams=streams)
+    sender, receiver = exp.kernel("node1"), exp.kernel("node0")
+    session = IperfSession(sender, receiver)
+    session.start()
+    start = sim.now
+    _periodic_checkpoints(sim, exp, period_ns=4 * SECOND, count=num_ckpts,
+                          start_at_ns=start + 3 * SECOND)
+    sim.run(until=start + run_seconds * SECOND)
+    session.stop()
+    sim.run(until=sim.now + 200 * MS)
+    return experiment_digest(exp)
+
+
+def run_fig7(sim: Simulator, run_seconds: int = 25, num_ckpts: int = 3,
+             seed: int = 7,
+             streams: Optional[RandomStreams] = None) -> str:
+    """The Figure 7 scenario (BitTorrent swarm under checkpoints)."""
+    from repro.workloads import BitTorrentSwarm
+
+    testbed, exp = build_fig7_rig(sim, seed=seed, streams=streams)
+    kernels = [exp.kernel(f"node{i}") for i in range(4)]
+    swarm = BitTorrentSwarm(kernels, seeder_index=0, file_bytes=3 * GB,
+                            rng=testbed.streams.stream("bt"))
+    swarm.start()
+    start = sim.now
+    _periodic_checkpoints(sim, exp, period_ns=5 * SECOND, count=num_ckpts,
+                          start_at_ns=start + 5 * SECOND)
+    sim.run(until=start + run_seconds * SECOND)
+    return experiment_digest(exp)

@@ -11,29 +11,46 @@ The wheel also models dispatch slack: a small per-timer latency between the
 nominal deadline and handler execution, standing in for timer-interrupt
 granularity and softirq scheduling.  This slack is what bounds Figure 4's
 baseline timer accuracy (97% of iterations within 28 µs).
+
+Scheduling goes through the simulator's fast path: one
+:class:`~repro.sim.core.ScheduledCall` per distinct fire instant (all
+timers expiring at that instant share it, firing in arming order).  A
+cancelled :class:`~repro.sim.timers.TimerHandle` is unhooked from its batch
+immediately — and when the last timer of a batch is cancelled, or the wheel
+freezes, the batch's heap entry is cancelled too, so cancel/rearm-heavy
+workloads (TCP RTO storms) no longer grow the event heap until original
+deadlines pass.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import ClockError, SimulationError
 from repro.guest.vclock import VirtualClock
-from repro.sim.core import Simulator
+from repro.sim.core import ScheduledCall, Simulator
 from repro.sim.random import derived_rng
 from repro.sim.timers import TimerHandle
 from repro.units import US
 
 
 class _TimerEntry:
-    __slots__ = ("vdeadline", "handle", "slack", "frozen_remaining")
+    __slots__ = ("wheel", "vdeadline", "handle", "slack", "frozen_remaining",
+                 "fire_at")
 
-    def __init__(self, vdeadline: int, handle: TimerHandle, slack: int) -> None:
+    def __init__(self, wheel: "VirtualTimerWheel", vdeadline: int,
+                 handle: TimerHandle, slack: int) -> None:
+        self.wheel = wheel
         self.vdeadline = vdeadline
         self.handle = handle
         self.slack = slack
         self.frozen_remaining = -1
+        self.fire_at = -1                   # armed instant; -1 when unarmed
+
+    def cancel(self) -> None:
+        # Installed as the TimerHandle's underlying cancellable.
+        self.wheel._cancel_entry(self)
 
 
 class VirtualTimerWheel:
@@ -47,12 +64,16 @@ class VirtualTimerWheel:
         self.rng = rng or derived_rng(f"timers.{name}")
         self.max_slack_ns = max_slack_ns
         self.name = name
-        self._pending: list[_TimerEntry] = []
+        #: armed/held entries in arming order (dict-as-ordered-set: O(1)
+        #: removal when a timer is cancelled or fires)
+        self._pending: Dict[_TimerEntry, None] = {}
         #: entries grouped by absolute fire instant: all timers expiring at
         #: one simulation instant fire from a single scheduled event, in
         #: arming order — never from heap-tiebreak order between separate
         #: events (the event-race detector flags that as a hazard)
-        self._due: dict[int, list[_TimerEntry]] = {}
+        self._due: Dict[int, List[_TimerEntry]] = {}
+        #: the one ScheduledCall backing each fire instant's batch
+        self._due_calls: Dict[int, ScheduledCall] = {}
         self._frozen = False
         self._version = 0
 
@@ -69,8 +90,9 @@ class VirtualTimerWheel:
         handle = TimerHandle(fn)
         slack = self.rng.randint(0, self.max_slack_ns) \
             if self.max_slack_ns > 0 else 0
-        entry = _TimerEntry(self.now() + delay_ns, handle, slack)
-        self._pending.append(entry)
+        entry = _TimerEntry(self, self.now() + delay_ns, handle, slack)
+        handle._call = entry
+        self._pending[entry] = None
         if not self._frozen:
             self._arm(entry)
         return handle
@@ -80,6 +102,7 @@ class VirtualTimerWheel:
     def _arm(self, entry: _TimerEntry) -> None:
         remaining = max(0, entry.vdeadline - self.vclock.now())
         fire_at = self.sim.now + remaining + entry.slack
+        entry.fire_at = fire_at
         batch = self._due.get(fire_at)
         if batch is not None:
             batch.append(entry)             # an event for this instant exists
@@ -90,15 +113,36 @@ class VirtualTimerWheel:
         def fire_batch() -> None:
             if version != self._version:
                 return                      # wheel was frozen since arming
+            self._due_calls.pop(fire_at, None)
             for due in self._due.pop(fire_at, ()):
                 if version != self._version:
                     return                  # froze mid-batch; rest re-arm at thaw
                 if due not in self._pending:
                     continue                # cancelled or already fired
-                self._pending.remove(due)
+                del self._pending[due]
+                due.fire_at = -1
                 due.handle._fire()
 
-        self.sim.call_at(fire_at, fire_batch)
+        self._due_calls[fire_at] = self.sim.schedule_call(fire_at, fire_batch)
+
+    def _cancel_entry(self, entry: _TimerEntry) -> None:
+        """Unhook a cancelled timer; reclaim its batch if it was the last."""
+        self._pending.pop(entry, None)
+        fire_at, entry.fire_at = entry.fire_at, -1
+        if fire_at < 0:
+            return                          # frozen or never armed
+        batch = self._due.get(fire_at)
+        if batch is None:
+            return                          # batch is firing right now
+        try:
+            batch.remove(entry)
+        except ValueError:
+            return
+        if not batch:
+            del self._due[fire_at]
+            call = self._due_calls.pop(fire_at, None)
+            if call is not None:
+                call.cancel()               # lazy-delete the heap entry
 
     # -- freeze protocol ----------------------------------------------------------------
 
@@ -109,8 +153,9 @@ class VirtualTimerWheel:
     @property
     def pending_count(self) -> int:
         """Timers currently armed or held frozen."""
-        self._pending = [e for e in self._pending
-                         if not e.handle.cancelled and not e.handle.fired]
+        for entry in [e for e in self._pending
+                      if e.handle.cancelled or e.handle.fired]:
+            del self._pending[entry]
         return len(self._pending)
 
     def freeze(self) -> None:
@@ -124,10 +169,14 @@ class VirtualTimerWheel:
         if self._frozen:
             raise ClockError(f"timer wheel {self.name} already frozen")
         self._frozen = True
-        self._version += 1                  # disarm every scheduled callback
+        self._version += 1                  # disarm any batch mid-flight
+        for call in self._due_calls.values():
+            call.cancel()                   # reclaim the scheduled batches
         self._due.clear()
+        self._due_calls.clear()
         now = self.vclock.now()
         for entry in self._pending:
+            entry.fire_at = -1
             entry.frozen_remaining = max(0, entry.vdeadline - now)
 
     def thaw(self) -> None:
@@ -144,7 +193,7 @@ class VirtualTimerWheel:
         now = self.vclock.now()
         live = [e for e in self._pending
                 if not e.handle.cancelled and not e.handle.fired]
-        self._pending = live
+        self._pending = dict.fromkeys(live)
         for entry in live:
             if entry.frozen_remaining >= 0:
                 # Re-express the deadline against the re-based clock: the

@@ -60,8 +60,12 @@ def _describe_callback(fn: Callable) -> str:
 
 
 def _describe_event(event) -> str:
-    callbacks = event.callbacks or ()
-    names = ", ".join(_describe_callback(cb) for cb in callbacks) or "no-op"
+    callbacks = getattr(event, "callbacks", None)
+    if callbacks is None and callable(event):
+        # Fast-path heap item: the simulator hands us the callback itself.
+        return f"call({_describe_callback(event)})"
+    names = ", ".join(_describe_callback(cb) for cb in callbacks or ()) \
+        or "no-op"
     return f"{type(event).__name__}({names})"
 
 
@@ -80,9 +84,16 @@ def _touched_components(event, _depth: int = 0) -> Dict[int, str]:
     attribute (every simulation component in this codebase does).  The
     :class:`~repro.sim.core.Simulator` itself is excluded: everything
     touches it.
+
+    ``event`` is either an :class:`~repro.sim.core.Event` (legacy path,
+    inspect its callbacks) or a fast-path callable (inspect it directly).
     """
     touched: Dict[int, str] = {}
-    for cb in (event.callbacks or ()):
+    callbacks = getattr(event, "callbacks", None)
+    if callbacks is None and callable(event):
+        _collect_from_callable(event, touched, depth=0)
+        return touched
+    for cb in (callbacks or ()):
         _collect_from_callable(cb, touched, depth=0)
     return touched
 
@@ -124,16 +135,21 @@ class EventRaceDetector:
     it only watches.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, sim=None) -> None:
         self.races: List[EventRace] = []
         self.events_observed = 0
+        self.sim = sim
         self._key: Optional[Tuple[int, int]] = None
         self._watermark = 0
         self._independent: List[Tuple[str, Dict[int, str]]] = []
         self._reported: set = set()
 
     def observe(self, when: int, priority: int, seq: int, event) -> None:
-        """Called by the simulator just before an event is processed."""
+        """Called by the simulator just before an event is processed.
+
+        ``event`` is the popped heap item: an Event on the legacy path, the
+        scheduled callable itself on the fast path.
+        """
         self.events_observed += 1
         key = (when, priority)
         if key != self._key:
@@ -141,7 +157,8 @@ class EventRaceDetector:
             self._independent = []
             # Anything enqueued after this point (seq above the watermark)
             # is a causal descendant of an event inside this tie.
-            self._watermark = event.sim._seq
+            sim = self.sim if self.sim is not None else event.sim
+            self._watermark = sim._seq
         elif seq > self._watermark:
             return
         desc = _describe_event(event)

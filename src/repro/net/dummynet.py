@@ -14,17 +14,27 @@ state of the whole network.  :meth:`freeze`, :meth:`thaw`,
 live-checkpoint protocol, including virtualizing the pipe clock so queued
 packets resume with their *remaining* service times (§4.4's "virtualizing
 time to account for the time spent in the checkpoint").
+
+Scheduling rides the simulator's fast path with cancellable handles: the
+bandwidth server keeps one :class:`~repro.sim.core.ScheduledCall` for the
+transmission in progress, and the delay line keeps one for its *head* entry
+only (service is FIFO and delays are constant, so delivery instants are
+monotone — each fire delivers every entry due at that instant and re-arms
+for the new head).  Freezing simply cancels both handles, which reclaims
+the heap entries lazily instead of leaving fire-time-checked tombstones
+behind.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import CheckpointError, NetworkError
 from repro.net.packet import Packet
-from repro.sim.core import Simulator
+from repro.sim.core import ScheduledCall, Simulator
 from repro.sim.random import derived_rng
 from repro.units import MBPS, transmission_time_ns
 
@@ -74,11 +84,12 @@ class Pipe:
         self.sink = sink
         self.rng = rng or derived_rng(f"pipe.{name}")
         self.name = name
-        self._queue: List[Packet] = []
+        self._queue: List[Packet] = []      # bounded by config.queue_slots
         self._transmitting: Optional[Tuple[Packet, int]] = None  # (pkt, finish)
-        self._delay_line: List[Tuple[Packet, int]] = []          # (pkt, deliver)
+        self._delay_line: deque = deque()                   # (pkt, deliver_at)
+        self._tx_call: Optional[ScheduledCall] = None
+        self._delay_call: Optional[ScheduledCall] = None
         self._frozen = False
-        self._version = 0
         self.submitted = 0
         self.delivered = 0
         self.dropped_loss = 0
@@ -112,19 +123,14 @@ class Pipe:
         tx = transmission_time_ns(packet.wire_bytes, self.config.bandwidth_bps)
         finish = self.sim.now + tx
         self._transmitting = (packet, finish)
-        version = self._version
-
-        def tx_done() -> None:
-            if version != self._version:
-                return
-            self._finish_transmission()
-
-        self.sim.call_at(finish, tx_done)
+        self._tx_call = self.sim.schedule_call(finish,
+                                               self._finish_transmission)
 
     def _finish_transmission(self) -> None:
         assert self._transmitting is not None
         packet, _finish = self._transmitting
         self._transmitting = None
+        self._tx_call = None
         if self.config.delay_ns == 0:
             # Fast path: no delay line to ride.
             self.delivered += 1
@@ -134,19 +140,24 @@ class Pipe:
         self._start_transmission()
 
     def _enter_delay_line(self, packet: Packet, deliver_at: int) -> None:
-        entry = (packet, deliver_at)
-        self._delay_line.append(entry)
-        version = self._version
+        # FIFO service + constant delay keeps deliver_at monotone, so the
+        # whole line is served by one scheduled call armed for its head.
+        self._delay_line.append((packet, deliver_at))
+        if self._delay_call is None:
+            self._delay_call = self.sim.schedule_call(
+                self._delay_line[0][1], self._emerge_due)
 
-        def emerge() -> None:
-            if version != self._version:
-                return
-            if entry in self._delay_line:
-                self._delay_line.remove(entry)
-                self.delivered += 1
-                self.sink(packet)
-
-        self.sim.call_at(deliver_at, emerge)
+    def _emerge_due(self) -> None:
+        self._delay_call = None
+        line = self._delay_line
+        now = self.sim.now
+        while line and line[0][1] <= now:
+            packet, _t = line.popleft()
+            self.delivered += 1
+            self.sink(packet)
+        if line:
+            self._delay_call = self.sim.schedule_call(line[0][1],
+                                                      self._emerge_due)
 
     # -- introspection -------------------------------------------------------------
 
@@ -176,12 +187,9 @@ class Pipe:
             self._queue[0], self._queue[1] = self._queue[1], self._queue[0]
             return True
         if len(self._delay_line) >= 2:
-            # Re-enter both packets with exchanged delivery slots; the
-            # original entries' callbacks notice the removal and no-op.
             (p0, t0), (p1, t1) = self._delay_line[0], self._delay_line[1]
-            del self._delay_line[:2]
-            self._enter_delay_line(p1, t0)
-            self._enter_delay_line(p0, t1)
+            self._delay_line[0] = (p1, t0)
+            self._delay_line[1] = (p0, t1)
             return True
         return False
 
@@ -189,14 +197,14 @@ class Pipe:
         """Drop the packet closest to delivery (an injected loss).
 
         Takes from the router queue first, then from the delay line (a
-        loss in flight); scheduled delivery callbacks notice the removal
-        and become no-ops.
+        loss in flight); the delay line's scheduled delivery notices the
+        shorter line and re-arms for the new head.
         """
         if self._queue:
             self.dropped_queue += 1
             return self._queue.pop(0)
         if self._delay_line:
-            packet, _t = self._delay_line.pop(0)
+            packet, _t = self._delay_line.popleft()
             self.dropped_queue += 1
             return packet
         return None
@@ -210,12 +218,19 @@ class Pipe:
         self._frozen = True
         now = self.sim.now
         # Convert absolute deadlines into remaining times and cancel the
-        # scheduled callbacks (version bump) — the pipe's virtual clock stops.
+        # scheduled callbacks — the pipe's virtual clock stops and the heap
+        # entries are reclaimed lazily.
+        if self._tx_call is not None:
+            self._tx_call.cancel()
+            self._tx_call = None
+        if self._delay_call is not None:
+            self._delay_call.cancel()
+            self._delay_call = None
         if self._transmitting is not None:
             packet, finish = self._transmitting
             self._transmitting = (packet, max(0, finish - now))
-        self._delay_line = [(p, max(0, t - now)) for p, t in self._delay_line]
-        self._version += 1
+        self._delay_line = deque((p, max(0, t - now))
+                                 for p, t in self._delay_line)
 
     def thaw(self) -> None:
         """Restart the pipe clock; remaining times resume where they stopped."""
@@ -223,21 +238,15 @@ class Pipe:
             raise CheckpointError(f"pipe {self.name} is not frozen")
         self._frozen = False
         now = self.sim.now
-        version = self._version
         if self._transmitting is not None:
             packet, remaining = self._transmitting
             finish = now + remaining
             self._transmitting = (packet, finish)
-
-            def tx_done() -> None:
-                if version != self._version:
-                    return
-                self._finish_transmission()
-
-            self.sim.call_at(finish, tx_done)
+            self._tx_call = self.sim.schedule_call(finish,
+                                                   self._finish_transmission)
         # Re-arm the delay line with remaining times.
         entries = [(p, now + r) for p, r in self._delay_line]
-        self._delay_line = []
+        self._delay_line = deque()
         for packet, deliver_at in entries:
             self._enter_delay_line(packet, deliver_at)
         if self._transmitting is None:
@@ -265,4 +274,4 @@ class Pipe:
         self._transmitting = (None if snapshot.transmitting is None else
                               (snapshot.transmitting[0].copy(),
                                snapshot.transmitting[1]))
-        self._delay_line = [(p.copy(), r) for p, r in snapshot.delay_line]
+        self._delay_line = deque((p.copy(), r) for p, r in snapshot.delay_line)

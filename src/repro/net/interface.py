@@ -60,7 +60,8 @@ class Interface:
             raise NetworkError(f"interface {self.name} has no link")
         self.tx_packets += 1
         self.tx_bytes += packet.wire_bytes
-        maybe_record(self.tracer, "if.tx", iface=self.name, packet=packet)
+        if self.tracer is not None:     # inline maybe_record: hot path
+            self.tracer.record("if.tx", iface=self.name, packet=packet)
         self.link.transmit(self, packet)
 
     def deliver(self, packet: Packet) -> None:
@@ -76,7 +77,8 @@ class Interface:
     def _deliver_up(self, packet: Packet) -> None:
         self.rx_packets += 1
         self.rx_bytes += packet.wire_bytes
-        maybe_record(self.tracer, "if.rx", iface=self.name, packet=packet)
+        if self.tracer is not None:     # inline maybe_record: hot path
+            self.tracer.record("if.rx", iface=self.name, packet=packet)
         if self._handler is not None:
             self._handler(packet)
 

@@ -6,11 +6,23 @@ links are physically switched Ethernet at full NIC rate; the *shaping* to
 the experiment's requested characteristics happens in the interposed delay
 node (:mod:`repro.net.delaynode`), so plain links are typically configured
 at line rate with negligible propagation.
+
+Delivery uses **packet trains**: because each direction is a FIFO serializer,
+arrival times are monotone, so while packets are in flight back-to-back the
+direction keeps exactly one scheduled delivery event alive.  The event
+delivers the head of the train at its precise arrival time and reschedules
+itself for the next head — per-packet arrival timing is reconstructed
+exactly (bit-identical to per-packet scheduling) while the event heap holds
+one entry per busy direction instead of one per in-flight packet, and the
+scheduled item is one prebound callable reused for the whole train (zero
+per-packet allocation).  Batching disengages whenever the train drains (the
+direction goes idle); construct the :class:`~repro.sim.core.Simulator` with
+``packet_trains=False`` to force per-packet delivery events.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import deque
 
 from repro.errors import NetworkError
 from repro.net.interface import Interface
@@ -19,13 +31,36 @@ from repro.sim.core import Simulator
 from repro.units import GBPS, US, transmission_time_ns
 
 
-@dataclass
 class _Direction:
-    src: Interface
-    dst: Interface
-    busy_until: int = 0
-    queued: int = 0
-    drops: int = 0
+    """One serializing direction of a duplex link."""
+
+    __slots__ = ("sim", "src", "dst", "busy_until", "queued", "drops",
+                 "train", "scheduled", "fire")
+
+    def __init__(self, sim: Simulator, src: Interface, dst: Interface) -> None:
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.busy_until = 0
+        self.queued = 0
+        self.drops = 0
+        #: in-flight packets in arrival order: (arrive_ns, packet)
+        self.train: deque = deque()
+        self.scheduled = False
+        #: the one delivery callable reused for every entry of the train
+        self.fire = self._deliver_next
+
+    def _deliver_next(self) -> None:
+        train = self.train
+        arrive, packet = train.popleft()
+        if train:
+            # Re-arm for the next arrival *before* delivering: a handler
+            # that synchronously transmits again must see consistent state.
+            self.sim.schedule_fn(train[0][0], self.fire)
+        else:
+            self.scheduled = False          # train drained: batching disengages
+        self.queued -= 1
+        self.dst.deliver(packet)
 
 
 class Link:
@@ -42,7 +77,8 @@ class Link:
         self.bandwidth_bps = bandwidth_bps
         self.propagation_ns = propagation_ns
         self.queue_packets = queue_packets
-        self._dirs = {a: _Direction(a, b), b: _Direction(b, a)}
+        self.batching = sim.packet_trains
+        self._dirs = {a: _Direction(sim, a, b), b: _Direction(sim, b, a)}
         a.link = self
         b.link = self
 
@@ -62,11 +98,18 @@ class Link:
         direction.queued += 1
         arrive = finish + self.propagation_ns
 
+        if self.batching:
+            direction.train.append((arrive, packet))
+            if not direction.scheduled:
+                direction.scheduled = True
+                self.sim.schedule_fn(arrive, direction.fire)
+            return
+
         def deliver() -> None:
             direction.queued -= 1
             direction.dst.deliver(packet)
 
-        self.sim.call_at(arrive, deliver)
+        self.sim.schedule_fn(arrive, deliver)
 
     def drops(self, src: Interface) -> int:
         """Packets dropped at ``src``'s transmit queue."""

@@ -20,7 +20,7 @@ FRAME_OVERHEAD_BYTES = 66
 _packet_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One network packet."""
 
@@ -31,11 +31,12 @@ class Packet:
     headers: Dict[str, Any] = field(default_factory=dict)
     created_at: int = 0
     uid: int = field(default_factory=lambda: next(_packet_ids))
+    #: bytes occupied on the wire, including framing — precomputed because
+    #: every shaping layer reads it (a property was a hot-path cost)
+    wire_bytes: int = field(init=False, repr=False, compare=False)
 
-    @property
-    def wire_bytes(self) -> int:
-        """Bytes occupied on the wire, including framing."""
-        return self.payload_bytes + FRAME_OVERHEAD_BYTES
+    def __post_init__(self) -> None:
+        self.wire_bytes = self.payload_bytes + FRAME_OVERHEAD_BYTES
 
     def copy(self) -> "Packet":
         """An independent copy (fresh uid) — used by replay logs."""

@@ -39,7 +39,7 @@ DELACK_TIMEOUT_NS = 40 * MS     # delayed-ack timer
 SYN, ACK, FIN = "SYN", "ACK", "FIN"
 
 
-@dataclass
+@dataclass(slots=True)
 class TCPStats:
     """Per-connection counters used by the evaluation's trace analysis."""
 
@@ -57,6 +57,18 @@ class TCPStats:
 
 class TCPConnection:
     """One endpoint of a TCP connection."""
+
+    __slots__ = (
+        "stack", "host", "local_port", "remote_addr", "remote_port", "state",
+        "stats", "snd_una", "snd_nxt", "snd_max", "send_queue", "cwnd",
+        "ssthresh", "peer_window", "dupack_count", "_recovery_point",
+        "_in_fast_recovery", "_segment_times", "_ca_accumulator", "rcv_nxt",
+        "_unacked_segments", "_delack_timer", "recv_buffer_capacity",
+        "recv_buffered", "_ooo", "bytes_delivered", "srtt", "rttvar", "rto",
+        "_rto_timer", "_rto_backoff", "on_receive", "auto_consume",
+        "on_established", "on_close", "on_send_space", "fin_sent",
+        "fin_received",
+    )
 
     def __init__(self, stack: "TCPStack", local_port: int, remote_addr: str,
                  remote_port: int, passive: bool,
@@ -80,6 +92,7 @@ class TCPConnection:
         self._recovery_point = 0            # NewReno fast-recovery boundary
         self._in_fast_recovery = False
         self._segment_times: Dict[int, Tuple[int, bool]] = {}
+        self._ca_accumulator = 0            # RFC 3465 byte-counted CA credit
         # --- receiver state ---
         self.rcv_nxt = 0
         self._unacked_segments = 0
@@ -211,9 +224,10 @@ class TCPConnection:
                      "len": length, "win": window,
                      "retransmit": is_retransmit})
         self.stats.segments_sent += 1
-        maybe_record(self.host.tracer, "tcp.tx", conn=self._key(),
-                     seq=seq, length=length, flags=flags,
-                     retransmit=is_retransmit)
+        tracer = self.host.tracer
+        if tracer is not None:          # inline maybe_record: hot path
+            tracer.record("tcp.tx", conn=self._key(), seq=seq, length=length,
+                          flags=flags, retransmit=is_retransmit)
         self.host.send(packet)
 
     def _send_ack(self, duplicate: bool = False) -> None:
@@ -426,7 +440,7 @@ class TCPConnection:
             self.cwnd += min(acked, 2 * MSS)
         else:
             # Congestion avoidance, byte-counted.
-            self._ca_accumulator = getattr(self, "_ca_accumulator", 0) + acked
+            self._ca_accumulator += acked
             if self._ca_accumulator >= self.cwnd:
                 self._ca_accumulator -= self.cwnd
                 self.cwnd += MSS
@@ -479,9 +493,11 @@ class TCPConnection:
 
     def _deliver(self, nbytes: int) -> None:
         self.bytes_delivered += nbytes
-        maybe_record(self.host.tracer, "tcp.deliver", conn=self._key(),
-                     nbytes=nbytes, total=self.bytes_delivered,
-                     vtime=self.host.timers.now())
+        tracer = self.host.tracer
+        if tracer is not None:          # inline maybe_record: hot path
+            tracer.record("tcp.deliver", conn=self._key(), nbytes=nbytes,
+                          total=self.bytes_delivered,
+                          vtime=self.host.timers.now())
         if self.on_receive is not None:
             self.on_receive(nbytes)
         if not self.auto_consume:

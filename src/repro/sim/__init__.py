@@ -1,6 +1,7 @@
 """Deterministic discrete-event simulation kernel."""
 
-from repro.sim.core import Event, Simulator, Timeout, URGENT, NORMAL, LOW
+from repro.sim.core import (Event, ScheduledCall, Simulator, Timeout,
+                            URGENT, NORMAL, LOW)
 from repro.sim.process import Interrupt, Process
 from repro.sim.primitives import AllOf, AnyOf, Condition
 from repro.sim.resources import Container, Request, Resource, Store
@@ -8,7 +9,8 @@ from repro.sim.random import RandomStreams, derived_rng
 from repro.sim.trace import TraceRecord, Tracer, maybe_record
 
 __all__ = [
-    "Event", "Simulator", "Timeout", "URGENT", "NORMAL", "LOW",
+    "Event", "ScheduledCall", "Simulator", "Timeout", "URGENT", "NORMAL",
+    "LOW",
     "Interrupt", "Process", "AllOf", "AnyOf", "Condition",
     "Container", "Request", "Resource", "Store",
     "RandomStreams", "derived_rng", "TraceRecord", "Tracer", "maybe_record",

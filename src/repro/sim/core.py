@@ -1,11 +1,27 @@
 """Deterministic discrete-event simulation kernel.
 
 The kernel is a classic event-heap design: :class:`Simulator` owns a binary
-heap of ``(time, priority, sequence, Event)`` entries and advances simulated
-time by popping the earliest entry and running its callbacks.  Simulated time
-is integer nanoseconds (see :mod:`repro.units`), and ties are broken by a
+heap of ``(time, priority, sequence, item)`` entries and advances simulated
+time by popping the earliest entry and running it.  Simulated time is
+integer nanoseconds (see :mod:`repro.units`), and ties are broken by a
 monotonically increasing sequence number, so a run is reproducible
 bit-for-bit regardless of host platform.
+
+Two kinds of item ride the heap:
+
+* :class:`Event` (and subclasses) — the full-featured waitable object used
+  by processes, with a value, callbacks, and failure propagation;
+* the scheduling **fast path** — :meth:`Simulator.schedule_call` pushes a
+  single slotted :class:`ScheduledCall` handle (cancellable), and
+  :meth:`Simulator.schedule_fn` pushes the bare callable itself.  Neither
+  allocates an Event, a callback list, or a wrapper lambda, which is what
+  makes per-packet and per-timer scheduling cheap (see docs/performance.md).
+
+Cancellation is *lazy*: a cancelled :class:`ScheduledCall` drops its
+callback reference immediately and is skipped when popped; when tombstones
+exceed half the heap the heap is compacted in one O(n) pass.  Pop order is
+fully determined by the ``(time, priority, sequence)`` prefix, so compaction
+(which only rearranges the backing array) can never change scheduling order.
 
 Processes (generator coroutines that ``yield`` events) are layered on top in
 :mod:`repro.sim.process`.
@@ -113,9 +129,18 @@ class Event:
             self.callbacks.append(fn)
 
     def remove_callback(self, fn: Callable[["Event"], None]) -> None:
-        """Remove a previously registered callback (no-op if absent)."""
-        if self.callbacks and fn in self.callbacks:
-            self.callbacks.remove(fn)
+        """Remove a previously registered callback (no-op if absent).
+
+        On a processed event the callback list is gone and there is nothing
+        to remove; that case returns immediately instead of scanning.
+        """
+        cbs = self.callbacks
+        if cbs is None:
+            return                          # already processed
+        try:
+            cbs.remove(fn)                  # single O(n) pass, not two
+        except ValueError:
+            pass
 
     def _process(self) -> None:
         callbacks, self.callbacks = self.callbacks, None
@@ -146,14 +171,80 @@ class Timeout(Event):
         sim._enqueue(self, delay, NORMAL)
 
 
-class Simulator:
-    """The event loop: a clock plus a heap of scheduled events."""
+class ScheduledCall:
+    """A cancellable handle for one fast-path scheduled callback.
 
-    def __init__(self) -> None:
+    The handle *is* the heap item: cancelling sets ``fn`` to ``None``
+    (releasing the callback and anything it closes over immediately) and the
+    simulator skips the tombstone when it reaches the top of the heap.  In
+    legacy mode (``Simulator(fast_path=False)``) the handle instead guards a
+    conventional :class:`Event`, reproducing the pre-fast-path fire-time
+    tombstone semantics for A/B equivalence runs.
+    """
+
+    __slots__ = ("sim", "fn", "_direct")
+
+    def __init__(self, sim: "Simulator", fn: Callable[[], None],
+                 direct: bool = True) -> None:
+        self.sim = sim
+        self.fn: Optional[Callable[[], None]] = fn
+        self._direct = direct
+
+    @property
+    def active(self) -> bool:
+        """True while the callback is still pending (not fired, not
+        cancelled)."""
+        return self.fn is not None
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if fired/cancelled)."""
+        if self.fn is None:
+            return
+        self.fn = None
+        if self._direct:
+            sim = self.sim
+            sim._dead += 1
+            if (sim._dead >= sim.COMPACT_MIN and
+                    sim._dead * 2 > len(sim._heap)):
+                sim._compact()
+
+    def _event_fire(self, _event: "Event") -> None:
+        # Legacy-mode trampoline: the Event fires, the handle decides.
+        fn = self.fn
+        if fn is not None:
+            self.fn = None
+            fn()
+
+    def __repr__(self) -> str:
+        state = "pending" if self.fn is not None else "done"
+        return f"<ScheduledCall {state} at {hex(id(self))}>"
+
+
+class Simulator:
+    """The event loop: a clock plus a heap of scheduled events.
+
+    ``fast_path`` and ``packet_trains`` exist so one binary can run the
+    optimized and the legacy scheduling paths side by side (equivalence
+    tests, `repro bench`); both default on and production code never turns
+    them off.
+    """
+
+    #: lazy-deletion compaction knobs: compact when at least COMPACT_MIN
+    #: tombstones exist *and* they outnumber live entries
+    COMPACT_MIN = 64
+
+    def __init__(self, *, fast_path: bool = True,
+                 packet_trains: bool = True) -> None:
         self.now: int = 0
-        self._heap: list[tuple[int, int, int, Event]] = []
+        self._heap: list[tuple[int, int, int, Any]] = []
         self._seq = 0
+        self._dead = 0                      # cancelled fast-path tombstones
         self._running = False
+        #: scheduling fast path on (ScheduledCall heap items) or legacy
+        #: (every scheduled callback wrapped in a full Event)
+        self.fast_path = fast_path
+        #: links/delay nodes coalesce back-to-back packets into trains
+        self.packet_trains = packet_trains
         #: opt-in runtime determinism checker (see repro.lint.runtime);
         #: None means zero-overhead normal operation
         self.race_detector = None
@@ -175,19 +266,86 @@ class Simulator:
         return Process(self, generator)
 
     def call_at(self, when: int, fn: Callable[[], None],
-                priority: int = NORMAL) -> Event:
+                priority: int = NORMAL) -> ScheduledCall:
         """Invoke ``fn()`` at absolute simulated time ``when``."""
+        return self.schedule_call(when, fn, priority)
+
+    def call_in(self, delay: int, fn: Callable[[], None],
+                priority: int = NORMAL) -> ScheduledCall:
+        """Invoke ``fn()`` after ``delay`` nanoseconds."""
+        return self.schedule_call(self.now + delay, fn, priority)
+
+    # -- the scheduling fast path ---------------------------------------------
+
+    def schedule_call(self, when: int, fn: Callable[[], None],
+                      priority: int = NORMAL) -> ScheduledCall:
+        """Schedule ``fn()`` at absolute time ``when``; returns a handle.
+
+        The fast path pushes one slotted :class:`ScheduledCall` — no Event,
+        no callback list, no wrapper lambda.  ``handle.cancel()`` removes
+        the entry lazily (skipped at pop, compacted when tombstones exceed
+        half the heap).
+        """
         if when < self.now:
             raise SimulationError(
                 f"cannot schedule at {when} before now={self.now}")
-        return self.call_in(when - self.now, fn, priority)
+        if self.fast_path:
+            self._seq += 1
+            handle = ScheduledCall(self, fn)
+            heapq.heappush(self._heap, (when, priority, self._seq, handle))
+            return handle
+        # Legacy path, reproducing the pre-fast-path implementation: a
+        # Timeout event plus a wrapper lambda per scheduled callback;
+        # cancelled entries stay on the heap until their deadline
+        # (fire-time check).  Seq consumption matches the fast path — one
+        # per call, via Timeout's _enqueue — so both modes tie-break
+        # identically.
+        handle = ScheduledCall(self, fn, direct=False)
+        ev = self._legacy_event(when, priority)
+        ev.callbacks.append(lambda _e: handle._event_fire(_e))
+        return handle
 
-    def call_in(self, delay: int, fn: Callable[[], None],
-                priority: int = NORMAL) -> Event:
-        """Invoke ``fn()`` after ``delay`` nanoseconds."""
-        ev = Timeout(self, delay)
+    def schedule_fn(self, when: int, fn: Callable[[], None],
+                    priority: int = NORMAL) -> None:
+        """Fire-and-forget fast path: pushes the bare callable itself.
+
+        Zero per-call allocation beyond the heap entry; there is no handle,
+        so the call cannot be cancelled.  Reuse one prebound callable to
+        schedule the same work repeatedly (packet trains do this).
+        """
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule at {when} before now={self.now}")
+        if self.fast_path:
+            self._seq += 1
+            heapq.heappush(self._heap, (when, priority, self._seq, fn))
+            return
+        ev = self._legacy_event(when, priority)
         ev.callbacks.append(lambda _e: fn())
+
+    def _legacy_event(self, when: int, priority: int) -> Event:
+        """One pre-fast-path scheduled Event (Timeout at NORMAL priority)."""
+        if priority == NORMAL:
+            return Timeout(self, when - self.now)
+        ev = Event(self)
+        ev._ok = True
+        ev._value = None
+        self._enqueue(ev, when - self.now, priority)
         return ev
+
+    def _compact(self) -> None:
+        """Drop cancelled tombstones and re-heapify (O(n), amortized O(1)).
+
+        Rearranging the backing array cannot change pop order: the
+        ``(time, priority, sequence)`` prefix is a total order.  The sweep
+        mutates the list in place — run loops hold a reference to it.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap
+                   if not (entry[3].__class__ is ScheduledCall and
+                           entry[3].fn is None)]
+        heapq.heapify(heap)
+        self._dead = 0
 
     # -- scheduling internals ------------------------------------------------
 
@@ -200,18 +358,47 @@ class Simulator:
     # -- execution ------------------------------------------------------------
 
     def peek(self) -> Optional[int]:
-        """Timestamp of the next scheduled event, or None if idle."""
-        return self._heap[0][0] if self._heap else None
+        """Timestamp of the next *live* scheduled event, or None if idle."""
+        heap = self._heap
+        while heap:
+            item = heap[0][3]
+            if item.__class__ is ScheduledCall and item.fn is None:
+                heapq.heappop(heap)
+                self._dead -= 1
+                continue
+            return heap[0][0]
+        return None
 
     def step(self) -> None:
-        """Process exactly one event."""
-        when, prio, seq, event = heapq.heappop(self._heap)
-        if when < self.now:
-            raise SimulationError("event heap corrupted: time went backwards")
-        self.now = when
-        if self.race_detector is not None:
-            self.race_detector.observe(when, prio, seq, event)
-        event._process()
+        """Process the next live event (skipping cancelled tombstones)."""
+        heap = self._heap
+        while heap:
+            when, prio, seq, item = heapq.heappop(heap)
+            if item.__class__ is ScheduledCall:
+                fn = item.fn
+                if fn is None:
+                    self._dead -= 1
+                    continue                # tombstone: skip, keep popping
+                item.fn = None              # mark fired, release the closure
+                if when < self.now:
+                    raise SimulationError(
+                        "event heap corrupted: time went backwards")
+                self.now = when
+                if self.race_detector is not None:
+                    self.race_detector.observe(when, prio, seq, fn)
+                fn()
+                return
+            if when < self.now:
+                raise SimulationError(
+                    "event heap corrupted: time went backwards")
+            self.now = when
+            if self.race_detector is not None:
+                self.race_detector.observe(when, prio, seq, item)
+            if isinstance(item, Event):
+                item._process()
+            else:
+                item()                      # bare fast-path callable
+            return
 
     def enable_race_detection(self):
         """Attach an event-race detector; returns it for later inspection.
@@ -222,7 +409,7 @@ class Simulator:
         """
         from repro.lint.runtime import EventRaceDetector
 
-        self.race_detector = EventRaceDetector()
+        self.race_detector = EventRaceDetector(sim=self)
         return self.race_detector
 
     def run(self, until: Optional[Any] = None) -> Any:
@@ -261,7 +448,20 @@ class Simulator:
             if horizon < self.now:
                 raise SimulationError(
                     f"run(until={horizon}) is in the past (now={self.now})")
-            while self._heap and self._heap[0][0] <= horizon:
+            # The horizon check must see the next *live* event's timestamp:
+            # a cancelled tombstone below the horizon must not let the loop
+            # step into a live event beyond it.  (Inline head purge rather
+            # than peek()-per-step — this is the hottest loop in the tree.)
+            heap = self._heap
+            while heap:
+                head = heap[0]
+                item = head[3]
+                if item.__class__ is ScheduledCall and item.fn is None:
+                    heapq.heappop(heap)
+                    self._dead -= 1
+                    continue
+                if head[0] > horizon:
+                    break
                 self.step()
             self.now = horizon
             return None

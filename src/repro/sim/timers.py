@@ -6,6 +6,14 @@ schedule through a :class:`TimerService`.  On a plain host that is
 virtual timer wheel (:mod:`repro.guest.timer`), which freezes with the
 temporal firewall — that is how a checkpoint hides from TCP retransmit
 timers and application sleeps.
+
+Cancellation is propagated downward: a :class:`TimerHandle` owns an
+underlying cancellable (a :class:`~repro.sim.core.ScheduledCall` for
+:class:`SimTimerService`, a wheel entry for the guest timer wheel), so a
+cancelled timer's heap entry is reclaimed lazily instead of sitting on the
+event heap as a tombstone until its original deadline.  TCP's
+cancel/rearm-heavy RTO timers make this the difference between an O(live)
+and an O(every-timer-ever-armed) heap.
 """
 
 from __future__ import annotations
@@ -18,22 +26,34 @@ from repro.sim.core import Simulator
 class TimerHandle:
     """A cancellable pending callback."""
 
-    __slots__ = ("fired", "cancelled", "_fn")
+    __slots__ = ("fired", "cancelled", "_fn", "_call")
 
     def __init__(self, fn: Callable[[], None]) -> None:
         self.fired = False
         self.cancelled = False
-        self._fn = fn
+        self._fn: Optional[Callable[[], None]] = fn
+        #: underlying cancellable (anything with ``.cancel()``), installed
+        #: by whichever service armed this handle; cancelling the handle
+        #: cancels it so the backing heap/wheel entry is reclaimed lazily
+        self._call = None
 
     def cancel(self) -> None:
         """Prevent the callback from running (no-op if already fired)."""
+        if self.fired or self.cancelled:
+            return
         self.cancelled = True
+        self._fn = None                     # release the closure now
+        call, self._call = self._call, None
+        if call is not None:
+            call.cancel()
 
     def _fire(self) -> None:
         if self.cancelled or self.fired:
             return
         self.fired = True
-        self._fn()
+        self._call = None
+        fn, self._fn = self._fn, None
+        fn()
 
 
 class TimerService(Protocol):
@@ -59,5 +79,6 @@ class SimTimerService:
 
     def call_in(self, delay_ns: int, fn: Callable[[], None]) -> TimerHandle:
         handle = TimerHandle(fn)
-        self.sim.call_in(delay_ns, handle._fire)
+        handle._call = self.sim.schedule_call(self.sim.now + delay_ns,
+                                              handle._fire)
         return handle
