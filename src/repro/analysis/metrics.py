@@ -60,3 +60,26 @@ def ratio(new: float, base: float) -> float:
     if base == 0:
         raise ValueError("baseline is zero")
     return new / base
+
+
+def stage_timing_summary(records: Iterable) -> dict:
+    """Aggregate ``checkpoint.stage`` trace records per stage.
+
+    Accepts the records a :class:`~repro.sim.trace.Tracer` collected for
+    the ``checkpoint.stage`` category (each carrying ``stage`` and
+    ``duration_ns`` fields) and returns, per stage::
+
+        {stage: {"count": n, "total_ns": t, "mean_ns": t / n, "max_ns": m}}
+    """
+    grouped: dict = {}
+    for record in records:
+        grouped.setdefault(record.stage, []).append(record.duration_ns)
+    return {
+        stage: {
+            "count": len(durations),
+            "total_ns": sum(durations),
+            "mean_ns": sum(durations) / len(durations),
+            "max_ns": max(durations),
+        }
+        for stage, durations in grouped.items()
+    }

@@ -21,11 +21,28 @@ import sys
 import time
 from typing import Callable, Dict, Optional, Tuple
 
-from repro.bench.scenarios import (make_sim, run_event_churn, run_fig6,
-                                   run_fig7, run_timer_storm)
+from repro.bench.scenarios import (make_sim, run_ckpt10, run_event_churn,
+                                   run_fig4, run_fig5, run_fig6, run_fig7,
+                                   run_fig8, run_timer_storm)
 
 FAST = {"fast_path": True, "packet_trains": True}
 LEGACY = {"fast_path": False, "packet_trains": False}
+
+
+def _repo_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+
+
+def _golden_pipeline_digests() -> Dict[str, str]:
+    """The pre-pipeline-port digests the refactor must reproduce."""
+    path = os.path.join(_repo_root(), "benchmarks", "results",
+                        "PIPELINE_digests.json")
+    try:
+        with open(path) as fh:
+            return json.load(fh)["scenarios"]
+    except (OSError, KeyError, ValueError):
+        return {}
 
 
 def _time_run(fn: Callable[[], object]) -> Tuple[float, object]:
@@ -95,6 +112,28 @@ def _bench_figure(scenario: Callable, quick: bool, **kwargs) -> Dict:
     }
 
 
+def _bench_pipeline_figure(scenario: Callable, golden: Optional[str]) -> Dict:
+    """A checkpoint-pipeline equivalence scenario, timed in both modes.
+
+    Unlike :func:`_bench_figure`, the scenario arguments are never scaled
+    down in quick mode: the digests must stay comparable to the stored
+    goldens captured before the pipeline port, and those goldens are
+    parameter-dependent.
+    """
+    fast_s, digest_fast = _time_run(lambda: scenario(make_sim(**FAST)))
+    legacy_s, digest_legacy = _time_run(lambda: scenario(make_sim(**LEGACY)))
+    return {
+        "fast_seconds": round(fast_s, 4),
+        "legacy_seconds": round(legacy_s, 4),
+        "speedup": round(legacy_s / fast_s, 3),
+        "digest_fast": digest_fast,
+        "digest_legacy": digest_legacy,
+        "digest_golden": golden,
+        "digest_match": (digest_fast == digest_legacy
+                         and (golden is None or digest_fast == golden)),
+    }
+
+
 def run_bench(quick: bool = False, output: Optional[str] = None,
               out=sys.stdout) -> int:
     """Run all scenarios, write the JSON artifact, print a summary.
@@ -102,12 +141,23 @@ def run_bench(quick: bool = False, output: Optional[str] = None,
     Returns a process exit code: non-zero if any figure scenario's
     fast/legacy digests diverge (the bench is also an equivalence gate).
     """
+    goldens = _golden_pipeline_digests()
     scenarios = {
         "event_churn": lambda: _bench_event_churn(quick),
         "timer_cancel_rearm_storm": lambda: _bench_timer_storm(quick),
         "fig6_iperf": lambda: _bench_figure(run_fig6, quick, run_seconds=20),
         "fig7_bittorrent": lambda: _bench_figure(run_fig7, quick,
                                                  run_seconds=25),
+        # Checkpoint-pipeline equivalence gate: fixed args, digests must
+        # also match the pre-port goldens in PIPELINE_digests.json.
+        "fig4_sleep": lambda: _bench_pipeline_figure(
+            run_fig4, goldens.get("fig4_sleep")),
+        "fig5_cpuburn": lambda: _bench_pipeline_figure(
+            run_fig5, goldens.get("fig5_cpuburn")),
+        "fig8_cow_storage": lambda: _bench_pipeline_figure(
+            run_fig8, goldens.get("fig8_cow_storage")),
+        "ckpt10_coordinated": lambda: _bench_pipeline_figure(
+            run_ckpt10, goldens.get("ckpt10_coordinated")),
     }
     results: Dict[str, Dict] = {}
     for name, fn in scenarios.items():
@@ -123,9 +173,7 @@ def run_bench(quick: bool = False, output: Optional[str] = None,
         "scenarios": results,
     }
     if output is None:
-        repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
-            os.path.dirname(os.path.abspath(__file__)))))
-        output = os.path.join(repo_root, "BENCH_sim_core.json")
+        output = os.path.join(_repo_root(), "BENCH_sim_core.json")
     with open(output, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -140,9 +188,13 @@ def run_bench(quick: bool = False, output: Optional[str] = None,
               file=out)
         if "digest_match" in r and not r["digest_match"]:
             ok = False
-            print(f"  DIGEST MISMATCH: {r['digest_fast']} != "
-                  f"{r['digest_legacy']}", file=out)
+            if r["digest_fast"] != r["digest_legacy"]:
+                print(f"  DIGEST MISMATCH: fast {r['digest_fast']} != "
+                      f"legacy {r['digest_legacy']}", file=out)
+            if r.get("digest_golden") not in (None, r["digest_fast"]):
+                print(f"  GOLDEN MISMATCH: {r['digest_fast']} != "
+                      f"{r['digest_golden']} (pre-pipeline-port)", file=out)
     print(f"\nwrote {output}", file=out)
     if not ok:
-        print("bench FAILED: fast/legacy digests diverged", file=out)
+        print("bench FAILED: digests diverged", file=out)
     return 0 if ok else 1

@@ -11,9 +11,11 @@ tests assert is identical across modes.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Optional, Tuple
 
-from repro.analysis.digest import experiment_digest
+from repro.analysis.digest import branch_digest, experiment_digest
 from repro.sim import Simulator
 from repro.sim.random import RandomStreams
 from repro.sim.timers import SimTimerService
@@ -176,3 +178,176 @@ def run_fig7(sim: Simulator, run_seconds: int = 25, num_ckpts: int = 3,
                           start_at_ns=start + 5 * SECOND)
     sim.run(until=start + run_seconds * SECOND)
     return experiment_digest(exp)
+
+
+# -- checkpoint-pipeline equivalence scenarios ---------------------------------
+#
+# The fig4/fig5/fig8 digests below are the checkpoint-pipeline port gate:
+# their values were captured on the pre-pipeline monolithic implementation
+# and must stay bit-identical (see tests/test_pipeline_equivalence.py and
+# benchmarks/results/PIPELINE_digests.json).
+
+
+def _hash_parts(parts) -> str:
+    blob = json.dumps(parts, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def build_single_node_rig(sim: Simulator, seed: int, memory: int = 128 * MB,
+                          streams: Optional[RandomStreams] = None):
+    """One checkpointable guest, swapped in (fig4/fig5 topology)."""
+    from repro.testbed import (Emulab, ExperimentSpec, NodeSpec,
+                              TestbedConfig)
+
+    testbed = Emulab(sim, TestbedConfig(num_machines=2, seed=seed),
+                     streams=streams)
+    exp = testbed.define_experiment(ExperimentSpec(
+        "bench", nodes=[NodeSpec("node0", memory_bytes=memory)]))
+    sim.run(until=exp.swap_in())
+    return testbed, exp
+
+
+def _periodic_local_checkpoints(sim: Simulator, checkpointer, period_ns: int,
+                                count: int, start_at_ns: int) -> list:
+    results: list = []
+
+    def loop():
+        if start_at_ns > sim.now:
+            yield sim.timeout(start_at_ns - sim.now)
+        for _ in range(count):
+            next_at = sim.now + period_ns
+            result = yield from checkpointer.run()
+            results.append(result)
+            if next_at > sim.now:
+                yield sim.timeout(next_at - sim.now)
+
+    sim.process(loop())
+    return results
+
+
+def _checkpoint_result_parts(results) -> list:
+    return [("ckpt", r.downtime_ns, r.freeze_window_ns, r.thaw_window_ns,
+             r.clock_frozen_at_ns, r.clock_thawed_at_ns,
+             r.memory_copied_bytes, r.dirty_copied_bytes, r.replayed_packets)
+            for r in results]
+
+
+def run_fig4(sim: Simulator, iterations: int = 600, num_ckpts: int = 3,
+             seed: int = 4,
+             streams: Optional[RandomStreams] = None) -> str:
+    """The Figure 4 scenario (usleep loop under local checkpoints).
+
+    Returns a digest over the experiment state plus every checkpoint's
+    timing fields — any divergence in the checkpoint sequencing (phase
+    order, firewall windows, stop-and-copy timing) changes it.
+    """
+    from repro.workloads import SleeperBenchmark
+
+    _testbed, exp = build_single_node_rig(sim, seed=seed, streams=streams)
+    kernel = exp.kernel("node0")
+    bench = SleeperBenchmark(kernel, iterations=iterations)
+    bench.start()
+    results = _periodic_local_checkpoints(
+        sim, exp.node("node0").checkpointer, period_ns=3 * SECOND,
+        count=num_ckpts, start_at_ns=sim.now + 2 * SECOND)
+    sim.run(until=bench.join())
+    parts = [experiment_digest(exp)]
+    parts.extend(_checkpoint_result_parts(results))
+    parts.append(("sleeper", len(bench.result.iteration_ns),
+                  sum(bench.result.iteration_ns),
+                  max(bench.result.iteration_ns)))
+    return _hash_parts(parts)
+
+
+def run_fig5(sim: Simulator, iterations: int = 30, num_ckpts: int = 3,
+             seed: int = 5,
+             streams: Optional[RandomStreams] = None) -> str:
+    """The Figure 5 scenario (CPU-intensive loop under local checkpoints)."""
+    from repro.workloads import CpuBurnBenchmark
+
+    _testbed, exp = build_single_node_rig(sim, seed=seed, streams=streams)
+    bench = CpuBurnBenchmark(exp.kernel("node0"), 236_600_000,
+                             iterations=iterations)
+    bench.start()
+    results = _periodic_local_checkpoints(
+        sim, exp.node("node0").checkpointer, period_ns=2 * SECOND,
+        count=num_ckpts, start_at_ns=sim.now + 1 * SECOND)
+    sim.run(until=bench.join())
+    parts = [experiment_digest(exp)]
+    parts.extend(_checkpoint_result_parts(results))
+    parts.append(("cpuburn", len(bench.result.iteration_ns),
+                  sum(bench.result.iteration_ns),
+                  max(bench.result.iteration_ns)))
+    return _hash_parts(parts)
+
+
+def run_fig8(sim: Simulator, file_mb: int = 96, seed: int = 8) -> str:
+    """The Figure 8 scenario (Bonnie++ on COW storage configurations).
+
+    Each configuration runs in its own simulator (same scheduling mode as
+    ``sim``); the digest covers the branch content maps and throughputs.
+    """
+    from repro.hw import Disk, DiskSpec
+    from repro.storage import (BranchConfig, CowMode, Extent, LinearVolume,
+                               VolumeManager)
+    from repro.workloads import BonnieBenchmark, BonnieConfig
+
+    golden_blocks = 120_000
+    parts: list = []
+    for config_name in ("base", "branch", "branch-aged", "branch-orig"):
+        config_sim = sim if config_name == "base" else Simulator(
+            fast_path=sim.fast_path, packet_trains=sim.packet_trains)
+        disk = Disk(config_sim, DiskSpec(capacity_bytes=16 * GB))
+        branch = None
+        if config_name == "base":
+            volume = LinearVolume(Extent(disk, 0, golden_blocks))
+        else:
+            manager = VolumeManager(config_sim, disk)
+            golden = manager.create_golden("img", golden_blocks)
+            cfg = {
+                "branch": BranchConfig(),
+                "branch-aged": BranchConfig(aged=True),
+                "branch-orig": BranchConfig(cow_mode=CowMode.ORIGINAL_LVM),
+            }[config_name]
+            volume = manager.create_branch("b", golden, config=cfg,
+                                           log_blocks=golden_blocks,
+                                           aggregated_blocks=golden_blocks)
+            branch = volume
+        bench = BonnieBenchmark(config_sim, volume,
+                                config=BonnieConfig(file_bytes=file_mb * MB))
+        result = config_sim.run(until=bench.run())
+        throughput = {phase: round(result.throughput[phase], 3)
+                      for phase in sorted(result.throughput)}
+        parts.append((config_name, throughput, config_sim.now))
+        if branch is not None:
+            parts.append(branch_digest(branch))
+    return _hash_parts(parts)
+
+
+def run_ckpt10(sim: Simulator, num_nodes: int = 10, run_seconds: int = 8,
+               seed: int = 10,
+               streams: Optional[RandomStreams] = None) -> str:
+    """A 10-node coordinated checkpoint through the full distributed path.
+
+    All ``num_nodes`` guests sit on one shaped LAN running sleep-loop
+    workloads; one clock-scheduled coordinated checkpoint runs mid-way.
+    Tracks the checkpoint-path wall-clock cost alongside the event-core
+    numbers in ``BENCH_sim_core.json``.
+    """
+    from repro.workloads import SleeperBenchmark
+
+    _testbed, exp = build_fig7_rig(sim, num_nodes=num_nodes, seed=seed,
+                                   memory=32 * MB, streams=streams)
+    benches = [SleeperBenchmark(exp.kernel(f"node{i}"), iterations=10_000)
+               for i in range(num_nodes)]
+    for bench in benches:
+        bench.start()
+    start = sim.now
+    results = _periodic_checkpoints(sim, exp, period_ns=3 * SECOND, count=1,
+                                    start_at_ns=start + 2 * SECOND)
+    sim.run(until=start + run_seconds * SECOND)
+    parts = [experiment_digest(exp)]
+    parts.extend(("coord", r.suspend_skew_ns, r.resume_skew_ns,
+                  r.core_packets_captured, r.endpoint_packets_replayed,
+                  r.wall_duration_ns) for r in results)
+    return _hash_parts(parts)

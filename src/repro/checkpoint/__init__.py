@@ -1,13 +1,27 @@
 """Distributed transparent checkpointing — the paper's core contribution."""
 
 from repro.checkpoint.bus import Barrier, BusMessage, NotificationBus
+from repro.checkpoint.pipeline import (AgentFailure, BoundedSkewRetrySuspend,
+                                       BranchProvider, Checkpointable,
+                                       CheckpointFailure, CheckpointPipeline,
+                                       ClockHandoff, ClockProvider,
+                                       DeadlineSuspend, DelayNodeProvider,
+                                       DomainProvider, ImmediateSuspend,
+                                       NaiveDomainProvider, SnapshotCapture,
+                                       Stage, StageFailed, StageTiming,
+                                       SuspendPolicy, capture_run_snapshot)
 from repro.checkpoint.coordinator import (CoordinatedResult, Coordinator,
                                           DelayNodeAgent, NodeAgent)
 from repro.checkpoint.baselines import (NaiveCheckpointer, RemusCheckpointer,
                                         UncoordinatedRunner)
 
 __all__ = [
-    "Barrier", "BusMessage", "NotificationBus", "CoordinatedResult",
-    "Coordinator", "DelayNodeAgent", "NodeAgent", "NaiveCheckpointer",
-    "RemusCheckpointer", "UncoordinatedRunner",
+    "AgentFailure", "Barrier", "BoundedSkewRetrySuspend", "BranchProvider",
+    "BusMessage", "Checkpointable", "CheckpointFailure", "CheckpointPipeline",
+    "ClockHandoff", "ClockProvider", "CoordinatedResult", "Coordinator",
+    "DeadlineSuspend", "DelayNodeAgent", "DelayNodeProvider", "DomainProvider",
+    "ImmediateSuspend", "NaiveCheckpointer", "NaiveDomainProvider",
+    "NodeAgent", "NotificationBus", "RemusCheckpointer", "SnapshotCapture",
+    "Stage", "StageFailed", "StageTiming", "SuspendPolicy",
+    "UncoordinatedRunner", "capture_run_snapshot",
 ]

@@ -1,26 +1,33 @@
 """Baseline checkpointers the paper argues against (§3, §8).
 
-Three comparators for the ablation benchmarks:
+Three comparators for the ablation benchmarks, all thin drivers over the
+same staged engine (:mod:`repro.checkpoint.pipeline`) as the transparent
+checkpoint — what differs is only which providers participate and how
+the stages are scheduled:
 
-* :class:`NaiveCheckpointer` — suspends execution but **not time** (no
-  temporal firewall).  The guest observes the downtime: sleeping loops see
-  giant iterations, expired TCP retransmit timers fire on resume.
-* :class:`UncoordinatedRunner` — every node checkpoints on its own
-  schedule (no clock-synchronized trigger, no delay-node capture).  While
-  one node is down its peers keep running: packet delays, NIC-ring replay
-  logs, retransmissions.
+* :class:`NaiveCheckpointer` — suspends execution but **not time** (a
+  :class:`~repro.checkpoint.pipeline.NaiveDomainProvider`: no temporal
+  firewall).  The guest observes the downtime: sleeping loops see giant
+  iterations, expired TCP retransmit timers fire on resume.
+* :class:`UncoordinatedRunner` — every node runs its own full local
+  pipeline on its own schedule (no clock-synchronized trigger, no
+  delay-node capture).  While one node is down its peers keep running:
+  packet delays, NIC-ring replay logs, retransmissions.
 * :class:`RemusCheckpointer` — Remus-style continuous checkpointing with
-  buffered output commit (Cully 2008): every epoch the domain's outbound
-  packets are held until the epoch's state is committed, adding up to one
-  epoch of latency and a release burst — "background state-saving and
-  buffered I/O may harm realism" (§8).
+  buffered output commit (Cully 2008): every epoch is a ``save →
+  resume`` pipeline span — the domain's outbound packets are held until
+  the epoch's state is committed, adding up to one epoch of latency and
+  a release burst — "background state-saving and buffered I/O may harm
+  realism" (§8).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
+from repro.checkpoint.pipeline import (Checkpointable, CheckpointPipeline,
+                                       NaiveDomainProvider, Stage)
 from repro.errors import CheckpointError
 from repro.net.packet import Packet
 from repro.sim.core import Simulator
@@ -44,57 +51,29 @@ class NaiveCheckpointer:
         self.sim: Simulator = domain.sim
         self.config = config
         self.downtimes: List[int] = []
+        self.provider = NaiveDomainProvider(domain, config)
+        self.pipeline = CheckpointPipeline(self.sim, [self.provider],
+                                           session=f"naive.{domain.name}")
 
     def checkpoint(self):
         """Run one non-transparent checkpoint; returns a sim process."""
         return self.sim.process(self.run())
 
     def run(self):
-        domain = self.domain
-        kernel = domain.kernel
-        cfg = self.config
-        # Live pre-copy, identical to the transparent implementation.
-        if cfg.live:
-            duration = transfer_time_ns(domain.memory_bytes, cfg.copy_rate_bps)
-            share = cfg.dom0_weight / (1.0 + cfg.dom0_weight)
-            kernel.cpu_outside(int(duration * share), weight=cfg.dom0_weight)
-            yield self.sim.timeout(duration)
-        # Suspend devices and execution — but NOT the clock.
-        for nic in domain.nics:
-            nic.suspend()
-        for vbd in domain.vbds:
-            yield from vbd.suspend_after_drain()
-        kernel.stop_user_execution()
-        kernel.stop_kernel_execution()
-        kernel.timers.freeze()
-        suspended_at = self.sim.now
-        dirty = (int(domain.memory_bytes * cfg.dirty_fraction)
-                 if cfg.live else domain.memory_bytes)
-        yield self.sim.timeout(transfer_time_ns(max(1, dirty),
-                                                cfg.copy_rate_bps))
-        yield self.sim.timeout(cfg.device_overhead_ns)
-        downtime = self.sim.now - suspended_at
+        yield from self.pipeline.run_local()
+        downtime = self.provider.last_downtime_ns
         self.downtimes.append(downtime)
-        # Resume.  The virtual clock never froze: expired timers fire
-        # immediately, and guest time has visibly jumped.
-        kernel.timers.thaw()
-        kernel.resume_kernel_execution()
-        kernel.resume_user_execution()
-        for vbd in domain.vbds:
-            vbd.resume()
-        replayed = 0
-        for nic in domain.nics:
-            replayed += nic.resume()
-        return downtime, replayed
+        return downtime, self.provider.last_replayed
 
 
 @dataclass
 class UncoordinatedRunner:
     """Periodic independent checkpoints on a set of nodes.
 
-    Each node checkpoints every ``period_ns``, with node *i* phase-shifted
-    by ``i * stagger_ns``.  No clock synchronization, no coordinated
-    suspend, no delay-node capture — the §3.2 anomalies follow.
+    Each node drives its own full local pipeline every ``period_ns``,
+    with node *i* phase-shifted by ``i * stagger_ns``.  No clock
+    synchronization, no coordinated suspend, no delay-node capture — the
+    §3.2 anomalies follow.
     """
 
     sim: Simulator
@@ -121,6 +100,33 @@ class UncoordinatedRunner:
             yield self.sim.timeout(self.period_ns)
 
 
+class RemusEpochProvider(Checkpointable):
+    """One Remus epoch as a pipeline span: commit (save), release (resume).
+
+    ``save`` is the brief stop-and-copy of the epoch's dirty pages;
+    ``resume`` releases the output commit buffer.  ``abort`` also
+    releases the buffer, so a coordinated rollback never strands held
+    packets.
+    """
+
+    def __init__(self, remus: "RemusCheckpointer") -> None:
+        self.remus = remus
+        self.name = f"remus.{remus.domain.name}"
+
+    def stage_save(self):
+        remus = self.remus
+        commit_ns = transfer_time_ns(remus.dirty_per_epoch_bytes,
+                                     remus.copy_rate_bps)
+        remus.domain.kernel.cpu_outside(commit_ns // 2, weight=0.5)
+        yield remus.sim.timeout(commit_ns)
+
+    def stage_resume(self):
+        self.remus._flush()
+
+    def stage_abort(self):
+        self.remus._flush()
+
+
 class RemusCheckpointer:
     """Continuous high-frequency checkpointing with buffered output.
 
@@ -140,21 +146,37 @@ class RemusCheckpointer:
         self.copy_rate_bps = copy_rate_bps
         self._buffer: List[tuple] = []
         self._running = False
+        self._generation = 0
         self.epochs = 0
         self.packets_buffered = 0
+        self.provider = RemusEpochProvider(self)
+        self.pipeline = CheckpointPipeline(self.sim, [self.provider],
+                                           session=f"remus.{domain.name}")
 
     def start(self) -> None:
         """Begin continuous checkpointing."""
         if self._running:
             raise CheckpointError("Remus already running")
         self._running = True
+        self._generation += 1
         for nic in self.domain.nics:
             nic.iface.tx_interceptor = self._intercept(nic.iface)
-        self.sim.process(self._epoch_loop())
+        self.sim.process(self._epoch_loop(self._generation))
 
     def stop(self) -> None:
-        """Stop after the current epoch (buffer is flushed)."""
+        """Stop immediately: flush held packets, remove the interceptors.
+
+        A stop during an in-flight epoch must not strand the commit
+        buffer — new packets already bypass it the instant ``_running``
+        drops, so a deferred flush would deliver the held packets *after*
+        younger traffic (reordering) or never (if the run ends first).
+        """
+        if not self._running:
+            return
         self._running = False
+        self._flush()
+        for nic in self.domain.nics:
+            nic.iface.tx_interceptor = None
 
     def _intercept(self, iface):
         def hold(packet: Packet) -> bool:
@@ -165,20 +187,15 @@ class RemusCheckpointer:
             return True
         return hold
 
-    def _epoch_loop(self):
-        kernel = self.domain.kernel
-        while self._running:
+    def _epoch_loop(self, generation: int):
+        while self._running and generation == self._generation:
             yield self.sim.timeout(self.epoch_ns)
-            # Commit: brief stop-and-copy of the epoch's dirty pages.
-            commit_ns = transfer_time_ns(self.dirty_per_epoch_bytes,
-                                         self.copy_rate_bps)
-            kernel.cpu_outside(commit_ns // 2, weight=0.5)
-            yield self.sim.timeout(commit_ns)
+            if not self._running or generation != self._generation:
+                return  # stop() already flushed and detached mid-epoch
+            # Commit + release: one save→resume span of the epoch pipeline.
+            self.pipeline.reset()
+            yield from self.pipeline.run_stages(Stage.SAVE, Stage.RESUME)
             self.epochs += 1
-            self._flush()
-        self._flush()
-        for nic in self.domain.nics:
-            nic.iface.tx_interceptor = None
 
     def _flush(self) -> None:
         buffered, self._buffer = self._buffer, []

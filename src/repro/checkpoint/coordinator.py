@@ -5,101 +5,237 @@ The protocol reconciles two requirements: atomicity across the network
 (delay nodes serialize their Dummynet state).  It runs in four rounds over
 the notification bus:
 
-1. ``prepare`` — every node agent pre-copies its domain's memory (live);
-   delay-node agents have nothing to pre-copy.  Each replies ``ready``.
+1. ``prepare`` — every node agent runs the pipeline's ``prepare`` and
+   ``precopy`` stages (live memory copy; delay-node agents have nothing
+   to pre-copy).  Each replies ``ready``.
 2. ``suspend_at T`` — the coordinator picks a wall-clock deadline ``T``
    (its own NTP-disciplined clock plus a margin) and publishes it.  Each
-   agent arms a local timer against its *own* disciplined clock, so the
-   realized suspend skew equals the residual clock-synchronization error —
-   the paper's transparency bound.  (``checkpoint_now`` instead suspends on
-   message receipt: skew = control-network delivery jitter.)
-3. Agents suspend, save, and report ``saved``; the coordinator's barrier
-   waits for all of them.
+   agent's :class:`~repro.checkpoint.pipeline.SuspendPolicy` arms a local
+   timer against its *own* disciplined clock, so the realized suspend
+   skew equals the residual clock-synchronization error — the paper's
+   transparency bound.  (``checkpoint_now`` instead suspends on message
+   receipt: skew = control-network delivery jitter.)
+3. Agents run ``quiesce → suspend → save → branch`` and report
+   ``saved``; the coordinator's barrier waits for all of them.
 4. ``resume`` — all agents thaw on receipt, so resume skew is again one
    bus-delivery jitter.
+
+Every agent drives the same staged engine
+(:class:`~repro.checkpoint.pipeline.CheckpointPipeline`); the coordinator
+owns only barriers and failure semantics.  A barrier that times out, or
+an agent that publishes a structured ``failed`` report, triggers the
+**two-phase abort**: the coordinator publishes ``abort``, every agent
+rolls its providers back to running state (pipeline ``abort``) and acks
+``aborted``, and the checkpoint returns a
+:class:`~repro.checkpoint.pipeline.CheckpointFailure` instead of wedging
+the barrier forever.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.checkpoint.bus import Barrier, BusMessage, NotificationBus
+from repro.checkpoint.pipeline import (AgentFailure, BranchProvider,
+                                       CheckpointFailure, CheckpointPipeline,
+                                       ClockProvider, DeadlineSuspend,
+                                       DelayNodeProvider, DomainProvider,
+                                       Stage, StageFailed, SuspendPolicy)
 from repro.clocksync.clock import SystemClock
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, FirewallViolation, StorageError
 from repro.net.delaynode import DelayNode, DelayNodeSnapshot
 from repro.sim.core import Simulator
-from repro.units import MS, US
+from repro.sim.trace import Tracer, maybe_record
+from repro.units import MS, SECOND
 from repro.xen.checkpoint import CheckpointResult, LocalCheckpointer
 
 
-class NodeAgent:
-    """Checkpoint agent running in dom0 of one experiment node."""
+class _PipelineAgent:
+    """Bus plumbing shared by node and delay-node agents.
 
-    def __init__(self, sim: Simulator, name: str,
-                 checkpointer: LocalCheckpointer, clock: SystemClock,
-                 bus: NotificationBus, session: str = "ckpt") -> None:
+    Subclasses own a :class:`CheckpointPipeline`; this base wires the
+    session topics, arms the suspend policy, and routes stage failures
+    into structured ``failed`` reports instead of letting a
+    :class:`CheckpointError` escape a bus callback into the simulator
+    loop.
+    """
+
+    def __init__(self, sim: Simulator, name: str, clock: SystemClock,
+                 bus: NotificationBus, session: str,
+                 policy: Optional[SuspendPolicy]) -> None:
         self.sim = sim
         self.name = name
-        self.checkpointer = checkpointer
         self.clock = clock
         self.bus = bus
         self.session = session
-        self.last_result: Optional[CheckpointResult] = None
-        self._started = 0
-        self._precopy = (0, 0)
-        self._saved = None
+        self.policy = policy or DeadlineSuspend()
+        self.last_failure: Optional[AgentFailure] = None
+        self._suspend_arm = None
+        self._aborting = False
+        self._detached = False
         bus.subscribe(f"{session}/prepare", name, self._on_prepare)
         bus.subscribe(f"{session}/suspend_at", name, self._on_suspend_at)
         bus.subscribe(f"{session}/now", name, self._on_now)
         bus.subscribe(f"{session}/resume", name, self._on_resume)
+        bus.subscribe(f"{session}/abort", name, self._on_abort)
 
-    # -- round 1: prepare -----------------------------------------------------
+    # Subclasses provide the pipeline.
+    pipeline: CheckpointPipeline
 
-    def _on_prepare(self, _msg: BusMessage) -> None:
-        self.sim.process(self._prepare())
+    def kill(self) -> None:
+        """Stop responding to the bus (simulates an agent/node death)."""
+        self._detached = True
+        if self._suspend_arm is not None:
+            self._suspend_arm.cancel()
+            self._suspend_arm = None
+        for topic in ("prepare", "suspend_at", "now", "resume", "abort"):
+            self.bus.unsubscribe(f"{self.session}/{topic}", self.name)
 
-    def _prepare(self):
-        self._started = self.sim.now
-        self._precopy = yield from self.checkpointer.precopy()
-        self.bus.publish(f"{self.session}/ready", self.name,
+    # -- failure routing ------------------------------------------------------
+
+    def _report_failure(self, stage: str, exc: BaseException) -> None:
+        if isinstance(exc, StageFailed):
+            stage = exc.stage.value
+        failure = AgentFailure(node=self.name, stage=stage, error=str(exc))
+        self.last_failure = failure
+        self.bus.publish(f"{self.session}/failed", failure,
                          publisher=self.name)
 
-    # -- round 2: suspend -------------------------------------------------------
+    # -- round 2 arming -------------------------------------------------------
 
     def _on_suspend_at(self, msg: BusMessage) -> None:
-        deadline_local = msg.payload
-        delay = self.clock.ns_until_local(deadline_local)
-        self.sim.call_in(delay, lambda: self.sim.process(self._suspend()))
+        def fire() -> None:
+            self._suspend_arm = None
+            self.sim.process(self._suspend())
+
+        self._suspend_arm = self.policy.arm(self.sim, self.clock,
+                                            msg.payload, fire)
 
     def _on_now(self, _msg: BusMessage) -> None:
         self.sim.process(self._suspend())
 
+    # -- abort round ----------------------------------------------------------
+
+    def _on_abort(self, _msg: BusMessage) -> None:
+        self._aborting = True
+        if self._suspend_arm is not None:
+            self._suspend_arm.cancel()
+            self._suspend_arm = None
+        self.sim.process(self._abort())
+
+    def _abort(self):
+        try:
+            yield from self.pipeline.abort()
+        except (CheckpointError, FirewallViolation, StorageError) as exc:
+            self._report_failure("abort", exc)
+            return
+        self.bus.publish(f"{self.session}/aborted", self.name,
+                         publisher=self.name)
+
+    # Subclass hooks ----------------------------------------------------------
+
+    def _on_prepare(self, _msg: BusMessage) -> None:
+        raise NotImplementedError
+
     def _suspend(self):
-        self._saved = yield from self.checkpointer.suspend_and_save()
+        raise NotImplementedError
+
+    def _on_resume(self, _msg: BusMessage) -> None:
+        raise NotImplementedError
+
+
+class NodeAgent(_PipelineAgent):
+    """Checkpoint agent running in dom0 of one experiment node.
+
+    Drives the staged pipeline over a :class:`DomainProvider` plus any
+    ``extra_providers`` (branching storage, clock hand-off) between the
+    coordinator's bus rounds.
+    """
+
+    def __init__(self, sim: Simulator, name: str,
+                 checkpointer: LocalCheckpointer, clock: SystemClock,
+                 bus: NotificationBus, session: str = "ckpt",
+                 policy: Optional[SuspendPolicy] = None,
+                 tracer: Optional[Tracer] = None,
+                 extra_providers=()) -> None:
+        super().__init__(sim, name, clock, bus, session, policy)
+        self.checkpointer = checkpointer
+        self.provider = DomainProvider(checkpointer)
+        self.pipeline = CheckpointPipeline(
+            sim, [self.provider, *extra_providers], tracer=tracer,
+            session=f"{session}/{name}")
+        self.last_result: Optional[CheckpointResult] = None
+
+    # -- round 1: prepare -----------------------------------------------------
+
+    def _on_prepare(self, _msg: BusMessage) -> None:
+        self._aborting = False
+        self.sim.process(self._prepare())
+
+    def _prepare(self):
+        try:
+            yield from self.pipeline.run_stages(Stage.PREPARE, Stage.PRECOPY)
+        except CheckpointError as exc:
+            self._report_failure(Stage.PRECOPY.value, exc)
+            return
+        if self._aborting:
+            return
+        self.bus.publish(f"{self.session}/ready", self.name,
+                         publisher=self.name)
+
+    # -- round 3: suspend/save/branch -----------------------------------------
+
+    def _suspend(self):
+        if self._aborting:
+            return
+        try:
+            yield from self.pipeline.run_stages(Stage.QUIESCE, Stage.BRANCH)
+        except CheckpointError as exc:
+            self._report_failure(Stage.SAVE.value, exc)
+            return
+        if self._aborting:
+            return
         self.bus.publish(f"{self.session}/saved", self.name,
                          publisher=self.name)
 
-    # -- round 4: resume ----------------------------------------------------------
+    # -- round 4: resume ------------------------------------------------------
 
     def _on_resume(self, _msg: BusMessage) -> None:
         self.sim.process(self._resume())
 
     def _resume(self):
-        if self._saved is None:
-            raise CheckpointError(f"{self.name}: resume before save")
-        snapshot, dirty = self._saved
-        memory_copied, precopy_ns = self._precopy
-        result = yield from self.checkpointer.resume(
-            self._started, precopy_ns, memory_copied, snapshot, dirty)
-        self.checkpointer.results.append(result)
-        self.last_result = result
-        self._saved = None
+        if not self.pipeline.completed(Stage.SAVE):
+            self._report_failure(
+                Stage.RESUME.value,
+                CheckpointError(f"{self.name}: resume before save"))
+            return
+        try:
+            yield from self.pipeline.run_stages(Stage.RESUME, Stage.RESUME)
+        except CheckpointError as exc:
+            self._report_failure(Stage.RESUME.value, exc)
+            return
+        self.last_result = self.provider.last_result
         self.bus.publish(f"{self.session}/resumed", self.name,
                          publisher=self.name)
 
-    # -- metrics -----------------------------------------------------------------
+    # -- metrics --------------------------------------------------------------
+
+    @property
+    def branch_point(self):
+        """The storage branch point of the last checkpoint, if any."""
+        for provider in self.pipeline.providers:
+            if isinstance(provider, BranchProvider):
+                return provider.last_branch_point
+        return None
+
+    @property
+    def clock_handoff(self):
+        """The saved clock-discipline state of the last checkpoint."""
+        for provider in self.pipeline.providers:
+            if isinstance(provider, ClockProvider):
+                return provider.last_handoff
+        return None
 
     @property
     def frozen_at(self) -> int:
@@ -110,54 +246,69 @@ class NodeAgent:
         return self.checkpointer.domain.kernel.firewall.last_clock_thawed_at_ns
 
 
-class DelayNodeAgent:
+class DelayNodeAgent(_PipelineAgent):
     """Checkpoint agent on a delay node (Dummynet serializer, §4.4)."""
 
     #: cost of serializing pipe state non-destructively
-    SERIALIZE_COST_NS = 300 * US
+    SERIALIZE_COST_NS = DelayNodeProvider.SERIALIZE_COST_NS
 
     def __init__(self, sim: Simulator, name: str, delay_node: DelayNode,
                  clock: SystemClock, bus: NotificationBus,
-                 session: str = "ckpt") -> None:
-        self.sim = sim
-        self.name = name
+                 session: str = "ckpt",
+                 policy: Optional[SuspendPolicy] = None,
+                 tracer: Optional[Tracer] = None) -> None:
+        super().__init__(sim, name, clock, bus, session, policy)
         self.delay_node = delay_node
-        self.clock = clock
-        self.bus = bus
-        self.session = session
-        self.last_snapshot: Optional[DelayNodeSnapshot] = None
-        self.frozen_at = 0
-        self.thawed_at = 0
-        bus.subscribe(f"{session}/prepare", name, self._on_prepare)
-        bus.subscribe(f"{session}/suspend_at", name, self._on_suspend_at)
-        bus.subscribe(f"{session}/now", name, self._on_now)
-        bus.subscribe(f"{session}/resume", name, self._on_resume)
+        self.provider = DelayNodeProvider(
+            delay_node, serialize_cost_ns=self.SERIALIZE_COST_NS)
+        self.pipeline = CheckpointPipeline(sim, [self.provider],
+                                           tracer=tracer,
+                                           session=f"{session}/{name}")
 
     def _on_prepare(self, _msg: BusMessage) -> None:
-        # Dummynet state is tiny; nothing to pre-copy.
+        self._aborting = False
+        # Dummynet state is tiny; nothing to pre-copy — the stages run
+        # synchronously and the ack goes out in the same callback.
+        self.pipeline.run_stages_now(Stage.PREPARE, Stage.PRECOPY)
         self.bus.publish(f"{self.session}/ready", self.name,
                          publisher=self.name)
 
-    def _on_suspend_at(self, msg: BusMessage) -> None:
-        delay = self.clock.ns_until_local(msg.payload)
-        self.sim.call_in(delay, lambda: self.sim.process(self._suspend()))
-
-    def _on_now(self, _msg: BusMessage) -> None:
-        self.sim.process(self._suspend())
-
     def _suspend(self):
-        self.delay_node.freeze()
-        self.frozen_at = self.sim.now
-        yield self.sim.timeout(self.SERIALIZE_COST_NS)
-        self.last_snapshot = self.delay_node.capture_state()
+        if self._aborting:
+            return
+        try:
+            yield from self.pipeline.run_stages(Stage.QUIESCE, Stage.BRANCH)
+        except CheckpointError as exc:
+            self._report_failure(Stage.SAVE.value, exc)
+            return
+        if self._aborting:
+            return
         self.bus.publish(f"{self.session}/saved", self.name,
                          publisher=self.name)
 
     def _on_resume(self, _msg: BusMessage) -> None:
-        self.delay_node.thaw()
-        self.thawed_at = self.sim.now
+        if not self.pipeline.completed(Stage.SAVE):
+            self._report_failure(
+                Stage.RESUME.value,
+                CheckpointError(f"{self.name}: resume before save"))
+            return
+        # Thawing is zero-time: run it synchronously on receipt, so the
+        # resume skew stays one bus-delivery jitter.
+        self.pipeline.run_stages_now(Stage.RESUME, Stage.RESUME)
         self.bus.publish(f"{self.session}/resumed", self.name,
                          publisher=self.name)
+
+    @property
+    def last_snapshot(self) -> Optional[DelayNodeSnapshot]:
+        return self.provider.last_snapshot
+
+    @property
+    def frozen_at(self) -> int:
+        return self.provider.frozen_at
+
+    @property
+    def thawed_at(self) -> int:
+        return self.provider.thawed_at
 
 
 @dataclass
@@ -172,16 +323,33 @@ class CoordinatedResult:
     core_packets_captured: int
     endpoint_packets_replayed: int
     wall_duration_ns: int
+    #: per-agent, per-stage true-time totals from the pipelines
+    stage_timings_ns: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: per-node storage branch points (agents with a BranchProvider)
+    branch_points: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+
+class _StageAbort:
+    """Sentinel delivered through a barrier event on timeout/failure."""
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
 
 
 class Coordinator:
-    """Runs coordinated checkpoints over a set of agents."""
+    """Runs coordinated checkpoints over a set of pipeline agents."""
 
     def __init__(self, sim: Simulator, bus: NotificationBus,
                  server_clock: SystemClock,
                  node_agents: List[NodeAgent],
                  delay_agents: Optional[List[DelayNodeAgent]] = None,
-                 margin_ns: int = 100 * MS, session: str = "ckpt") -> None:
+                 margin_ns: int = 100 * MS, session: str = "ckpt",
+                 stage_timeout_ns: Optional[int] = 30 * SECOND,
+                 tracer: Optional[Tracer] = None) -> None:
         self.sim = sim
         self.bus = bus
         self.server_clock = server_clock
@@ -189,10 +357,16 @@ class Coordinator:
         self.delay_agents = delay_agents or []
         self.margin_ns = margin_ns
         self.session = session
+        self.stage_timeout_ns = stage_timeout_ns
+        self.tracer = tracer
         self.results: List[CoordinatedResult] = []
+        self.failures: List[CheckpointFailure] = []
         self._ready: Optional[Barrier] = None
         self._saved: Optional[Barrier] = None
         self._resumed: Optional[Barrier] = None
+        self._aborted: Optional[Barrier] = None
+        self._watched: Optional[Barrier] = None
+        self._agent_failures: List[AgentFailure] = []
         total = len(node_agents) + len(self.delay_agents)
 
         def arrive(barrier_name):
@@ -208,7 +382,16 @@ class Coordinator:
                       arrive("_saved"))
         bus.subscribe(f"{session}/resumed", f"coordinator/{session}",
                       arrive("_resumed"))
+        bus.subscribe(f"{session}/aborted", f"coordinator/{session}",
+                      arrive("_aborted"))
+        bus.subscribe(f"{session}/failed", f"coordinator/{session}",
+                      self._on_failed)
         self._participants = total
+
+    @property
+    def participant_names(self) -> List[str]:
+        return ([a.name for a in self.node_agents] +
+                [a.name for a in self.delay_agents])
 
     def detach(self) -> None:
         """Stop listening on the bus (when replaced by another coordinator).
@@ -218,7 +401,8 @@ class Coordinator:
         *before* constructing its replacement.
         """
         for topic in (f"{self.session}/ready", f"{self.session}/saved",
-                      f"{self.session}/resumed"):
+                      f"{self.session}/resumed", f"{self.session}/aborted",
+                      f"{self.session}/failed"):
             self.bus.unsubscribe(topic, f"coordinator/{self.session}")
 
     # -- public API ------------------------------------------------------------------
@@ -231,10 +415,21 @@ class Coordinator:
         """Start an event-driven checkpoint; returns a sim process."""
         return self.sim.process(self._run(scheduled=False))
 
+    # -- failure intake --------------------------------------------------------------
+
+    def _on_failed(self, message: BusMessage) -> None:
+        failure = message.payload
+        self._agent_failures.append(failure)
+        barrier = self._watched
+        if barrier is not None and not barrier.event.triggered:
+            barrier.event.succeed(_StageAbort(
+                f"agent failure: {failure.node} at {failure.stage}"))
+
     # -- protocol ---------------------------------------------------------------------
 
     def _run(self, scheduled: bool):
         started = self.sim.now
+        self._agent_failures = []
         self._ready = Barrier(self.sim, self._participants)
         self._saved = Barrier(self.sim, self._participants)
         self._resumed = Barrier(self.sim, self._participants)
@@ -242,7 +437,10 @@ class Coordinator:
         # Round 1: prepare (pre-copy).
         self.bus.publish(f"{self.session}/prepare",
                          publisher="coordinator")
-        yield self._ready.event
+        got = yield from self._await(self._ready)
+        if isinstance(got, _StageAbort):
+            return (yield from self._abort_round(self._ready, got,
+                                                 "prepare", started))
 
         # Round 2: trigger the synchronized suspend.
         deadline = None
@@ -255,16 +453,71 @@ class Coordinator:
                              publisher="coordinator")
 
         # Round 3: barrier on saved.
-        yield self._saved.event
+        got = yield from self._await(self._saved)
+        if isinstance(got, _StageAbort):
+            return (yield from self._abort_round(self._saved, got,
+                                                 "save", started))
 
         # Round 4: resume everyone.
         self.bus.publish(f"{self.session}/resume",
                          publisher="coordinator")
-        yield self._resumed.event
+        got = yield from self._await(self._resumed)
+        if isinstance(got, _StageAbort):
+            return (yield from self._abort_round(self._resumed, got,
+                                                 "resume", started))
 
         result = self._collect(deadline, started)
         self.results.append(result)
+        self._clear_barriers()
         return result
+
+    def _await(self, barrier: Barrier):
+        """Wait on a barrier; a timeout or agent failure resolves it with
+        a :class:`_StageAbort` sentinel instead of wedging forever."""
+        handle = None
+        if self.stage_timeout_ns is not None:
+            def expire() -> None:
+                if not barrier.event.triggered:
+                    barrier.event.succeed(_StageAbort("stage timeout"))
+            handle = self.sim.call_in(self.stage_timeout_ns, expire)
+        self._watched = barrier
+        got = yield barrier.event
+        self._watched = None
+        if handle is not None:
+            handle.cancel()
+        return got
+
+    def _abort_round(self, barrier: Barrier, signal: _StageAbort,
+                     stage: str, started: int):
+        """Phase two of the abort: roll every reachable agent back."""
+        arrived = set(barrier.arrived)
+        missing = tuple(n for n in self.participant_names
+                        if n not in arrived)
+        aborted = Barrier(self.sim, self._participants)
+        self._aborted = aborted
+        self.bus.publish(f"{self.session}/abort", publisher="coordinator")
+        # Dead agents never ack; the same timeout bounds the abort round,
+        # and whoever acked by then counts as rolled back.
+        yield from self._await(aborted)
+        self._aborted = None
+        failure = CheckpointFailure(
+            session=self.session,
+            stage=stage,
+            reason=signal.reason,
+            missing=missing,
+            agent_failures=tuple(self._agent_failures),
+            rolled_back=tuple(aborted.arrived),
+            wall_duration_ns=self.sim.now - started,
+        )
+        self.failures.append(failure)
+        self._clear_barriers()
+        maybe_record(self.tracer, "checkpoint.abort", session=self.session,
+                     stage=stage, reason=signal.reason,
+                     missing=missing, rolled_back=failure.rolled_back)
+        return failure
+
+    def _clear_barriers(self) -> None:
+        self._ready = self._saved = self._resumed = None
 
     def _collect(self, deadline, started) -> CoordinatedResult:
         freeze_times = ([a.frozen_at for a in self.node_agents] +
@@ -273,6 +526,10 @@ class Coordinator:
                       [a.thawed_at for a in self.delay_agents])
         node_results = {a.name: a.last_result for a in self.node_agents}
         delay_snaps = {a.name: a.last_snapshot for a in self.delay_agents}
+        stage_timings = {a.name: a.pipeline.timings_by_stage()
+                         for a in self.node_agents + self.delay_agents}
+        branch_points = {a.name: a.branch_point for a in self.node_agents
+                         if a.branch_point is not None}
         return CoordinatedResult(
             scheduled_deadline_local_ns=deadline,
             node_results=node_results,
@@ -286,4 +543,6 @@ class Coordinator:
             endpoint_packets_replayed=sum(
                 r.replayed_packets for r in node_results.values() if r),
             wall_duration_ns=self.sim.now - started,
+            stage_timings_ns=stage_timings,
+            branch_points=branch_points,
         )

@@ -40,6 +40,28 @@ class CowMode(enum.Enum):
 
 
 @dataclass(frozen=True)
+class BranchPoint:
+    """A branch's redo-log map frozen at a checkpoint (§4.5).
+
+    Pure metadata — the log blocks themselves are immutable once
+    appended, so capturing the index *is* capturing the disk state.  A
+    point can later seed :meth:`BranchStore.rollback_to` (rewind the
+    live branch) or :meth:`~repro.storage.lvm.VolumeManager.fork_branch`
+    (open a sibling branch frozen at this instant).
+    """
+
+    branch_name: str
+    log_head: int
+    blocks_since_metadata: int
+    #: the log index at capture, as ``(vba, log_offset)`` sorted by VBA
+    index: Tuple[Tuple[int, int], ...]
+
+    @property
+    def delta_blocks(self) -> int:
+        return len(self.index)
+
+
+@dataclass(frozen=True)
 class BranchConfig:
     """Tunables of the branching store."""
 
@@ -269,6 +291,41 @@ class BranchStore:
         if len(merged_vbas) > self.aggregated_extent.nblocks:
             raise StorageError(f"{self.name}: aggregated delta extent full")
         return {vba: i for i, vba in enumerate(merged_vbas)}
+
+    def take_checkpoint(self) -> BranchPoint:
+        """Freeze the current redo-log map as a :class:`BranchPoint`.
+
+        Zero simulated time: the log is append-only, so the metadata
+        captured here stays valid no matter how the branch grows after
+        the checkpoint.  Meant to run during the pipeline's ``branch``
+        stage, while the domain writing to this branch is suspended.
+        """
+        return BranchPoint(
+            branch_name=self.name,
+            log_head=self._log_head,
+            blocks_since_metadata=self._blocks_since_metadata,
+            index=tuple(sorted(self.log_index.items())))
+
+    def rollback_to(self, point: BranchPoint) -> int:
+        """Rewind the live branch to a previously taken branch point.
+
+        Log blocks appended after the point become dead space (the log
+        head moves back over them); blocks written before it are intact
+        because appends never overwrite.  Returns the number of delta
+        blocks discarded.
+        """
+        if point.branch_name != self.name:
+            raise StorageError(
+                f"{self.name}: branch point belongs to {point.branch_name}")
+        if point.log_head > self._log_head:
+            raise StorageError(
+                f"{self.name}: branch point is ahead of the log "
+                f"({point.log_head} > {self._log_head})")
+        discarded = len(self.log_index) - len(point.index)
+        self.log_index = dict(point.index)
+        self._log_head = point.log_head
+        self._blocks_since_metadata = point.blocks_since_metadata
+        return discarded
 
     def drop_current_delta(self) -> int:
         """Discard the redo log (rollback to the branch point).

@@ -17,7 +17,7 @@ from repro.errors import StorageError
 from repro.hw.disk import Disk
 from repro.sim.core import Simulator
 from repro.storage.blockdev import Extent, ExtentAllocator, LinearVolume
-from repro.storage.branching import BranchConfig, BranchStore
+from repro.storage.branching import BranchConfig, BranchPoint, BranchStore
 
 
 @dataclass
@@ -73,6 +73,37 @@ class VolumeManager:
                              aggregated_index=aggregated_index, name=name)
         self.branches[name] = branch
         return branch
+
+    def fork_branch(self, name: str, source: BranchStore, point: BranchPoint,
+                    config: Optional[BranchConfig] = None,
+                    aggregated_blocks: Optional[int] = None,
+                    log_blocks: Optional[int] = None) -> BranchStore:
+        """Open a new branch frozen at ``point`` of ``source`` (§4.5).
+
+        The fork's aggregated delta is the source's aggregated delta plus
+        the redo-log blocks the point captured, reindexed in VBA order
+        exactly like :meth:`~repro.storage.branching.BranchStore.\
+merge_into_aggregated`; its redo log starts empty.  The source branch is
+        untouched and keeps running — this is how a saved experiment
+        state is restored onto fresh storage while the original keeps
+        its own history.
+        """
+        if point.branch_name != source.name:
+            raise StorageError(
+                f"branch point belongs to {point.branch_name}, "
+                f"not {source.name}")
+        merged_vbas = sorted(set(source.aggregated_index)
+                             | {vba for vba, _off in point.index})
+        agg_index = {vba: i for i, vba in enumerate(merged_vbas)}
+        golden = next((g for g in self.goldens.values()
+                       if g.volume is source.base), None)
+        if golden is None:
+            raise StorageError(
+                f"source branch {source.name} has no golden here")
+        return self.create_branch(
+            name, golden, config=config or source.config,
+            aggregated_index=agg_index,
+            aggregated_blocks=aggregated_blocks, log_blocks=log_blocks)
 
     def drop_branch(self, name: str) -> None:
         """Forget a branch (extents are not reclaimed; matches swap-out)."""

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 
 from repro.checkpoint.coordinator import (Coordinator, DelayNodeAgent,
                                           NodeAgent)
+from repro.checkpoint.pipeline import BranchProvider, ClockProvider
 from repro.errors import TestbedError
 from repro.guest.kernel import GuestKernel
 from repro.hw.machine import Machine, MachineSpec
@@ -237,9 +238,16 @@ class Experiment:
         domain.attach_vbd(branch, name=f"{spec.name}.vbd0")
         checkpointer = LocalCheckpointer(domain,
                                          testbed.config.checkpoint_config)
+        # Storage and the disciplined clock checkpoint with the domain:
+        # the branch takes a branch point during the ``branch`` stage and
+        # the clock state is captured during ``save`` (both metadata-only).
         agent = NodeAgent(self.sim, spec.name, checkpointer, machine.clock,
                           testbed.control.bus,
-                          session=f"ckpt.{self.spec.name}")
+                          session=f"ckpt.{self.spec.name}",
+                          tracer=testbed.tracer,
+                          extra_providers=(
+                              BranchProvider(branch),
+                              ClockProvider(machine.clock, spec.name)))
         self._pending_ntp.append(
             (machine.clock, f"ntp.{self.spec.name}.{spec.name}"))
         testbed.dns.register(spec.name, spec.name)
@@ -271,7 +279,8 @@ class Experiment:
                     self.sim, link.name, node,
                     testbed.machines[delay_machine].clock,
                     testbed.control.bus,
-                    session=f"ckpt.{self.spec.name}")
+                    session=f"ckpt.{self.spec.name}",
+                    tracer=testbed.tracer)
                 self._attach_nics(link)
             else:
                 if_a = Interface(self.sim, f"{link.node_a}.{link.name}",
@@ -313,7 +322,8 @@ class Experiment:
             self.delay_nodes[agent_name] = delay_node
             self.delay_agents[agent_name] = DelayNodeAgent(
                 self.sim, agent_name, delay_node, machine.clock,
-                testbed.control.bus, session=f"ckpt.{self.spec.name}")
+                testbed.control.bus, session=f"ckpt.{self.spec.name}",
+                tracer=testbed.tracer)
             # The member's uplink interface is its experiment NIC: the
             # route to any other member goes through it.
             other = next(m for m in lan.members if m != member_name)
@@ -333,7 +343,8 @@ class Experiment:
             self.sim, self.testbed.control.bus, self.testbed.ops.clock,
             [n.agent for n in self.nodes.values()],
             list(self.delay_agents.values()),
-            session=f"ckpt.{self.spec.name}")
+            session=f"ckpt.{self.spec.name}",
+            tracer=self.testbed.tracer)
 
     # ------------------------------------------------------------------ swap-out
 

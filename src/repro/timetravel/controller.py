@@ -20,8 +20,9 @@ from a log.  Observable semantics match the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Protocol, Sequence
+from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence
 
+from repro.checkpoint.pipeline import SnapshotCapture, capture_run_snapshot
 from repro.errors import TimeTravelError
 from repro.timetravel.tree import CheckpointTree, TreeNode
 
@@ -67,9 +68,13 @@ class TimeTravelController:
         self.seed = seed
         self.tree = CheckpointTree(storage_budget_bytes)
         self.active_run: ReplayableRun = factory(seed, [])
+        #: node_id -> what the pipeline captured at that checkpoint
+        self.captures: Dict[int, SnapshotCapture] = {}
+        capture = capture_run_snapshot(self.active_run)
         root = self.tree.add(None, self.active_run.virtual_now(),
                              label="origin",
-                             snapshot_bytes=self.active_run.snapshot_bytes())
+                             snapshot_bytes=capture.snapshot_bytes)
+        self.captures[root.node_id] = capture
         self._position: TreeNode = root
         self._pending_perturbations: List[Perturbation] = []
 
@@ -88,11 +93,20 @@ class TimeTravelController:
         self.active_run.advance_to(virtual_ns)
 
     def checkpoint(self, label: str = "") -> TreeNode:
-        """Record a checkpoint of the active execution."""
+        """Record a checkpoint of the active execution.
+
+        The capture runs through the checkpoint pipeline when the run
+        exposes ``checkpointables()`` — branch providers take real
+        branch points, and the snapshot cost is the sum of provider
+        costs; the capture is kept in :attr:`captures` keyed by the new
+        node's id.
+        """
+        capture = capture_run_snapshot(self.active_run)
         node = self.tree.add(
             self._position.node_id, self.active_run.virtual_now(),
-            label=label, snapshot_bytes=self.active_run.snapshot_bytes(),
+            label=label, snapshot_bytes=capture.snapshot_bytes,
             perturbations=tuple(self._pending_perturbations))
+        self.captures[node.node_id] = capture
         self._pending_perturbations = []
         self._position = node
         return node

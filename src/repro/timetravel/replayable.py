@@ -113,3 +113,25 @@ class ReplayableExperiment:
         disk = sum(n.branch.current_delta_blocks * 4096
                    for n in experiment.nodes.values())
         return memory + disk
+
+    def checkpointables(self) -> List[Any]:
+        """Pipeline providers covering this run's checkpointable state.
+
+        Fresh providers per call (captures must not alias each other);
+        nodes are walked in name order for determinism.  Experiments
+        whose nodes lack a checkpointer or branch yield no providers, and
+        the controller falls back to :meth:`snapshot_bytes`.
+        """
+        from repro.checkpoint.pipeline import BranchProvider, DomainProvider
+        providers: List[Any] = []
+        experiment = self.handle.experiment
+        for name in sorted(experiment.nodes):
+            node = experiment.nodes[name]
+            checkpointer = getattr(node, "checkpointer", None)
+            if checkpointer is None:
+                return []
+            providers.append(DomainProvider(checkpointer))
+            branch = getattr(node, "branch", None)
+            if branch is not None:
+                providers.append(BranchProvider(branch))
+        return providers

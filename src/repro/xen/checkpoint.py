@@ -72,6 +72,8 @@ class CheckpointResult:
     memory_copied_bytes: int
     dirty_copied_bytes: int
     replayed_packets: int
+    #: per-stage true-time totals from the driving pipeline (when known)
+    stage_timings_ns: dict = field(default_factory=dict)
 
 
 class LocalCheckpointer:
@@ -84,10 +86,25 @@ class LocalCheckpointer:
         self.config = config
         self.results: list[CheckpointResult] = []
         self._busy = False
+        self._pipeline = None
+        self._provider = None
 
     def checkpoint(self) -> Process:
         """Start a checkpoint; the returned process yields the result."""
         return self.sim.process(self.run())
+
+    def pipeline(self):
+        """The local single-provider pipeline driving :meth:`run`."""
+        if self._pipeline is None:
+            # Imported lazily: repro.checkpoint pulls this module in at
+            # package-import time, so a top-level import would cycle.
+            from repro.checkpoint.pipeline import (CheckpointPipeline,
+                                                   DomainProvider)
+            self._provider = DomainProvider(self)
+            self._pipeline = CheckpointPipeline(
+                self.sim, [self._provider],
+                session=f"local.{self.domain.name}")
+        return self._pipeline
 
     # The body is public so coordinators can drive it inside their own
     # processes (``yield from checkpointer.run()``).
@@ -97,12 +114,10 @@ class LocalCheckpointer:
                 f"checkpoint of {self.domain.name} already in progress")
         self._busy = True
         try:
-            started = self.sim.now
-            memory_copied, precopy_ns = yield from self.precopy()
-            snapshot, dirty = yield from self.suspend_and_save()
-            result = yield from self.resume(
-                started, precopy_ns, memory_copied, snapshot, dirty)
-            self.results.append(result)
+            pipeline = self.pipeline()
+            yield from pipeline.run_local()
+            result = self._provider.last_result
+            result.stage_timings_ns = pipeline.timings_by_stage()
             return result
         finally:
             self._busy = False
@@ -135,18 +150,27 @@ class LocalCheckpointer:
             memory_copied = domain.memory_bytes
         return memory_copied, self.sim.now - precopy_start
 
-    def suspend_and_save(self):
-        """Phases 2–3 — suspend devices, raise the firewall, save state."""
-        cfg = self.config
+    def quiesce(self):
+        """Phase 2a — stop I/O: disconnect NICs, drain block devices."""
         domain = self.domain
-        kernel = domain.kernel
         for nic in domain.nics:
             nic.suspend()
         for vbd in domain.vbds:
             yield from vbd.suspend_after_drain()
-        yield from kernel.firewall.raise_sequence()
-        # Stop-and-copy: dirty residue + device state while frozen.  This
-        # is the checkpoint's true downtime; the guest cannot observe it.
+
+    def suspend(self):
+        """Phase 2b — raise the temporal firewall; guest time stops."""
+        yield from self.domain.kernel.firewall.raise_sequence()
+
+    def save(self):
+        """Phase 3 — stop-and-copy the dirty residue + device state.
+
+        This is the checkpoint's true downtime; the guest cannot observe
+        it.  Returns ``(snapshot, dirty_bytes)``.
+        """
+        cfg = self.config
+        domain = self.domain
+        kernel = domain.kernel
         dirty = (int(domain.memory_bytes * cfg.dirty_fraction)
                  if cfg.live else domain.memory_bytes)
         yield self.sim.timeout(transfer_time_ns(max(1, dirty),
@@ -160,6 +184,12 @@ class LocalCheckpointer:
             taken_at_virtual_ns=kernel.vclock.now(),
         )
         return snapshot, dirty
+
+    def suspend_and_save(self):
+        """Phases 2–3 composed (kept for callers that drive both at once)."""
+        yield from self.quiesce()
+        yield from self.suspend()
+        return (yield from self.save())
 
     def resume(self, started, precopy_ns, memory_copied, snapshot, dirty):
         """Phase 4 — lower the firewall, reconnect devices, replay rings."""
