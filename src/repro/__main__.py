@@ -8,11 +8,14 @@ Subcommands:
                   transparency); exits non-zero on failure
 * ``results``   — print the benchmark result tables recorded under
                   ``benchmarks/results/``
-* ``lint``      — the determinism sanitizer (rules DET001–DET007 over
+* ``lint``      — the determinism sanitizer (rules DET001–DET008 over
                   the given paths; see docs/determinism.md)
 * ``bench``     — event-core performance benchmarks (fast path vs the
                   legacy Event path; writes ``BENCH_sim_core.json``; see
                   docs/performance.md)
+* ``faults``    — seeded fault-storm: a lossy control bus plus a node
+                  crash mid-save must not stop a supervised checkpoint;
+                  runs twice and asserts determinism (docs/robustness.md)
 """
 
 from __future__ import annotations
@@ -125,6 +128,54 @@ def cmd_bench(args) -> int:
     return run_bench(quick=args.quick, output=args.output)
 
 
+def cmd_faults(args) -> int:
+    from repro.faults.scenario import (default_storm_plan,
+                                       run_fault_free_ckpt10, run_faultstorm)
+
+    if args.verify_off:
+        # A disabled injector attached to the full distributed checkpoint
+        # must not move the golden digest by a single bit.
+        import json
+
+        golden_path = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(
+                os.path.abspath(__file__)))),
+            "benchmarks", "results", "PIPELINE_digests.json")
+        with open(golden_path) as fh:
+            golden = json.load(fh)["scenarios"]["ckpt10_coordinated"]
+        digest = run_fault_free_ckpt10()
+        ok = digest == golden
+        print(f"faults-off ckpt10 digest: {digest}")
+        print(f"golden:                   {golden}")
+        print("fault-free equivalence:", "OK" if ok else "FAILED")
+        return 0 if ok else 1
+
+    print(f"fault storm: {args.nodes} nodes, plan seed {args.seed}, "
+          f"bus loss 10%, node3 crashes mid-save ...")
+    plan = default_storm_plan(seed=args.seed)
+    first = run_faultstorm(num_nodes=args.nodes, plan=plan, race=args.race)
+    print(f"  attempt(s): {first.attempts}   completed: {first.completed}")
+    print(f"  faults injected: {sum(first.injected.values())} "
+          f"{dict(sorted(first.injected.items()))}")
+    print(f"  bus: {first.retransmits} retransmits, "
+          f"{first.duplicates_suppressed} duplicates suppressed, "
+          f"{first.gave_up} gave up")
+    if first.excluded:
+        print(f"  degraded: excluded {list(first.excluded)}")
+    if args.race:
+        print(f"  races: {first.race_report}")
+    second = run_faultstorm(num_nodes=args.nodes, plan=plan)
+    deterministic = first.trace_digest == second.trace_digest and \
+        first.experiment_digest == second.experiment_digest
+    print(f"  run 1 digest: {first.digest}")
+    print(f"  run 2 digest: {second.digest}")
+    print("determinism:", "OK" if deterministic else "FAILED")
+    ok = (first.completed and deterministic and
+          (not args.race or first.races == 0))
+    print("fault storm:", "SURVIVED" if ok else "FAILED")
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -149,10 +200,21 @@ def main(argv=None) -> int:
     bench.add_argument("--output", metavar="PATH",
                        help="JSON artifact path "
                             "(default: BENCH_sim_core.json at repo root)")
+    faults = sub.add_parser("faults",
+                            help="seeded fault-storm survival + determinism")
+    faults.add_argument("--nodes", type=int, default=10,
+                        help="experiment size (default: 10)")
+    faults.add_argument("--seed", type=int, default=1,
+                        help="fault-plan seed (default: 1)")
+    faults.add_argument("--race", action="store_true",
+                        help="run under the event-race detector")
+    faults.add_argument("--verify-off", action="store_true",
+                        help="check a disabled injector preserves the "
+                             "ckpt10 golden digest, then exit")
     args = parser.parse_args(argv)
     return {"info": cmd_info, "selftest": cmd_selftest,
             "results": cmd_results, "lint": cmd_lint,
-            "bench": cmd_bench}[args.command](args)
+            "bench": cmd_bench, "faults": cmd_faults}[args.command](args)
 
 
 if __name__ == "__main__":

@@ -1,13 +1,15 @@
 """Metrics and reporting helpers for the evaluation harness."""
 
 from repro.analysis.ascii import sparkline, timeseries_chart
-from repro.analysis.metrics import (bucket_series, fraction_within, mean,
-                                    percentile, ratio, stddev)
+from repro.analysis.metrics import (bucket_series, fault_retry_summary,
+                                    fraction_within, mean, percentile,
+                                    ratio, stage_timing_summary, stddev)
 from repro.analysis.reporting import (ExperimentReport, Row, fmt_mbps,
                                       fmt_ms, fmt_pct, fmt_s, fmt_us)
 
 __all__ = [
-    "bucket_series", "fraction_within", "mean", "percentile", "ratio",
-    "stddev", "ExperimentReport", "Row", "fmt_mbps", "fmt_ms", "fmt_pct",
+    "bucket_series", "fault_retry_summary", "fraction_within", "mean",
+    "percentile", "ratio", "stage_timing_summary", "stddev",
+    "ExperimentReport", "Row", "fmt_mbps", "fmt_ms", "fmt_pct",
     "fmt_s", "fmt_us", "sparkline", "timeseries_chart",
 ]

@@ -62,6 +62,48 @@ def ratio(new: float, base: float) -> float:
     return new / base
 
 
+def fault_retry_summary(records: Iterable) -> dict:
+    """Aggregate the robustness trace: ``fault.*``, ``retry.*``, aborts.
+
+    Accepts any iterable of :class:`~repro.sim.trace.TraceRecord` (e.g. a
+    whole ``tracer.records`` list) and distils the recovery history::
+
+        {
+          "faults": {category: count, ...},          # fault.* records
+          "retries": {category: count, ...},         # retry.* records
+          "aborts": n,                               # checkpoint.abort
+          "abort_stages": [stage, ...],              # in time order
+          "suspected_dead": [name, ...],             # union, sorted
+          "recovered": bool,    # a retry.checkpoint.recovered was traced
+          "gave_up": bool,      # a retry.checkpoint.gave_up was traced
+          "attempts": n,        # retry.checkpoint.attempt count
+        }
+    """
+    faults: dict = {}
+    retries: dict = {}
+    abort_stages: List[str] = []
+    suspected: set = set()
+    for record in records:
+        category = record.category
+        if category.startswith("fault."):
+            faults[category] = faults.get(category, 0) + 1
+        elif category.startswith("retry."):
+            retries[category] = retries.get(category, 0) + 1
+        elif category == "checkpoint.abort":
+            abort_stages.append(record.fields.get("stage", ""))
+            suspected.update(record.fields.get("suspected_dead", ()))
+    return {
+        "faults": faults,
+        "retries": retries,
+        "aborts": len(abort_stages),
+        "abort_stages": abort_stages,
+        "suspected_dead": sorted(suspected),
+        "recovered": retries.get("retry.checkpoint.recovered", 0) > 0,
+        "gave_up": retries.get("retry.checkpoint.gave_up", 0) > 0,
+        "attempts": retries.get("retry.checkpoint.attempt", 0),
+    }
+
+
 def stage_timing_summary(records: Iterable) -> dict:
     """Aggregate ``checkpoint.stage`` trace records per stage.
 

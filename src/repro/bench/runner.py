@@ -134,6 +134,48 @@ def _bench_pipeline_figure(scenario: Callable, golden: Optional[str]) -> Dict:
     }
 
 
+def _bench_faultstorm(quick: bool) -> Dict:
+    """The seeded fault-storm, run twice: survival plus determinism.
+
+    There is no fast/legacy split here — the storm exercises the
+    recovery machinery, not the scheduler — so the run is repeated with
+    identical inputs instead and ``digest_match`` asserts the two runs
+    (trace + experiment state) were bit-identical.
+    """
+    from repro.faults.scenario import run_faultstorm
+
+    run_seconds = 20 if quick else 30
+    storm_s, first = _time_run(lambda: run_faultstorm(
+        run_seconds=run_seconds))
+    _, second = _time_run(lambda: run_faultstorm(run_seconds=run_seconds))
+    return {
+        "fast_seconds": round(storm_s, 4),
+        "completed": first.completed,
+        "attempts": first.attempts,
+        "retransmits": first.retransmits,
+        "faults_injected": sum(first.injected.values()),
+        "digest_first": first.digest,
+        "digest_second": second.digest,
+        "digest_match": first.digest == second.digest and first.completed,
+    }
+
+
+#: scenarios whose wall clock is compared against the checked-in artifact
+#: (the fault-free paths must not pay for the fault layer)
+_REGRESSION_WATCH = ("fig4_sleep", "fig5_cpuburn", "fig8_cow_storage",
+                     "ckpt10_coordinated")
+_REGRESSION_BUDGET_PCT = 2.0
+
+
+def _previous_results(path: str) -> Dict[str, Dict]:
+    """Scenario results from the checked-in artifact, if readable."""
+    try:
+        with open(path) as fh:
+            return json.load(fh).get("scenarios", {})
+    except (OSError, ValueError):
+        return {}
+
+
 def run_bench(quick: bool = False, output: Optional[str] = None,
               out=sys.stdout) -> int:
     """Run all scenarios, write the JSON artifact, print a summary.
@@ -158,11 +200,31 @@ def run_bench(quick: bool = False, output: Optional[str] = None,
             run_fig8, goldens.get("fig8_cow_storage")),
         "ckpt10_coordinated": lambda: _bench_pipeline_figure(
             run_ckpt10, goldens.get("ckpt10_coordinated")),
+        # Robustness gate: seeded storm must survive, deterministically.
+        "ckpt10_faultstorm": lambda: _bench_faultstorm(quick),
     }
+    if output is None:
+        output = os.path.join(_repo_root(), "BENCH_sim_core.json")
+    previous = _previous_results(output)
+
     results: Dict[str, Dict] = {}
     for name, fn in scenarios.items():
         print(f"bench: {name} ...", file=out, flush=True)
         results[name] = fn()
+
+    # Fault-free wall-clock watch: the reliability/fault hooks must cost
+    # the disabled path nothing measurable vs the checked-in artifact.
+    regressions = []
+    for name in _REGRESSION_WATCH:
+        before = previous.get(name, {}).get("fast_seconds")
+        after = results.get(name, {}).get("fast_seconds")
+        if not before or not after:
+            continue
+        pct = round(100.0 * (after - before) / before, 1)
+        results[name]["fast_seconds_previous"] = before
+        results[name]["regression_vs_checked_in_pct"] = pct
+        if pct > _REGRESSION_BUDGET_PCT:
+            regressions.append((name, pct))
 
     payload = {
         "bench": "sim_core",
@@ -172,8 +234,6 @@ def run_bench(quick: bool = False, output: Optional[str] = None,
         "legacy_config": LEGACY,
         "scenarios": results,
     }
-    if output is None:
-        output = os.path.join(_repo_root(), "BENCH_sim_core.json")
     with open(output, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -183,17 +243,30 @@ def run_bench(quick: bool = False, output: Optional[str] = None,
           file=out)
     ok = True
     for name, r in results.items():
-        print(f"{name:<28} {r['fast_seconds']:>8.3f}s "
-              f"{r['legacy_seconds']:>8.3f}s {r['speedup']:>7.2f}x",
-              file=out)
+        if "legacy_seconds" in r:
+            print(f"{name:<28} {r['fast_seconds']:>8.3f}s "
+                  f"{r['legacy_seconds']:>8.3f}s {r['speedup']:>7.2f}x",
+                  file=out)
+        else:
+            print(f"{name:<28} {r['fast_seconds']:>8.3f}s "
+                  f"{'—':>9} {'—':>8}", file=out)
         if "digest_match" in r and not r["digest_match"]:
             ok = False
-            if r["digest_fast"] != r["digest_legacy"]:
-                print(f"  DIGEST MISMATCH: fast {r['digest_fast']} != "
-                      f"legacy {r['digest_legacy']}", file=out)
-            if r.get("digest_golden") not in (None, r["digest_fast"]):
-                print(f"  GOLDEN MISMATCH: {r['digest_fast']} != "
+            if r.get("digest_fast", 0) != r.get("digest_legacy", 0):
+                print(f"  DIGEST MISMATCH: fast {r.get('digest_fast')} != "
+                      f"legacy {r.get('digest_legacy')}", file=out)
+            if r.get("digest_golden") not in (None, r.get("digest_fast")):
+                print(f"  GOLDEN MISMATCH: {r.get('digest_fast')} != "
                       f"{r['digest_golden']} (pre-pipeline-port)", file=out)
+            if r.get("digest_first", 0) != r.get("digest_second", 0):
+                print(f"  RUN-TO-RUN MISMATCH: {r.get('digest_first')} != "
+                      f"{r.get('digest_second')}", file=out)
+            if r.get("completed") is False:
+                print("  STORM DID NOT COMPLETE within the retry budget",
+                      file=out)
+    for name, pct in regressions:
+        print(f"WARNING: {name} fast path {pct:+.1f}% vs checked-in artifact "
+              f"(budget {_REGRESSION_BUDGET_PCT}%)", file=out)
     print(f"\nwrote {output}", file=out)
     if not ok:
         print("bench FAILED: digests diverged", file=out)

@@ -103,14 +103,17 @@ def build_fig6_rig(sim: Simulator, seed: int = 6, memory: int = 64 * MB,
 def build_fig7_rig(sim: Simulator, num_nodes: int = 4,
                    bandwidth_bps: int = 100 * MBPS, seed: int = 7,
                    memory: int = 64 * MB,
-                   streams: Optional[RandomStreams] = None):
+                   streams: Optional[RandomStreams] = None,
+                   faults=None, reliability=None, tracer=None):
     """The Figure 7 topology: ``num_nodes`` guests on a shaped LAN."""
     from repro.testbed import (Emulab, ExperimentSpec, NodeSpec,
                               TestbedConfig)
     from repro.testbed.experiment import LanSpec
 
     testbed = Emulab(sim, TestbedConfig(num_machines=2 * num_nodes + 1,
-                                        seed=seed), streams=streams)
+                                        seed=seed,
+                                        bus_reliability=reliability),
+                     streams=streams, faults=faults, tracer=tracer)
     names = [f"node{i}" for i in range(num_nodes)]
     exp = testbed.define_experiment(ExperimentSpec(
         "bench",
@@ -326,18 +329,23 @@ def run_fig8(sim: Simulator, file_mb: int = 96, seed: int = 8) -> str:
 
 def run_ckpt10(sim: Simulator, num_nodes: int = 10, run_seconds: int = 8,
                seed: int = 10,
-               streams: Optional[RandomStreams] = None) -> str:
+               streams: Optional[RandomStreams] = None,
+               faults=None, reliability=None, tracer=None) -> str:
     """A 10-node coordinated checkpoint through the full distributed path.
 
     All ``num_nodes`` guests sit on one shaped LAN running sleep-loop
     workloads; one clock-scheduled coordinated checkpoint runs mid-way.
     Tracks the checkpoint-path wall-clock cost alongside the event-core
-    numbers in ``BENCH_sim_core.json``.
+    numbers in ``BENCH_sim_core.json``.  ``faults``/``reliability``/
+    ``tracer`` exist for the fault-free equivalence gate: attaching a
+    disabled injector must not move the digest.
     """
     from repro.workloads import SleeperBenchmark
 
     _testbed, exp = build_fig7_rig(sim, num_nodes=num_nodes, seed=seed,
-                                   memory=32 * MB, streams=streams)
+                                   memory=32 * MB, streams=streams,
+                                   faults=faults, reliability=reliability,
+                                   tracer=tracer)
     benches = [SleeperBenchmark(exp.kernel(f"node{i}"), iterations=10_000)
                for i in range(num_nodes)]
     for bench in benches:

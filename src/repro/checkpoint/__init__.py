@@ -1,6 +1,7 @@
 """Distributed transparent checkpointing — the paper's core contribution."""
 
-from repro.checkpoint.bus import Barrier, BusMessage, NotificationBus
+from repro.checkpoint.bus import (Barrier, BusMessage, NotificationBus,
+                                  ReliabilityConfig)
 from repro.checkpoint.pipeline import (AgentFailure, BoundedSkewRetrySuspend,
                                        BranchProvider, Checkpointable,
                                        CheckpointFailure, CheckpointPipeline,
@@ -12,16 +13,23 @@ from repro.checkpoint.pipeline import (AgentFailure, BoundedSkewRetrySuspend,
                                        SuspendPolicy, capture_run_snapshot)
 from repro.checkpoint.coordinator import (CoordinatedResult, Coordinator,
                                           DelayNodeAgent, NodeAgent)
+from repro.checkpoint.supervisor import (CheckpointSupervisor,
+                                         DegradationPolicy, FailFast,
+                                         ProceedWithoutDelayNodes,
+                                         RetryDecision, RetryThenAbort)
 from repro.checkpoint.baselines import (NaiveCheckpointer, RemusCheckpointer,
                                         UncoordinatedRunner)
 
 __all__ = [
     "AgentFailure", "Barrier", "BoundedSkewRetrySuspend", "BranchProvider",
     "BusMessage", "Checkpointable", "CheckpointFailure", "CheckpointPipeline",
-    "ClockHandoff", "ClockProvider", "CoordinatedResult", "Coordinator",
-    "DeadlineSuspend", "DelayNodeAgent", "DelayNodeProvider", "DomainProvider",
+    "CheckpointSupervisor", "ClockHandoff", "ClockProvider",
+    "CoordinatedResult", "Coordinator", "DeadlineSuspend", "DegradationPolicy",
+    "DelayNodeAgent", "DelayNodeProvider", "DomainProvider", "FailFast",
     "ImmediateSuspend", "NaiveCheckpointer", "NaiveDomainProvider",
-    "NodeAgent", "NotificationBus", "RemusCheckpointer", "SnapshotCapture",
-    "Stage", "StageFailed", "StageTiming", "SuspendPolicy",
-    "UncoordinatedRunner", "capture_run_snapshot",
+    "NodeAgent", "NotificationBus", "ProceedWithoutDelayNodes",
+    "ReliabilityConfig", "RemusCheckpointer", "RetryDecision",
+    "RetryThenAbort", "SnapshotCapture", "Stage", "StageFailed",
+    "StageTiming", "SuspendPolicy", "UncoordinatedRunner",
+    "capture_run_snapshot",
 ]

@@ -24,7 +24,7 @@ the stages are scheduled:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.checkpoint.pipeline import (Checkpointable, CheckpointPipeline,
                                        NaiveDomainProvider, Stage)
@@ -46,12 +46,12 @@ class NaiveCheckpointer:
     """
 
     def __init__(self, domain: Domain,
-                 config: CheckpointConfig = CheckpointConfig()) -> None:
+                 config: Optional[CheckpointConfig] = None) -> None:
         self.domain = domain
         self.sim: Simulator = domain.sim
-        self.config = config
+        self.config = config if config is not None else CheckpointConfig()
         self.downtimes: List[int] = []
-        self.provider = NaiveDomainProvider(domain, config)
+        self.provider = NaiveDomainProvider(domain, self.config)
         self.pipeline = CheckpointPipeline(self.sim, [self.provider],
                                            session=f"naive.{domain.name}")
 

@@ -6,17 +6,30 @@ all subscribers receive.  Delivery is point-to-point with independent path
 delays, so an event-driven "checkpoint now" is received with per-node skew
 equal to the control network's delivery jitter — which is exactly why the
 paper prefers clock-scheduled checkpoints.
+
+The paper assumes the control network is reliable.  To survive injected
+faults (``repro.faults``) the bus optionally layers a reliable-delivery
+protocol on top of the fire-and-forget core: per-message ids, receiver
+acks, bounded retransmission with exponential backoff + jitter, and
+duplicate suppression in subscribers.  The reliable layer draws all of
+its randomness (retransmit delays, ack delays, backoff jitter) from its
+own ``derived_rng("bus.reliable")`` substream, so with
+``reliability=None`` — the default everywhere — the code path, the event
+schedule, and the main rng draw sequence are exactly the legacy ones and
+every golden digest stays bit-identical.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.clocksync.ntp import PathDelayModel
 from repro.sim.core import Simulator
 from repro.sim.random import derived_rng
+from repro.sim.trace import Tracer, maybe_record
+from repro.units import MS, SECOND
 
 
 @dataclass
@@ -28,19 +41,78 @@ class BusMessage:
     publisher: str
     published_at: int
     delivered_at: int = 0
+    #: bus-wide sequence number (reliable mode keys acks/dedup on it)
+    msg_id: int = 0
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Knobs of the reliable-delivery layer (acks + retransmits)."""
+
+    #: how long to wait for an ack before the first retransmit
+    ack_timeout_ns: int = 50 * MS
+    #: retransmit at most this many times, then give up (dead letter)
+    max_retransmits: int = 6
+    #: exponential backoff multiplier between retransmits
+    backoff_factor: float = 2.0
+    #: backoff ceiling
+    max_backoff_ns: int = 2 * SECOND
+    #: uniform jitter added to each backoff, de-synchronizing retransmits
+    jitter_ns: int = 5 * MS
+
+
+class _Pending:
+    """One unacked (message, subscriber) delivery awaiting its ack."""
+
+    __slots__ = ("topic", "payload", "publisher", "published_at", "msg_id",
+                 "subscriber", "handler", "attempt", "timer")
+
+    def __init__(self, topic, payload, publisher, published_at, msg_id,
+                 subscriber, handler) -> None:
+        self.topic = topic
+        self.payload = payload
+        self.publisher = publisher
+        self.published_at = published_at
+        self.msg_id = msg_id
+        self.subscriber = subscriber
+        self.handler = handler
+        self.attempt = 0
+        self.timer = None
 
 
 class NotificationBus:
     """Control-network publish/subscribe."""
 
     def __init__(self, sim: Simulator, rng: Optional[random.Random] = None,
-                 path: PathDelayModel = PathDelayModel()) -> None:
+                 path: Optional[PathDelayModel] = None,
+                 reliability: Optional[ReliabilityConfig] = None,
+                 faults=None, tracer: Optional[Tracer] = None) -> None:
         self.sim = sim
         self.rng = rng or derived_rng("notification-bus")
-        self.path = path
+        self.path = path if path is not None else PathDelayModel()
+        self.reliability = reliability
+        self.faults = faults
+        self.tracer = tracer
         self._subscribers: Dict[str, List[tuple]] = {}
         self.published = 0
         self.delivered = 0
+        # Fault/reliability accounting (all zero on the legacy path).
+        self.dropped = 0
+        self.retransmits = 0
+        self.duplicates_suppressed = 0
+        self.acks_sent = 0
+        self.acks_lost = 0
+        self.gave_up = 0
+        self.undeliverable = 0
+        #: (topic, subscriber, msg_id) of deliveries the bus gave up on
+        self.dead_letters: List[Tuple[str, str, int]] = []
+        #: subscribers with at least one exhausted delivery (dead until
+        #: they ack again) — the coordinator's dead-agent signal
+        self.suspects: Dict[str, int] = {}
+        self._next_msg_id = 1
+        self._pending: Dict[Tuple[int, str], _Pending] = {}
+        self._seen: Dict[str, Set[int]] = {}
+        self._rel_rng: Optional[random.Random] = None
 
     def subscribe(self, topic: str, subscriber: str,
                   handler: Callable[[BusMessage], None]) -> None:
@@ -52,45 +124,195 @@ class NotificationBus:
         entries = self._subscribers.get(topic, [])
         self._subscribers[topic] = [e for e in entries if e[0] != subscriber]
 
+    def _is_subscribed(self, topic: str, subscriber: str) -> bool:
+        return any(e[0] == subscriber
+                   for e in self._subscribers.get(topic, ()))
+
+    def _reliable_rng(self) -> random.Random:
+        if self._rel_rng is None:
+            self._rel_rng = derived_rng("bus.reliable")
+        return self._rel_rng
+
     def publish(self, topic: str, payload: Any = None,
                 publisher: str = "") -> int:
         """Send ``payload`` to all subscribers of ``topic``.
 
-        Returns the number of deliveries scheduled.  Each delivery takes an
-        independent control-network path delay.
+        Returns the number of deliveries scheduled.  Each delivery takes
+        an independent control-network path delay.  The per-subscriber
+        delay is always drawn from the main rng *before* any fault
+        verdict, so an attached-but-idle injector consumes exactly the
+        same draws as no injector at all.
         """
         self.published += 1
         published_at = self.sim.now
+        msg_id = self._next_msg_id
+        self._next_msg_id += 1
         scheduled = 0
-        for _name, handler in self._subscribers.get(topic, ()):
+        for name, handler in self._subscribers.get(topic, ()):
             delay = self.path.sample_oneway(self.rng)
-            message = BusMessage(topic, payload, publisher, published_at)
-
-            def deliver(message=message, handler=handler) -> None:
-                message.delivered_at = self.sim.now
-                self.delivered += 1
-                handler(message)
-
-            self.sim.call_in(delay, deliver)
+            entry = None
+            if self.reliability is not None:
+                entry = _Pending(topic, payload, publisher, published_at,
+                                 msg_id, name, handler)
+                self._pending[(msg_id, name)] = entry
+                self._arm_retransmit(entry)
+            self._attempt_delivery(topic, payload, publisher, published_at,
+                                   msg_id, name, handler, delay, attempt=0)
             scheduled += 1
         return scheduled
 
+    # -- delivery (shared by first attempts and retransmits) -------------------
+
+    def _attempt_delivery(self, topic, payload, publisher, published_at,
+                          msg_id, subscriber, handler, delay,
+                          attempt) -> None:
+        verdict = None
+        if self.faults is not None:
+            verdict = self.faults.bus_delivery(topic, subscriber, attempt)
+        if verdict is not None and verdict.drop:
+            self.dropped += 1
+            return
+        extra = verdict.extra_delay_ns if verdict is not None else 0
+        message = BusMessage(topic, payload, publisher, published_at,
+                             msg_id=msg_id)
+
+        def deliver(message=message, handler=handler) -> None:
+            self._deliver(message, subscriber, handler)
+
+        self.sim.call_in(delay + extra, deliver)
+        if verdict is not None and verdict.duplicate:
+            copy = BusMessage(topic, payload, publisher, published_at,
+                              msg_id=msg_id)
+
+            def deliver_copy(message=copy, handler=handler) -> None:
+                self._deliver(message, subscriber, handler)
+
+            gap = self.faults.plan.bus.duplicate_gap_ns
+            self.sim.call_in(delay + extra + gap, deliver_copy)
+
+    def _deliver(self, message: BusMessage, subscriber: str,
+                 handler) -> None:
+        if self.reliability is not None:
+            # A crashed (unsubscribed) agent no longer receives — and
+            # therefore never acks, which is what drives the publisher's
+            # retransmit/give-up machinery and the suspect list.
+            if not self._is_subscribed(message.topic, subscriber):
+                self.undeliverable += 1
+                return
+            self._send_ack(message, subscriber)
+            seen = self._seen.setdefault(subscriber, set())
+            if message.msg_id in seen:
+                self.duplicates_suppressed += 1
+                maybe_record(self.tracer, "bus.duplicate_suppressed",
+                             topic=message.topic, subscriber=subscriber,
+                             msg_id=message.msg_id)
+                return
+            seen.add(message.msg_id)
+        message.delivered_at = self.sim.now
+        self.delivered += 1
+        handler(message)
+
+    # -- reliable layer --------------------------------------------------------
+
+    def _send_ack(self, message: BusMessage, subscriber: str) -> None:
+        """Ack travels back over the control network (its own delay)."""
+        if self.faults is not None and self.faults.bus_ack_lost(
+                message.topic, subscriber):
+            self.acks_lost += 1
+            return
+        self.acks_sent += 1
+        delay = self.path.sample_oneway(self._reliable_rng())
+        key = (message.msg_id, subscriber)
+        self.sim.call_in(delay, lambda: self._on_ack(key))
+
+    def _on_ack(self, key: Tuple[int, str]) -> None:
+        entry = self._pending.pop(key, None)
+        if entry is None:
+            return      # already acked (duplicate ack) or given up
+        if entry.timer is not None:
+            entry.timer.cancel()
+            entry.timer = None
+        # An ack is proof of life: clear any earlier suspicion.
+        self.suspects.pop(entry.subscriber, None)
+
+    def _arm_retransmit(self, entry: _Pending) -> None:
+        cfg = self.reliability
+        timeout = int(cfg.ack_timeout_ns *
+                      (cfg.backoff_factor ** entry.attempt))
+        if timeout > cfg.max_backoff_ns:
+            timeout = cfg.max_backoff_ns
+        if cfg.jitter_ns:
+            timeout += int(self._reliable_rng().random() * cfg.jitter_ns)
+        key = (entry.msg_id, entry.subscriber)
+        entry.timer = self.sim.call_in(timeout, lambda: self._expire(key))
+
+    def _expire(self, key: Tuple[int, str]) -> None:
+        entry = self._pending.get(key)
+        if entry is None:
+            return
+        entry.timer = None
+        cfg = self.reliability
+        if entry.attempt >= cfg.max_retransmits:
+            del self._pending[key]
+            self.gave_up += 1
+            self.dead_letters.append((entry.topic, entry.subscriber,
+                                      entry.msg_id))
+            self.suspects[entry.subscriber] = (
+                self.suspects.get(entry.subscriber, 0) + 1)
+            maybe_record(self.tracer, "bus.gave_up", topic=entry.topic,
+                         subscriber=entry.subscriber, msg_id=entry.msg_id,
+                         attempts=entry.attempt + 1)
+            return
+        entry.attempt += 1
+        self.retransmits += 1
+        maybe_record(self.tracer, "bus.retransmit", topic=entry.topic,
+                     subscriber=entry.subscriber, msg_id=entry.msg_id,
+                     attempt=entry.attempt)
+        delay = self.path.sample_oneway(self._reliable_rng())
+        self._attempt_delivery(entry.topic, entry.payload, entry.publisher,
+                               entry.published_at, entry.msg_id,
+                               entry.subscriber, entry.handler, delay,
+                               attempt=entry.attempt)
+        self._arm_retransmit(entry)
+
 
 class Barrier:
-    """Counts arrivals; fires an event when everyone has reported."""
+    """Counts arrivals; fires an event when everyone has reported.
 
-    def __init__(self, sim: Simulator, expected: int) -> None:
+    Arrivals after the barrier has fired (or been aborted through its
+    event) are recorded in :attr:`late` and traced — never silently
+    dropped and never able to double-fire the event.  Re-arrivals of a
+    participant already counted land in :attr:`duplicates` instead of
+    inflating the count (retransmitted or injector-duplicated acks).
+    """
+
+    def __init__(self, sim: Simulator, expected: int, name: str = "",
+                 tracer: Optional[Tracer] = None) -> None:
         if expected < 0:
             raise ValueError(f"expected must be >= 0, got {expected}")
         self.sim = sim
         self.expected = expected
+        self.name = name
+        self.tracer = tracer
         self.arrived: List[Any] = []
+        self.late: List[Any] = []
+        self.duplicates: List[Any] = []
         self.event = sim.event()
         if expected == 0:
             self.event.succeed([])
 
     def arrive(self, who: Any = None) -> None:
         """Report one participant done."""
+        if self.event.triggered:
+            self.late.append(who)
+            maybe_record(self.tracer, "barrier.late", barrier=self.name,
+                         who=who, at_ns=self.sim.now)
+            return
+        if who is not None and who in self.arrived:
+            self.duplicates.append(who)
+            maybe_record(self.tracer, "barrier.duplicate",
+                         barrier=self.name, who=who, at_ns=self.sim.now)
+            return
         self.arrived.append(who)
-        if len(self.arrived) == self.expected and not self.event.triggered:
+        if len(self.arrived) == self.expected:
             self.event.succeed(list(self.arrived))

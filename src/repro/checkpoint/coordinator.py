@@ -74,50 +74,136 @@ class _PipelineAgent:
         self._suspend_arm = None
         self._aborting = False
         self._detached = False
-        bus.subscribe(f"{session}/prepare", name, self._on_prepare)
-        bus.subscribe(f"{session}/suspend_at", name, self._on_suspend_at)
-        bus.subscribe(f"{session}/now", name, self._on_now)
-        bus.subscribe(f"{session}/resume", name, self._on_resume)
-        bus.subscribe(f"{session}/abort", name, self._on_abort)
+        #: coordinator round this agent is participating in (set by the
+        #: ``prepare`` message; stale-round messages are dropped)
+        self._epoch = -1
+        #: messages dropped because they belonged to an earlier round
+        self.stale_messages = 0
+        self._topics = (
+            ("prepare", self._on_prepare),
+            ("suspend_at", self._on_suspend_at),
+            ("now", self._on_now),
+            ("resume", self._on_resume),
+            ("abort", self._on_abort),
+        )
+        self._subscribe_all()
 
     # Subclasses provide the pipeline.
     pipeline: CheckpointPipeline
 
+    def _subscribe_all(self) -> None:
+        for topic, handler in self._topics:
+            self.bus.subscribe(f"{self.session}/{topic}", self.name, handler)
+
     def kill(self) -> None:
         """Stop responding to the bus (simulates an agent/node death)."""
         self._detached = True
+        self._aborting = True
         if self._suspend_arm is not None:
             self._suspend_arm.cancel()
             self._suspend_arm = None
-        for topic in ("prepare", "suspend_at", "now", "resume", "abort"):
+        for topic, _handler in self._topics:
             self.bus.unsubscribe(f"{self.session}/{topic}", self.name)
+
+    def crash(self) -> None:
+        """Fail-stop crash mid-protocol (alias that reads like a fault)."""
+        self.kill()
+
+    def revive(self):
+        """Reboot a crashed agent: roll its providers back to running
+        state (the reboot *is* the rollback) and rejoin the bus.
+
+        Whatever rounds the agent missed while dead stay missed — the
+        :class:`~repro.checkpoint.supervisor.CheckpointSupervisor` is
+        what turns a reboot into a completed checkpoint, by retrying the
+        whole round with the agent back in the quorum.
+        """
+        if not self._detached:
+            return None
+        self._epoch = -1
+        return self.sim.process(self._reboot_rollback())
+
+    def _reboot_rollback(self):
+        try:
+            yield from self.pipeline.abort()
+        except (CheckpointError, FirewallViolation, StorageError):
+            pass        # a rebooting node has nobody to report to
+        self._detached = False
+        self._aborting = False
+        self._subscribe_all()
+
+    # -- bus output ------------------------------------------------------------
+
+    def _publish(self, topic: str, payload=None) -> None:
+        """Publish unless crashed — a dead agent cannot reach the bus,
+        even from a still-unwinding pipeline process."""
+        if self._detached:
+            return
+        self.bus.publish(f"{self.session}/{topic}", payload,
+                         publisher=self.name)
+
+    def _reply(self) -> tuple:
+        """Round-tagged ack payload for coordinator barriers."""
+        return (self.name, self._epoch)
+
+    def _stale(self, msg: BusMessage) -> bool:
+        """Drop round-tagged messages from an earlier (aborted) round —
+        e.g. a retransmitted ``resume`` arriving after a supervised
+        retry already started the next round."""
+        epoch = msg.payload
+        if isinstance(epoch, int) and epoch != self._epoch:
+            self.stale_messages += 1
+            return True
+        return False
 
     # -- failure routing ------------------------------------------------------
 
     def _report_failure(self, stage: str, exc: BaseException) -> None:
         if isinstance(exc, StageFailed):
             stage = exc.stage.value
-        failure = AgentFailure(node=self.name, stage=stage, error=str(exc))
+        failure = AgentFailure(node=self.name, stage=stage, error=str(exc),
+                               epoch=self._epoch)
         self.last_failure = failure
-        self.bus.publish(f"{self.session}/failed", failure,
-                         publisher=self.name)
+        self._publish("failed", failure)
+
+    # -- round 1: prepare ------------------------------------------------------
+
+    def _on_prepare(self, msg: BusMessage) -> None:
+        if self._detached:
+            return
+        self._epoch = msg.payload if isinstance(msg.payload, int) else -1
+        self._aborting = False
+        self._prepare_impl()
 
     # -- round 2 arming -------------------------------------------------------
 
     def _on_suspend_at(self, msg: BusMessage) -> None:
+        if self._detached:
+            return
+        deadline = msg.payload
+        if isinstance(deadline, tuple):
+            epoch, deadline = deadline
+            if isinstance(epoch, int) and epoch != self._epoch:
+                self.stale_messages += 1
+                return
+
         def fire() -> None:
             self._suspend_arm = None
             self.sim.process(self._suspend())
 
         self._suspend_arm = self.policy.arm(self.sim, self.clock,
-                                            msg.payload, fire)
+                                            deadline, fire)
 
-    def _on_now(self, _msg: BusMessage) -> None:
+    def _on_now(self, msg: BusMessage) -> None:
+        if self._detached or self._stale(msg):
+            return
         self.sim.process(self._suspend())
 
     # -- abort round ----------------------------------------------------------
 
-    def _on_abort(self, _msg: BusMessage) -> None:
+    def _on_abort(self, msg: BusMessage) -> None:
+        if self._detached or self._stale(msg):
+            return
         self._aborting = True
         if self._suspend_arm is not None:
             self._suspend_arm.cancel()
@@ -130,12 +216,11 @@ class _PipelineAgent:
         except (CheckpointError, FirewallViolation, StorageError) as exc:
             self._report_failure("abort", exc)
             return
-        self.bus.publish(f"{self.session}/aborted", self.name,
-                         publisher=self.name)
+        self._publish("aborted", self._reply())
 
     # Subclass hooks ----------------------------------------------------------
 
-    def _on_prepare(self, _msg: BusMessage) -> None:
+    def _prepare_impl(self) -> None:
         raise NotImplementedError
 
     def _suspend(self):
@@ -169,8 +254,7 @@ class NodeAgent(_PipelineAgent):
 
     # -- round 1: prepare -----------------------------------------------------
 
-    def _on_prepare(self, _msg: BusMessage) -> None:
-        self._aborting = False
+    def _prepare_impl(self) -> None:
         self.sim.process(self._prepare())
 
     def _prepare(self):
@@ -181,8 +265,7 @@ class NodeAgent(_PipelineAgent):
             return
         if self._aborting:
             return
-        self.bus.publish(f"{self.session}/ready", self.name,
-                         publisher=self.name)
+        self._publish("ready", self._reply())
 
     # -- round 3: suspend/save/branch -----------------------------------------
 
@@ -196,12 +279,13 @@ class NodeAgent(_PipelineAgent):
             return
         if self._aborting:
             return
-        self.bus.publish(f"{self.session}/saved", self.name,
-                         publisher=self.name)
+        self._publish("saved", self._reply())
 
     # -- round 4: resume ------------------------------------------------------
 
-    def _on_resume(self, _msg: BusMessage) -> None:
+    def _on_resume(self, msg: BusMessage) -> None:
+        if self._detached or self._stale(msg):
+            return
         self.sim.process(self._resume())
 
     def _resume(self):
@@ -216,8 +300,7 @@ class NodeAgent(_PipelineAgent):
             self._report_failure(Stage.RESUME.value, exc)
             return
         self.last_result = self.provider.last_result
-        self.bus.publish(f"{self.session}/resumed", self.name,
-                         publisher=self.name)
+        self._publish("resumed", self._reply())
 
     # -- metrics --------------------------------------------------------------
 
@@ -265,13 +348,11 @@ class DelayNodeAgent(_PipelineAgent):
                                            tracer=tracer,
                                            session=f"{session}/{name}")
 
-    def _on_prepare(self, _msg: BusMessage) -> None:
-        self._aborting = False
+    def _prepare_impl(self) -> None:
         # Dummynet state is tiny; nothing to pre-copy — the stages run
         # synchronously and the ack goes out in the same callback.
         self.pipeline.run_stages_now(Stage.PREPARE, Stage.PRECOPY)
-        self.bus.publish(f"{self.session}/ready", self.name,
-                         publisher=self.name)
+        self._publish("ready", self._reply())
 
     def _suspend(self):
         if self._aborting:
@@ -283,10 +364,11 @@ class DelayNodeAgent(_PipelineAgent):
             return
         if self._aborting:
             return
-        self.bus.publish(f"{self.session}/saved", self.name,
-                         publisher=self.name)
+        self._publish("saved", self._reply())
 
-    def _on_resume(self, _msg: BusMessage) -> None:
+    def _on_resume(self, msg: BusMessage) -> None:
+        if self._detached or self._stale(msg):
+            return
         if not self.pipeline.completed(Stage.SAVE):
             self._report_failure(
                 Stage.RESUME.value,
@@ -295,8 +377,7 @@ class DelayNodeAgent(_PipelineAgent):
         # Thawing is zero-time: run it synchronously on receipt, so the
         # resume skew stays one bus-delivery jitter.
         self.pipeline.run_stages_now(Stage.RESUME, Stage.RESUME)
-        self.bus.publish(f"{self.session}/resumed", self.name,
-                         publisher=self.name)
+        self._publish("resumed", self._reply())
 
     @property
     def last_snapshot(self) -> Optional[DelayNodeSnapshot]:
@@ -367,13 +448,33 @@ class Coordinator:
         self._aborted: Optional[Barrier] = None
         self._watched: Optional[Barrier] = None
         self._agent_failures: List[AgentFailure] = []
-        total = len(node_agents) + len(self.delay_agents)
+        #: current round number — replies tagged with an older epoch are
+        #: retransmitted stragglers from an aborted round and are dropped
+        self.epoch = 0
+        #: agents removed from the quorum (degraded checkpoints)
+        self.excluded: set = set()
+        self.stale_replies = 0
 
         def arrive(barrier_name):
             def handler(message):
+                payload = message.payload
+                if isinstance(payload, tuple):
+                    name, epoch = payload
+                    if isinstance(epoch, int) and epoch != self.epoch:
+                        self.stale_replies += 1
+                        maybe_record(self.tracer, "barrier.stale",
+                                     session=self.session,
+                                     barrier=barrier_name.lstrip("_"),
+                                     agent=name, epoch=epoch,
+                                     current=self.epoch)
+                        return
+                else:
+                    name = payload
+                if name in self.excluded:
+                    return
                 barrier = getattr(self, barrier_name)
                 if barrier is not None:
-                    barrier.arrive(message.payload)
+                    barrier.arrive(name)
             return handler
 
         bus.subscribe(f"{session}/ready", f"coordinator/{session}",
@@ -386,12 +487,38 @@ class Coordinator:
                       arrive("_aborted"))
         bus.subscribe(f"{session}/failed", f"coordinator/{session}",
                       self._on_failed)
-        self._participants = total
 
     @property
     def participant_names(self) -> List[str]:
         return ([a.name for a in self.node_agents] +
                 [a.name for a in self.delay_agents])
+
+    @property
+    def active_node_agents(self) -> List[NodeAgent]:
+        return [a for a in self.node_agents if a.name not in self.excluded]
+
+    @property
+    def active_delay_agents(self) -> List[DelayNodeAgent]:
+        return [a for a in self.delay_agents if a.name not in self.excluded]
+
+    @property
+    def active_participant_names(self) -> List[str]:
+        return ([a.name for a in self.active_node_agents] +
+                [a.name for a in self.active_delay_agents])
+
+    @property
+    def _participants(self) -> int:
+        return len(self.active_node_agents) + len(self.active_delay_agents)
+
+    def exclude(self, names) -> None:
+        """Drop agents from the quorum for all future rounds.
+
+        Degradation hook: a supervisor that decides a checkpoint may
+        proceed without its dead delay nodes excludes them here before
+        retrying.  Excluded agents may still hear the rounds; their
+        replies are ignored and no barrier waits for them.
+        """
+        self.excluded.update(names)
 
     def detach(self) -> None:
         """Stop listening on the bus (when replaced by another coordinator).
@@ -419,6 +546,13 @@ class Coordinator:
 
     def _on_failed(self, message: BusMessage) -> None:
         failure = message.payload
+        if failure.epoch not in (-1, self.epoch):
+            self.stale_replies += 1
+            return
+        if failure.node in self.excluded:
+            return
+        if failure in self._agent_failures:
+            return      # retransmitted/duplicated failure report
         self._agent_failures.append(failure)
         barrier = self._watched
         if barrier is not None and not barrier.event.triggered:
@@ -429,13 +563,22 @@ class Coordinator:
 
     def _run(self, scheduled: bool):
         started = self.sim.now
+        self.epoch += 1
         self._agent_failures = []
-        self._ready = Barrier(self.sim, self._participants)
-        self._saved = Barrier(self.sim, self._participants)
-        self._resumed = Barrier(self.sim, self._participants)
+        expected = self._participants
+        self._ready = Barrier(self.sim, expected,
+                              name=f"{self.session}/ready",
+                              tracer=self.tracer)
+        self._saved = Barrier(self.sim, expected,
+                              name=f"{self.session}/saved",
+                              tracer=self.tracer)
+        self._resumed = Barrier(self.sim, expected,
+                                name=f"{self.session}/resumed",
+                                tracer=self.tracer)
 
-        # Round 1: prepare (pre-copy).
-        self.bus.publish(f"{self.session}/prepare",
+        # Round 1: prepare (pre-copy).  Every round carries the epoch so
+        # agents and coordinator can drop another round's stragglers.
+        self.bus.publish(f"{self.session}/prepare", self.epoch,
                          publisher="coordinator")
         got = yield from self._await(self._ready)
         if isinstance(got, _StageAbort):
@@ -446,10 +589,11 @@ class Coordinator:
         deadline = None
         if scheduled:
             deadline = self.server_clock.read() + self.margin_ns
-            self.bus.publish(f"{self.session}/suspend_at", deadline,
+            self.bus.publish(f"{self.session}/suspend_at",
+                             (self.epoch, deadline),
                              publisher="coordinator")
         else:
-            self.bus.publish(f"{self.session}/now",
+            self.bus.publish(f"{self.session}/now", self.epoch,
                              publisher="coordinator")
 
         # Round 3: barrier on saved.
@@ -459,7 +603,7 @@ class Coordinator:
                                                  "save", started))
 
         # Round 4: resume everyone.
-        self.bus.publish(f"{self.session}/resume",
+        self.bus.publish(f"{self.session}/resume", self.epoch,
                          publisher="coordinator")
         got = yield from self._await(self._resumed)
         if isinstance(got, _StageAbort):
@@ -491,11 +635,14 @@ class Coordinator:
                      stage: str, started: int):
         """Phase two of the abort: roll every reachable agent back."""
         arrived = set(barrier.arrived)
-        missing = tuple(n for n in self.participant_names
+        missing = tuple(n for n in self.active_participant_names
                         if n not in arrived)
-        aborted = Barrier(self.sim, self._participants)
+        aborted = Barrier(self.sim, self._participants,
+                          name=f"{self.session}/aborted",
+                          tracer=self.tracer)
         self._aborted = aborted
-        self.bus.publish(f"{self.session}/abort", publisher="coordinator")
+        self.bus.publish(f"{self.session}/abort", self.epoch,
+                         publisher="coordinator")
         # Dead agents never ack; the same timeout bounds the abort round,
         # and whoever acked by then counts as rolled back.
         yield from self._await(aborted)
@@ -508,27 +655,45 @@ class Coordinator:
             agent_failures=tuple(self._agent_failures),
             rolled_back=tuple(aborted.arrived),
             wall_duration_ns=self.sim.now - started,
+            suspected_dead=self._suspected_dead(missing),
         )
         self.failures.append(failure)
         self._clear_barriers()
         maybe_record(self.tracer, "checkpoint.abort", session=self.session,
                      stage=stage, reason=signal.reason,
-                     missing=missing, rolled_back=failure.rolled_back)
+                     missing=missing, rolled_back=failure.rolled_back,
+                     suspected_dead=failure.suspected_dead)
         return failure
+
+    def _suspected_dead(self, missing) -> tuple:
+        """Split ``missing`` into dead vs merely slow/unreachable.
+
+        An agent is suspected dead when it is detached (fail-stop crash)
+        or the reliable bus exhausted its retransmits toward it; anyone
+        else who missed the barrier is assumed slow or cut off and may
+        still come back.
+        """
+        detached = {a.name
+                    for a in self.node_agents + self.delay_agents
+                    if a._detached}
+        return tuple(n for n in missing
+                     if n in detached or self.bus.suspects.get(n))
 
     def _clear_barriers(self) -> None:
         self._ready = self._saved = self._resumed = None
 
     def _collect(self, deadline, started) -> CoordinatedResult:
-        freeze_times = ([a.frozen_at for a in self.node_agents] +
-                        [a.frozen_at for a in self.delay_agents])
-        thaw_times = ([a.thawed_at for a in self.node_agents] +
-                      [a.thawed_at for a in self.delay_agents])
-        node_results = {a.name: a.last_result for a in self.node_agents}
-        delay_snaps = {a.name: a.last_snapshot for a in self.delay_agents}
+        nodes = self.active_node_agents
+        delays = self.active_delay_agents
+        freeze_times = ([a.frozen_at for a in nodes] +
+                        [a.frozen_at for a in delays])
+        thaw_times = ([a.thawed_at for a in nodes] +
+                      [a.thawed_at for a in delays])
+        node_results = {a.name: a.last_result for a in nodes}
+        delay_snaps = {a.name: a.last_snapshot for a in delays}
         stage_timings = {a.name: a.pipeline.timings_by_stage()
-                         for a in self.node_agents + self.delay_agents}
-        branch_points = {a.name: a.branch_point for a in self.node_agents
+                         for a in nodes + delays}
+        branch_points = {a.name: a.branch_point for a in nodes
                          if a.branch_point is not None}
         return CoordinatedResult(
             scheduled_deadline_local_ns=deadline,

@@ -85,6 +85,8 @@ class AgentFailure:
     node: str
     stage: str
     error: str
+    #: coordinator round the failure belongs to (-1: not round-tagged)
+    epoch: int = -1
 
 
 @dataclass(frozen=True)
@@ -105,6 +107,9 @@ class CheckpointFailure:
     agent_failures: Tuple[AgentFailure, ...]
     rolled_back: Tuple[str, ...]
     wall_duration_ns: int
+    #: subset of ``missing`` the bus or coordinator believes is dead
+    #: (exhausted retransmits / detached agent), not merely slow
+    suspected_dead: Tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -170,6 +175,9 @@ class CheckpointPipeline:
         self.session = session
         self.timings: List[StageTiming] = []
         self._completed: List[Tuple[Stage, Checkpointable]] = []
+        #: callbacks invoked as ``fn(stage, provider)`` when a provider's
+        #: stage starts — fault injectors hook stage-relative triggers here
+        self.stage_observers: List = []
 
     # ------------------------------------------------------------------ registry
 
@@ -200,6 +208,8 @@ class CheckpointPipeline:
         for stage in STAGES[lo:hi + 1]:
             for provider in self.providers:
                 started = self.sim.now
+                for observer in self.stage_observers:
+                    observer(stage, provider)
                 try:
                     step = getattr(provider, f"stage_{stage.value}")()
                     if step is not None:

@@ -1,0 +1,202 @@
+"""Supervised checkpoints: retry an aborted round until it completes.
+
+The coordinator's two-phase abort turns a wedged barrier into a clean
+:class:`~repro.checkpoint.pipeline.CheckpointFailure`; the supervisor
+turns that failure into another attempt.  Between attempts it backs off
+(exponentially, with jitter drawn from its own
+``derived_rng("ckpt.supervisor")`` substream so nothing else shifts) and
+consults a pluggable :class:`DegradationPolicy`:
+
+* :class:`FailFast` — never retry; surface the first failure.
+* :class:`RetryThenAbort` — retry up to N times, then give up.
+* :class:`ProceedWithoutDelayNodes` — like retry, but when every
+  culprit is a delay-node agent, exclude them from the quorum and
+  complete the checkpoint in degraded form (the network core's
+  in-flight packets for those pipes are lost; endpoints still recover
+  them through retransmission, which the paper's firewall model makes
+  safe).
+
+Every decision emits a structured ``retry.*`` trace record so the
+recovery history of a run is observable through ``analysis.metrics``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.checkpoint.coordinator import Coordinator
+from repro.checkpoint.pipeline import CheckpointFailure
+from repro.sim.core import Simulator
+from repro.sim.random import derived_rng
+from repro.sim.trace import Tracer, maybe_record
+from repro.units import MS, SECOND
+
+
+@dataclass(frozen=True)
+class RetryDecision:
+    """What a :class:`DegradationPolicy` wants done about one failure."""
+
+    retry: bool
+    backoff_ns: int = 0
+    #: agents to drop from the quorum before the next attempt
+    exclude: Tuple[str, ...] = ()
+    reason: str = ""
+
+
+class DegradationPolicy:
+    """Decides whether (and how) to retry an aborted checkpoint."""
+
+    name = "policy"
+
+    def decide(self, failure: CheckpointFailure, attempt: int,
+               coordinator: Coordinator) -> RetryDecision:
+        """``attempt`` is the zero-based index of the failed attempt."""
+        raise NotImplementedError
+
+
+class FailFast(DegradationPolicy):
+    """Surface the first failure; never retry."""
+
+    name = "fail-fast"
+
+    def decide(self, failure, attempt, coordinator) -> RetryDecision:
+        return RetryDecision(retry=False, reason="fail-fast")
+
+
+class RetryThenAbort(DegradationPolicy):
+    """Retry with exponential backoff, up to ``max_retries`` times."""
+
+    name = "retry-then-abort"
+
+    def __init__(self, max_retries: int = 3,
+                 base_backoff_ns: int = 500 * MS,
+                 backoff_factor: float = 2.0,
+                 max_backoff_ns: int = 8 * SECOND) -> None:
+        self.max_retries = max_retries
+        self.base_backoff_ns = base_backoff_ns
+        self.backoff_factor = backoff_factor
+        self.max_backoff_ns = max_backoff_ns
+
+    def _backoff(self, attempt: int) -> int:
+        backoff = int(self.base_backoff_ns *
+                      (self.backoff_factor ** attempt))
+        return min(backoff, self.max_backoff_ns)
+
+    def decide(self, failure, attempt, coordinator) -> RetryDecision:
+        if attempt >= self.max_retries:
+            return RetryDecision(retry=False,
+                                 reason=f"gave up after {attempt + 1} "
+                                        f"attempts")
+        return RetryDecision(retry=True, backoff_ns=self._backoff(attempt),
+                             reason="retry")
+
+
+class ProceedWithoutDelayNodes(RetryThenAbort):
+    """Degrade rather than die when only delay-node agents are lost.
+
+    If every agent implicated in the failure (missed the barrier or
+    reported a stage failure) is a delay-node agent, they are excluded
+    from the quorum and the checkpoint proceeds without the network
+    core's state for those pipes.  Any implicated *node* agent falls
+    back to plain retry semantics — guest state is never sacrificed.
+    """
+
+    name = "proceed-without-delay-nodes"
+
+    def decide(self, failure, attempt, coordinator) -> RetryDecision:
+        base = super().decide(failure, attempt, coordinator)
+        if not base.retry:
+            return base
+        delay_names = {a.name for a in coordinator.delay_agents}
+        culprits = set(failure.missing) | {f.node
+                                           for f in failure.agent_failures}
+        culprits -= coordinator.excluded
+        if culprits and culprits <= delay_names:
+            return RetryDecision(retry=True, backoff_ns=base.backoff_ns,
+                                 exclude=tuple(sorted(culprits)),
+                                 reason="degraded: excluding dead delay "
+                                        "nodes")
+        return base
+
+
+class CheckpointSupervisor:
+    """Drives a coordinator through supervised, retried checkpoints."""
+
+    def __init__(self, sim: Simulator, coordinator: Coordinator,
+                 policy: Optional[DegradationPolicy] = None,
+                 tracer: Optional[Tracer] = None,
+                 rng: Optional[random.Random] = None,
+                 jitter_ns: int = 50 * MS) -> None:
+        self.sim = sim
+        self.coordinator = coordinator
+        self.policy = policy or RetryThenAbort()
+        self.tracer = tracer
+        self.jitter_ns = jitter_ns
+        self._rng = rng
+        #: attempts consumed by the most recent supervised checkpoint
+        self.attempts = 0
+        #: failures of the most recent supervised checkpoint, in order
+        self.failures: List[CheckpointFailure] = []
+
+    def _jitter_rng(self) -> random.Random:
+        if self._rng is None:
+            self._rng = derived_rng("ckpt.supervisor")
+        return self._rng
+
+    # -- public API ------------------------------------------------------------
+
+    def checkpoint_scheduled(self):
+        """Supervised clock-scheduled checkpoint; returns a sim process."""
+        return self.sim.process(self._run(scheduled=True))
+
+    def checkpoint_now(self):
+        """Supervised event-driven checkpoint; returns a sim process."""
+        return self.sim.process(self._run(scheduled=False))
+
+    # -- loop ------------------------------------------------------------------
+
+    def _run(self, scheduled: bool):
+        session = self.coordinator.session
+        self.failures = []
+        attempt = 0
+        while True:
+            maybe_record(self.tracer, "retry.checkpoint.attempt",
+                         session=session, attempt=attempt,
+                         scheduled=scheduled, policy=self.policy.name)
+            if scheduled:
+                proc = self.coordinator.checkpoint_scheduled()
+            else:
+                proc = self.coordinator.checkpoint_now()
+            result = yield proc
+            if result.ok:
+                self.attempts = attempt + 1
+                if attempt:
+                    maybe_record(self.tracer, "retry.checkpoint.recovered",
+                                 session=session, attempts=attempt + 1,
+                                 excluded=tuple(
+                                     sorted(self.coordinator.excluded)))
+                return result
+            self.failures.append(result)
+            decision = self.policy.decide(result, attempt, self.coordinator)
+            if not decision.retry:
+                self.attempts = attempt + 1
+                maybe_record(self.tracer, "retry.checkpoint.gave_up",
+                             session=session, attempts=attempt + 1,
+                             stage=result.stage, reason=decision.reason)
+                return result
+            if decision.exclude:
+                self.coordinator.exclude(decision.exclude)
+                maybe_record(self.tracer, "retry.checkpoint.degraded",
+                             session=session, excluded=decision.exclude,
+                             reason=decision.reason)
+            backoff = decision.backoff_ns
+            if self.jitter_ns:
+                backoff += int(self._jitter_rng().random() * self.jitter_ns)
+            maybe_record(self.tracer, "retry.checkpoint.backoff",
+                         session=session, attempt=attempt,
+                         backoff_ns=backoff)
+            if backoff > 0:
+                yield self.sim.timeout(backoff)
+            attempt += 1

@@ -86,7 +86,7 @@ class NTPClient:
     FILTER_WINDOW = 4
 
     def __init__(self, sim: Simulator, clock: SystemClock, server: NTPServer,
-                 rng: random.Random, path: PathDelayModel = PathDelayModel(),
+                 rng: random.Random, path: Optional[PathDelayModel] = None,
                  poll_interval_ns: int = 4 * SECOND,
                  burst_polls: int = 6,
                  burst_interval_ns: int = 2 * SECOND,
@@ -96,7 +96,7 @@ class NTPClient:
         self.clock = clock
         self.server = server
         self.rng = rng
-        self.path = path
+        self.path = path if path is not None else PathDelayModel()
         self.poll_interval_ns = poll_interval_ns
         self.burst_polls = burst_polls
         self.burst_interval_ns = burst_interval_ns

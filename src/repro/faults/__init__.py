@@ -1,0 +1,19 @@
+"""Deterministic, seeded fault injection (`repro.faults`).
+
+Faults are declared in a :class:`FaultPlan` (pure data) and executed by
+a :class:`FaultInjector` against one simulator run.  All randomness
+comes from the injector's own seeded substreams; with faults disabled
+the injector schedules zero events and consumes zero draws, so golden
+digests stay bit-identical.
+"""
+
+from repro.faults.injector import NO_FAULT, DeliveryVerdict, FaultInjector
+from repro.faults.plan import (AgentCrash, BusFaultConfig, ClockStep,
+                               DelayNodeFailure, DiskFault, FaultPlan,
+                               MessageLoss)
+
+__all__ = [
+    "AgentCrash", "BusFaultConfig", "ClockStep", "DeliveryVerdict",
+    "DelayNodeFailure", "DiskFault", "FaultInjector", "FaultPlan",
+    "MessageLoss", "NO_FAULT",
+]

@@ -1,0 +1,258 @@
+"""Seeded fault injector: interprets a :class:`FaultPlan` against a run.
+
+Determinism contract:
+
+* Every probabilistic decision is drawn from the injector's own
+  ``derived_rng("faults.<class>", plan.seed)`` substream — never from a
+  stream any production component uses — so attaching an injector does
+  not shift a single existing draw.
+* With an empty (or ``None``) plan the injector schedules **zero**
+  simulator events and returns the shared :data:`NO_FAULT` verdict from
+  every hook, so golden digests stay bit-identical.
+* Every injected fault emits a structured ``fault.*`` trace record, so
+  ``analysis.metrics`` can aggregate what actually fired.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import StorageError
+from repro.faults.plan import AgentCrash, FaultPlan
+from repro.sim.core import Simulator
+from repro.sim.random import derived_rng
+from repro.sim.trace import Tracer, maybe_record
+
+
+@dataclass(frozen=True)
+class DeliveryVerdict:
+    """What the injector decided for one bus delivery attempt."""
+
+    drop: bool = False
+    duplicate: bool = False
+    extra_delay_ns: int = 0
+
+
+#: shared "nothing happens" verdict — the disabled-path return value
+NO_FAULT = DeliveryVerdict()
+
+
+class _LossBudget:
+    """Mutable remaining-count for one targeted :class:`MessageLoss`."""
+
+    def __init__(self, spec) -> None:
+        self.spec = spec
+        self.remaining = spec.count
+
+    def matches(self, topic: str, subscriber: str) -> bool:
+        if self.remaining <= 0:
+            return False
+        if not topic.endswith(self.spec.topic):
+            return False
+        return not self.spec.subscriber or self.spec.subscriber == subscriber
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` deterministically against one sim."""
+
+    def __init__(self, sim: Simulator, plan: Optional[FaultPlan] = None,
+                 tracer: Optional[Tracer] = None) -> None:
+        self.sim = sim
+        self.plan = plan or FaultPlan()
+        self.tracer = tracer
+        self.enabled = self.plan.active
+        #: per-class counts of faults actually injected
+        self.injected: Dict[str, int] = {}
+        self._rngs: Dict[str, random.Random] = {}
+        self._losses = [_LossBudget(s) for s in self.plan.message_losses]
+        self._disk_remaining: List[int] = [f.max_failures
+                                           for f in self.plan.disk_faults]
+        self._agents: Dict[str, object] = {}
+        self._clocks: Dict[str, object] = {}
+        self._armed = False
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _rng(self, name: str) -> random.Random:
+        rng = self._rngs.get(name)
+        if rng is None:
+            rng = derived_rng(f"faults.{name}", self.plan.seed)
+            self._rngs[name] = rng
+        return rng
+
+    def _record(self, category: str, **fields) -> None:
+        self.injected[category] = self.injected.get(category, 0) + 1
+        maybe_record(self.tracer, category, **fields)
+
+    # -- registration ----------------------------------------------------------
+
+    def register_agent(self, agent) -> None:
+        """Register a pipeline agent (node or delay-node) by name."""
+        self._agents[agent.name] = agent
+
+    def register_clock(self, name: str, clock) -> None:
+        """Register a node's system clock for :class:`ClockStep` faults."""
+        self._clocks[name] = clock
+
+    def register_store(self, store) -> None:
+        """Attach this injector to a :class:`BranchStore` (disk faults)."""
+        store.faults = self
+
+    def bind_experiment(self, experiment) -> None:
+        """Register every agent, clock, and branch store of an experiment."""
+        for name, node in experiment.nodes.items():
+            self.register_agent(node.agent)
+            self.register_clock(name, node.machine.clock)
+            self.register_store(node.branch)
+            node.volume_manager.faults = self
+        for agent in experiment.delay_agents.values():
+            self.register_agent(agent)
+            self.register_clock(agent.name, agent.clock)
+
+    # -- timed events ----------------------------------------------------------
+
+    def arm(self) -> None:
+        """Schedule the plan's timed faults.  Idempotent; schedules
+        nothing when the plan has no timed events."""
+        if self._armed or not self.enabled:
+            return
+        self._armed = True
+        for spec in self.plan.crashes:
+            self._arm_crash(spec)
+        for spec in self.plan.delay_failures:
+            crash = AgentCrash(agent=spec.agent, at_ns=spec.at_ns)
+            self._arm_crash(crash, kind="fault.delaynode.crash")
+        for spec in self.plan.clock_steps:
+            self._arm_clock_step(spec)
+
+    def _arm_crash(self, spec: AgentCrash,
+                   kind: str = "fault.agent.crash") -> None:
+        if spec.at_ns is not None:
+            at = max(self.sim.now, spec.at_ns)
+            self.sim.call_at(at, lambda: self._crash(spec, kind))
+            return
+        if spec.stage is None:
+            raise ValueError(f"AgentCrash({spec.agent}): need at_ns or stage")
+        # Stage-relative trigger: observe the agent's pipeline and fire
+        # offset_ns after the named stage first starts.
+        fired = [False]
+
+        def observer(stage, _provider) -> None:
+            if fired[0] or stage.value != spec.stage:
+                return
+            fired[0] = True
+            self.sim.call_in(spec.offset_ns, lambda: self._crash(spec, kind))
+
+        agent = self._agents.get(spec.agent)
+        if agent is None:
+            raise KeyError(f"AgentCrash: unknown agent {spec.agent!r} "
+                           f"(registered: {sorted(self._agents)})")
+        agent.pipeline.stage_observers.append(observer)
+
+    def _crash(self, spec: AgentCrash, kind: str) -> None:
+        agent = self._agents.get(spec.agent)
+        if agent is None or agent._detached:
+            return
+        self._record(kind, agent=spec.agent, at_ns=self.sim.now,
+                     stage=spec.stage or "", reboot=(
+                         spec.reboot_after_ns is not None))
+        agent.crash()
+        if spec.reboot_after_ns is not None:
+            self.sim.call_in(spec.reboot_after_ns,
+                             lambda: self._revive(spec.agent))
+
+    def _revive(self, name: str) -> None:
+        agent = self._agents.get(name)
+        if agent is None or not agent._detached:
+            return
+        self._record("fault.agent.reboot", agent=name, at_ns=self.sim.now)
+        agent.revive()
+
+    def _arm_clock_step(self, spec) -> None:
+        def fire() -> None:
+            clock = self._clocks.get(spec.node)
+            if clock is None:
+                return
+            self._record("fault.clock.step", node=spec.node,
+                         step_ns=spec.step_ns, at_ns=self.sim.now)
+            clock.step(spec.step_ns)
+
+        self.sim.call_at(max(self.sim.now, spec.at_ns), fire)
+
+    # -- bus hooks -------------------------------------------------------------
+
+    def bus_delivery(self, topic: str, subscriber: str,
+                     attempt: int = 0) -> DeliveryVerdict:
+        """Decide the fate of one delivery attempt.  Draws only on the
+        injector's own substreams, and only for fault classes whose
+        probability is non-zero."""
+        if not self.enabled:
+            return NO_FAULT
+        for budget in self._losses:
+            if budget.matches(topic, subscriber):
+                budget.remaining -= 1
+                self._record("fault.bus.drop", topic=topic,
+                             subscriber=subscriber, attempt=attempt,
+                             targeted=True)
+                return DeliveryVerdict(drop=True)
+        cfg = self.plan.bus
+        if cfg.loss_prob > 0 and self._rng("bus.loss").random() < cfg.loss_prob:
+            self._record("fault.bus.drop", topic=topic,
+                         subscriber=subscriber, attempt=attempt,
+                         targeted=False)
+            return DeliveryVerdict(drop=True)
+        duplicate = (cfg.duplicate_prob > 0 and
+                     self._rng("bus.dup").random() < cfg.duplicate_prob)
+        extra = 0
+        if (cfg.delay_spike_prob > 0 and
+                self._rng("bus.delay").random() < cfg.delay_spike_prob):
+            extra = cfg.delay_spike_ns
+        if duplicate:
+            self._record("fault.bus.duplicate", topic=topic,
+                         subscriber=subscriber, attempt=attempt)
+        if extra:
+            self._record("fault.bus.delay", topic=topic,
+                         subscriber=subscriber, extra_delay_ns=extra)
+        if duplicate or extra:
+            return DeliveryVerdict(duplicate=duplicate, extra_delay_ns=extra)
+        return NO_FAULT
+
+    def bus_ack_lost(self, topic: str, subscriber: str) -> bool:
+        """Whether the reliable-mode ack for a delivery is dropped."""
+        if not self.enabled:
+            return False
+        cfg = self.plan.bus
+        prob = (cfg.ack_loss_prob if cfg.ack_loss_prob is not None
+                else cfg.loss_prob)
+        if prob > 0 and self._rng("bus.ack").random() < prob:
+            self._record("fault.bus.ack_drop", topic=topic,
+                         subscriber=subscriber)
+            return True
+        return False
+
+    # -- disk hook -------------------------------------------------------------
+
+    def disk_check(self, store: str, operation: str) -> None:
+        """Raise :class:`StorageError` if a matching disk fault fires."""
+        if not self.enabled:
+            return
+        for i, fault in enumerate(self.plan.disk_faults):
+            if self._disk_remaining[i] <= 0:
+                continue
+            if fault.store not in ("*", store):
+                continue
+            if fault.operation not in ("*", operation):
+                continue
+            if self.sim.now < fault.after_ns:
+                continue
+            if (fault.probability < 1.0 and
+                    self._rng("disk").random() >= fault.probability):
+                continue
+            self._disk_remaining[i] -= 1
+            self._record("fault.disk", store=store, operation=operation,
+                         at_ns=self.sim.now,
+                         remaining=self._disk_remaining[i])
+            raise StorageError(
+                f"injected I/O error: {store}.{operation} (fault #{i})")

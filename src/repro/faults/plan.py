@@ -1,0 +1,130 @@
+"""Declarative fault plans (`what` goes wrong, `when`, `how often`).
+
+A :class:`FaultPlan` is pure data: probabilities and one-shot fault
+events.  It draws nothing and schedules nothing by itself — the
+:class:`~repro.faults.injector.FaultInjector` interprets it against its
+own seeded :func:`~repro.sim.random.derived_rng` substreams, so a plan
+attached to an experiment perturbs *no* existing random draw and, when
+empty, schedules zero simulator events.  Golden digests therefore stay
+bit-identical with injection compiled in but disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.units import MS
+
+
+@dataclass(frozen=True)
+class BusFaultConfig:
+    """Stochastic control-bus faults, applied per delivery attempt.
+
+    Each probability is consulted on its own rng substream, so enabling
+    one fault class never shifts the draw sequence of another.
+    """
+
+    #: probability a delivery attempt is silently dropped
+    loss_prob: float = 0.0
+    #: probability a delivery is duplicated (second copy after ``duplicate_gap_ns``)
+    duplicate_prob: float = 0.0
+    #: probability a delivery suffers an extra ``delay_spike_ns`` of latency
+    delay_spike_prob: float = 0.0
+    delay_spike_ns: int = 20 * MS
+    duplicate_gap_ns: int = 1 * MS
+    #: probability an *ack* (reliable mode) is dropped; ``None`` = loss_prob
+    ack_loss_prob: Optional[float] = None
+
+    @property
+    def active(self) -> bool:
+        ack = self.ack_loss_prob if self.ack_loss_prob is not None else 0.0
+        return (self.loss_prob > 0 or self.duplicate_prob > 0
+                or self.delay_spike_prob > 0 or ack > 0)
+
+
+@dataclass(frozen=True)
+class MessageLoss:
+    """Deterministically drop the next ``count`` matching deliveries.
+
+    Matches topics by suffix (e.g. ``"/abort"``) and optionally a single
+    subscriber, which makes targeted protocol tests ("the abort message
+    itself is lost") reproducible without probability tuning.
+    """
+
+    topic: str
+    count: int = 1
+    subscriber: str = ""
+
+
+@dataclass(frozen=True)
+class AgentCrash:
+    """Crash a checkpoint agent, optionally rebooting it later.
+
+    The trigger is either absolute (``at_ns``) or stage-relative
+    (``stage`` + ``offset_ns``: fires ``offset_ns`` after the agent's
+    pipeline first enters that stage).  A crash detaches the agent from
+    the bus mid-protocol; a reboot rolls its providers back (the node
+    restarts from running state) and re-subscribes it.
+    """
+
+    agent: str
+    at_ns: Optional[int] = None
+    stage: Optional[str] = None
+    offset_ns: int = 1 * MS
+    reboot_after_ns: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class DelayNodeFailure:
+    """Permanently fail a delay-node agent at ``at_ns`` (no reboot)."""
+
+    agent: str
+    at_ns: int
+
+
+@dataclass(frozen=True)
+class DiskFault:
+    """Raise :class:`~repro.errors.StorageError` from branching storage.
+
+    ``operation`` is one of ``write`` / ``take_checkpoint`` /
+    ``fork_branch`` / ``*``; ``store`` is a branch name or ``*``.  At
+    most ``max_failures`` operations fail (each with ``probability``,
+    drawn on the injector's ``disk`` substream), after which the fault
+    burns out — modelling transient I/O errors that a retry survives.
+    """
+
+    store: str = "*"
+    operation: str = "take_checkpoint"
+    probability: float = 1.0
+    max_failures: int = 1
+    after_ns: int = 0
+
+
+@dataclass(frozen=True)
+class ClockStep:
+    """Step a node's system clock by ``step_ns`` at ``at_ns`` (NTP upset)."""
+
+    node: str
+    at_ns: int
+    step_ns: int
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, declarative set of faults to inject into one run."""
+
+    seed: int = 0
+    bus: BusFaultConfig = field(default_factory=BusFaultConfig)
+    message_losses: Tuple[MessageLoss, ...] = ()
+    crashes: Tuple[AgentCrash, ...] = ()
+    delay_failures: Tuple[DelayNodeFailure, ...] = ()
+    disk_faults: Tuple[DiskFault, ...] = ()
+    clock_steps: Tuple[ClockStep, ...] = ()
+
+    @property
+    def active(self) -> bool:
+        """Whether this plan injects anything at all."""
+        return bool(self.bus.active or self.message_losses or self.crashes
+                    or self.delay_failures or self.disk_faults
+                    or self.clock_steps)

@@ -39,10 +39,10 @@ class DiskSpec:
 class Disk:
     """A single-spindle disk with a FIFO request queue."""
 
-    def __init__(self, sim: Simulator, spec: DiskSpec = DiskSpec(),
+    def __init__(self, sim: Simulator, spec: Optional[DiskSpec] = None,
                  name: str = "disk") -> None:
         self.sim = sim
-        self.spec = spec
+        self.spec = spec if spec is not None else DiskSpec()
         self.name = name
         self._head = Resource(sim, capacity=1)
         self._last_lba: int = -(10 ** 9)  # force an initial seek

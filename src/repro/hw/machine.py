@@ -36,11 +36,11 @@ class Machine:
     """One physical testbed node: CPU, disks, oscillator, system clock."""
 
     def __init__(self, sim: Simulator, name: str,
-                 spec: MachineSpec = MachineSpec(),
+                 spec: Optional[MachineSpec] = None,
                  rng: Optional[random.Random] = None) -> None:
         self.sim = sim
         self.name = name
-        self.spec = spec
+        self.spec = spec = spec if spec is not None else MachineSpec()
         rng = rng or derived_rng(f"machine.{name}")
         drift = rng.uniform(-spec.max_drift_ppm, spec.max_drift_ppm)
         offset = rng.randint(-spec.max_boot_clock_offset_ns,

@@ -12,6 +12,7 @@ DET004    no order-sensitive iteration over sets without ``sorted()``
 DET005    no ``id()``/``hash()``-based ordering keys
 DET006    no float arithmetic feeding simulated-time APIs
 DET007    process discipline: no blocking sleep, no discarded wait events
+DET008    no mutable or model-instance default arguments
 ========  ==============================================================
 
 Rationale and worked examples live in ``docs/determinism.md``.  Suppress a
@@ -415,3 +416,54 @@ class ProcessDisciplineRule(Rule):
                 continue
             stack.extend(ast.iter_child_nodes(node))
         return out
+
+
+@register
+class MutableDefaultRule(Rule):
+    """Default arguments are evaluated once, at import.
+
+    A mutable literal (``[]``, ``{}``) is shared across every call; a
+    model/config instance (``path: PathDelayModel = PathDelayModel()``)
+    is shared across every *object* constructed with the default — one
+    experiment's state silently becomes another's.  Use
+    ``Optional[...] = None`` and construct per call/instance.  Calls to
+    a small allowlist of immutable builtins (``tuple()``, ``float("inf")``,
+    ...) are accepted.
+    """
+
+    code = "DET008"
+    name = "mutable-default"
+    summary = "mutable or model-instance default argument"
+    library_only = True
+
+    #: builtins whose results are immutable values, safe to share
+    ALLOWED_CALLS = {"bool", "bytes", "complex", "float", "frozenset",
+                     "int", "str", "tuple"}
+
+    def _visit_function(self, node) -> None:
+        args = node.args
+        defaults = list(args.defaults) + [d for d in args.kw_defaults
+                                          if d is not None]
+        for default in defaults:
+            self._check(default)
+        self.generic_visit(node)
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+    visit_Lambda = _visit_function
+
+    def _check(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            self.report(node, "mutable literal default is evaluated once "
+                              "at import and shared across calls; use "
+                              "`Optional[...] = None`")
+            return
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) \
+                    and node.func.id in self.ALLOWED_CALLS:
+                return
+            self.report(node, "instance default is constructed once at "
+                              "import and shared by every caller; use "
+                              "`Optional[...] = None` and construct per "
+                              "call/instance")

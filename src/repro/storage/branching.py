@@ -98,15 +98,18 @@ class BranchStore:
 
     def __init__(self, sim: Simulator, base: LinearVolume,
                  aggregated_extent: Extent, log_extent: Extent,
-                 config: BranchConfig = BranchConfig(),
+                 config: Optional[BranchConfig] = None,
                  aggregated_index: Optional[Dict[int, int]] = None,
-                 name: str = "branch") -> None:
+                 name: str = "branch", faults=None) -> None:
         self.sim = sim
         self.base = base
         self.aggregated_extent = aggregated_extent
         self.log_extent = log_extent
-        self.config = config
+        self.config = config if config is not None else BranchConfig()
         self.name = name
+        #: optional :class:`~repro.faults.injector.FaultInjector` whose
+        #: ``disk_check`` may raise injected I/O errors
+        self.faults = faults
         #: VBA -> offset in the aggregated-delta extent (immutable)
         self.aggregated_index: Dict[int, int] = dict(aggregated_index or {})
         #: VBA -> offset in the current log extent
@@ -144,6 +147,8 @@ class BranchStore:
         return self.sim.process(self._write(vba, nblocks))
 
     def _write(self, vba: int, nblocks: int):
+        if self.faults is not None:
+            self.faults.disk_check(self.name, "write")
         disk = self.log_extent.disk
         for hook in self.on_write_hooks:
             hook(range(vba, vba + nblocks))
@@ -300,6 +305,8 @@ class BranchStore:
         the checkpoint.  Meant to run during the pipeline's ``branch``
         stage, while the domain writing to this branch is suspended.
         """
+        if self.faults is not None:
+            self.faults.disk_check(self.name, "take_checkpoint")
         return BranchPoint(
             branch_name=self.name,
             log_head=self._log_head,

@@ -35,13 +35,16 @@ class GoldenVolume:
 class VolumeManager:
     """Manages extents and branches on one physical disk."""
 
-    def __init__(self, sim: Simulator, disk: Disk, name: str = "vg0") -> None:
+    def __init__(self, sim: Simulator, disk: Disk, name: str = "vg0",
+                 faults=None) -> None:
         self.sim = sim
         self.disk = disk
         self.name = name
         self._alloc = ExtentAllocator(disk)
         self.goldens: Dict[str, GoldenVolume] = {}
         self.branches: Dict[str, BranchStore] = {}
+        #: optional fault injector, inherited by every branch opened here
+        self.faults = faults
 
     def create_golden(self, name: str, nblocks: int) -> GoldenVolume:
         """Allocate and register an immutable base image."""
@@ -53,7 +56,7 @@ class VolumeManager:
         return golden
 
     def create_branch(self, name: str, golden: GoldenVolume,
-                      config: BranchConfig = BranchConfig(),
+                      config: Optional[BranchConfig] = None,
                       aggregated_index: Optional[Dict[int, int]] = None,
                       aggregated_blocks: Optional[int] = None,
                       log_blocks: Optional[int] = None) -> BranchStore:
@@ -69,8 +72,10 @@ class VolumeManager:
         agg_extent = self._alloc.allocate(agg_blocks)
         log_extent = self._alloc.allocate(log_size)
         branch = BranchStore(self.sim, golden.volume, agg_extent, log_extent,
-                             config=config,
-                             aggregated_index=aggregated_index, name=name)
+                             config=config if config is not None
+                             else BranchConfig(),
+                             aggregated_index=aggregated_index, name=name,
+                             faults=self.faults)
         self.branches[name] = branch
         return branch
 
@@ -92,6 +97,8 @@ merge_into_aggregated`; its redo log starts empty.  The source branch is
             raise StorageError(
                 f"branch point belongs to {point.branch_name}, "
                 f"not {source.name}")
+        if self.faults is not None:
+            self.faults.disk_check(source.name, "fork_branch")
         merged_vbas = sorted(set(source.aggregated_index)
                              | {vba for vba, _off in point.index})
         agg_index = {vba: i for i, vba in enumerate(merged_vbas)}

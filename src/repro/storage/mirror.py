@@ -41,12 +41,12 @@ class EagerCopyOut:
 
     def __init__(self, sim: Simulator, disk, blocks: List[int],
                  channel: ByteChannel,
-                 config: TransferConfig = TransferConfig()) -> None:
+                 config: Optional[TransferConfig] = None) -> None:
         self.sim = sim
         self.disk = disk
         self.blocks = list(blocks)
         self.channel = channel
-        self.config = config
+        self.config = config if config is not None else TransferConfig()
         self.copied_blocks = 0
         self.resent_blocks = 0
         self._position = {b: i for i, b in enumerate(self.blocks)}
@@ -122,8 +122,7 @@ class LazyCopyIn:
     def __init__(self, sim: Simulator, disk,
                  total_blocks: Optional[int] = None,
                  channel: Optional[ByteChannel] = None,
-                 config: TransferConfig = TransferConfig(
-                     rate_limit_bytes_per_s=11 * MB),
+                 config: Optional[TransferConfig] = None,
                  extent_start_lba: int = 0,
                  missing_blocks: Optional[Iterable[int]] = None) -> None:
         if channel is None:
@@ -134,7 +133,8 @@ class LazyCopyIn:
         self.sim = sim
         self.disk = disk
         self.channel = channel
-        self.config = config
+        self.config = config if config is not None else TransferConfig(
+            rate_limit_bytes_per_s=11 * MB)
         self.extent_start_lba = extent_start_lba
         self.missing: Set[int] = (set(range(total_blocks))
                                   if total_blocks is not None

@@ -91,10 +91,10 @@ class StatefulSwapper:
     """Swap an experiment out and back in without losing its state."""
 
     def __init__(self, experiment: Experiment,
-                 config: SwapConfig = SwapConfig()) -> None:
+                 config: Optional[SwapConfig] = None) -> None:
         self.experiment = experiment
         self.sim = experiment.sim
-        self.config = config
+        self.config = config if config is not None else SwapConfig()
         self.saved: Dict[str, SavedNodeState] = {}
         self.swap_out_records: List[SwapOutRecord] = []
         self.swap_in_records: List[SwapInRecord] = []

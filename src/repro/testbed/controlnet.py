@@ -16,11 +16,12 @@ from __future__ import annotations
 import random
 from typing import Optional
 
-from repro.checkpoint.bus import NotificationBus
+from repro.checkpoint.bus import NotificationBus, ReliabilityConfig
 from repro.clocksync.clock import SystemClock
 from repro.clocksync.ntp import NTPClient, NTPServer, PathDelayModel
 from repro.sim.core import Simulator
 from repro.sim.random import derived_rng
+from repro.sim.trace import Tracer
 from repro.storage.channel import ByteChannel
 from repro.units import MB, US
 
@@ -34,13 +35,17 @@ class ControlNetwork:
 
     def __init__(self, sim: Simulator, server_clock: SystemClock,
                  rng: Optional[random.Random] = None,
-                 path: PathDelayModel = PathDelayModel(),
-                 bulk_rate_bytes_per_s: int = CONTROL_NET_BULK_RATE) -> None:
+                 path: Optional[PathDelayModel] = None,
+                 bulk_rate_bytes_per_s: int = CONTROL_NET_BULK_RATE,
+                 reliability: Optional[ReliabilityConfig] = None,
+                 faults=None, tracer: Optional[Tracer] = None) -> None:
         self.sim = sim
         self.rng = rng or derived_rng("controlnet")
-        self.path = path
+        self.path = path if path is not None else PathDelayModel()
         self.ntp_server = NTPServer(server_clock)
-        self.bus = NotificationBus(sim, self.rng, path)
+        self.bus = NotificationBus(sim, self.rng, self.path,
+                                   reliability=reliability, faults=faults,
+                                   tracer=tracer)
         self.fileserver_channel = ByteChannel(
             sim, bulk_rate_bytes_per_s, name="fs-uplink")
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.checkpoint.bus import ReliabilityConfig
 from repro.checkpoint.coordinator import (Coordinator, DelayNodeAgent,
                                           NodeAgent)
 from repro.checkpoint.pipeline import BranchProvider, ClockProvider
@@ -60,6 +61,12 @@ class TestbedConfig:
     guest_nic_rate_bps: int = 450_000_000
     checkpoint_config: CheckpointConfig = field(
         default_factory=CheckpointConfig)
+    #: reliable-delivery knobs for the notification bus; ``None`` keeps
+    #: the legacy fire-and-forget bus (golden-digest compatible)
+    bus_reliability: Optional[ReliabilityConfig] = None
+    #: coordinator per-stage timeout; rounds exceeding it abort (fault
+    #: scenarios shrink this so supervised retries fit the run window)
+    stage_timeout_ns: Optional[int] = 30 * SECOND
 
 
 @dataclass
@@ -88,12 +95,18 @@ class Emulab:
 
     DEFAULT_IMAGES = {"FC4-STD": 6 * GB}
 
-    def __init__(self, sim: Simulator, config: TestbedConfig = TestbedConfig(),
+    def __init__(self, sim: Simulator,
+                 config: Optional[TestbedConfig] = None,
                  tracer: Optional[Tracer] = None,
-                 streams: Optional[RandomStreams] = None) -> None:
+                 streams: Optional[RandomStreams] = None,
+                 faults=None) -> None:
         self.sim = sim
-        self.config = config
+        self.config = config = (config if config is not None
+                                else TestbedConfig())
         self.tracer = tracer
+        #: optional :class:`~repro.faults.injector.FaultInjector`; bound
+        #: to every experiment at swap-in (agents, clocks, branches)
+        self.faults = faults
         # An injected streams factory (e.g. repro.lint.runtime's recording /
         # perturbed variants for shadow runs) must be draw-equivalent to
         # RandomStreams(config.seed).
@@ -108,7 +121,9 @@ class Emulab:
         self.ops = Machine(sim, "ops", config.machine_spec,
                            rng=self.streams.stream("hw.ops"))
         self.control = ControlNetwork(sim, self.ops.clock,
-                                      rng=self.streams.stream("controlnet"))
+                                      rng=self.streams.stream("controlnet"),
+                                      reliability=config.bus_reliability,
+                                      faults=faults, tracer=tracer)
         self.image_store = ImageStore()
         for name, size in self.DEFAULT_IMAGES.items():
             self.image_store.register(name, size)
@@ -194,6 +209,9 @@ class Experiment:
         self._pending_ntp = []
         self._build_coordinator()
         self._start_event_system()
+        if testbed.faults is not None:
+            testbed.faults.bind_experiment(self)
+            testbed.faults.arm()
         self.state = "SWAPPED_IN"
         self.swap_ins += 1
         return self
@@ -344,6 +362,7 @@ class Experiment:
             [n.agent for n in self.nodes.values()],
             list(self.delay_agents.values()),
             session=f"ckpt.{self.spec.name}",
+            stage_timeout_ns=self.testbed.config.stage_timeout_ns,
             tracer=self.testbed.tracer)
 
     # ------------------------------------------------------------------ swap-out

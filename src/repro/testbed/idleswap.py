@@ -45,10 +45,10 @@ class IdleSwapper:
     """Monitors one experiment and swaps it out when idle."""
 
     def __init__(self, experiment, swapper,
-                 policy: IdlePolicy = IdlePolicy()) -> None:
+                 policy: Optional[IdlePolicy] = None) -> None:
         self.experiment = experiment
         self.swapper = swapper
-        self.policy = policy
+        self.policy = policy if policy is not None else IdlePolicy()
         self.sim: Simulator = experiment.sim
         self.samples: List[ActivitySample] = []
         self.swapped_out_at_ns: Optional[int] = None

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence
 
 from repro.checkpoint.pipeline import SnapshotCapture, capture_run_snapshot
-from repro.errors import TimeTravelError
+from repro.errors import StorageError, TimeTravelError
 from repro.timetravel.tree import CheckpointTree, TreeNode
 
 
@@ -92,16 +92,29 @@ class TimeTravelController:
                 "run_to goes backward; use travel_to for rollback")
         self.active_run.advance_to(virtual_ns)
 
-    def checkpoint(self, label: str = "") -> TreeNode:
+    def checkpoint(self, label: str = "",
+                   max_capture_attempts: int = 3) -> TreeNode:
         """Record a checkpoint of the active execution.
 
         The capture runs through the checkpoint pipeline when the run
         exposes ``checkpointables()`` — branch providers take real
         branch points, and the snapshot cost is the sum of provider
         costs; the capture is kept in :attr:`captures` keyed by the new
-        node's id.
+        node's id.  Transient storage errors (injected disk faults) are
+        retried up to ``max_capture_attempts`` times — a branch point is
+        metadata-only, so a retry after a transient I/O error is safe.
         """
-        capture = capture_run_snapshot(self.active_run)
+        last_exc: Optional[StorageError] = None
+        for _attempt in range(max_capture_attempts):
+            try:
+                capture = capture_run_snapshot(self.active_run)
+                break
+            except StorageError as exc:
+                last_exc = exc
+        else:
+            raise TimeTravelError(
+                f"checkpoint capture failed after {max_capture_attempts} "
+                f"attempts: {last_exc}") from last_exc
         node = self.tree.add(
             self._position.node_id, self.active_run.virtual_now(),
             label=label, snapshot_bytes=capture.snapshot_bytes,

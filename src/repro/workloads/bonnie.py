@@ -43,12 +43,13 @@ class BonnieBenchmark:
     """Runs the phases against any volume with read/write block events."""
 
     def __init__(self, sim: Simulator, volume, cpu: Optional[CPU] = None,
-                 config: BonnieConfig = BonnieConfig(),
+                 config: Optional[BonnieConfig] = None,
                  char_vba: int = 0, block_vba: Optional[int] = None) -> None:
         self.sim = sim
         self.volume = volume
         self.cpu = cpu
-        self.config = config
+        self.config = config = (config if config is not None
+                                else BonnieConfig())
         # Bonnie++ uses separate files for the character and block tests;
         # the block-write phase therefore hits *fresh* blocks, which is
         # what exposes the COW allocation costs Figure 8 measures.

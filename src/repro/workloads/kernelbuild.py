@@ -31,10 +31,10 @@ class KernelBuildWorkload:
     """Runs make / make clean against an ext3 filesystem model."""
 
     def __init__(self, sim: Simulator, filesystem: Ext3Filesystem,
-                 config: KernelBuildConfig = KernelBuildConfig()) -> None:
+                 config: Optional[KernelBuildConfig] = None) -> None:
         self.sim = sim
         self.fs = filesystem
-        self.config = config
+        self.config = config if config is not None else KernelBuildConfig()
         self.intermediate_files: List[str] = []
         self.retained_names: List[str] = []
 

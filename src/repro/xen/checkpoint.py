@@ -80,10 +80,10 @@ class LocalCheckpointer:
     """Checkpoints one domain transparently."""
 
     def __init__(self, domain: Domain,
-                 config: CheckpointConfig = CheckpointConfig()) -> None:
+                 config: Optional[CheckpointConfig] = None) -> None:
         self.domain = domain
         self.sim: Simulator = domain.sim
-        self.config = config
+        self.config = config if config is not None else CheckpointConfig()
         self.results: list[CheckpointResult] = []
         self._busy = False
         self._pipeline = None

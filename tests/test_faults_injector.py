@@ -1,0 +1,274 @@
+"""Unit tests: seeded fault injector, reliable bus, hardened barriers."""
+
+import pytest
+
+from repro.checkpoint import Barrier, NotificationBus, ReliabilityConfig
+from repro.errors import StorageError
+from repro.faults import (NO_FAULT, AgentCrash, BusFaultConfig, ClockStep,
+                          DiskFault, FaultInjector, FaultPlan, MessageLoss)
+from repro.hw import Machine
+from repro.sim import RandomStreams, Simulator
+from repro.sim.trace import Tracer
+from repro.units import MS, SECOND
+
+
+# ---------------------------------------------------------------------------
+# disabled path
+# ---------------------------------------------------------------------------
+
+def test_empty_plan_is_disabled_and_schedules_nothing():
+    sim = Simulator()
+    injector = FaultInjector(sim)
+    assert not injector.enabled
+    assert not FaultPlan().active
+    # Every hook is the shared no-op verdict — no draws, no records.
+    assert injector.bus_delivery("ckpt/now", "node0") is NO_FAULT
+    assert not injector.bus_ack_lost("ckpt/now", "node0")
+    injector.disk_check("node0", "take_checkpoint")
+    injector.arm()
+    sim.run()
+    assert sim.now == 0
+    assert injector.injected == {}
+
+
+def test_plan_with_any_fault_class_is_active():
+    assert FaultPlan(bus=BusFaultConfig(loss_prob=0.1)).active
+    assert FaultPlan(message_losses=(MessageLoss(topic="abort"),)).active
+    assert FaultPlan(crashes=(AgentCrash(agent="node0", at_ns=0),)).active
+    assert FaultPlan(disk_faults=(DiskFault(),)).active
+    assert FaultPlan(
+        clock_steps=(ClockStep(node="n", at_ns=0, step_ns=1),)).active
+
+
+# ---------------------------------------------------------------------------
+# targeted message loss
+# ---------------------------------------------------------------------------
+
+def test_targeted_message_loss_burns_its_budget():
+    sim = Simulator()
+    plan = FaultPlan(message_losses=(MessageLoss(topic="abort", count=2),))
+    injector = FaultInjector(sim, plan)
+    assert injector.bus_delivery("ckpt/abort", "node0").drop
+    assert injector.bus_delivery("ckpt/abort", "node1").drop
+    # Budget exhausted: the third matching delivery goes through.
+    assert not injector.bus_delivery("ckpt/abort", "node2").drop
+    assert injector.injected["fault.bus.drop"] == 2
+
+
+def test_targeted_loss_matches_topic_suffix_and_subscriber():
+    sim = Simulator()
+    plan = FaultPlan(message_losses=(
+        MessageLoss(topic="abort", subscriber="node1"),))
+    injector = FaultInjector(sim, plan)
+    assert not injector.bus_delivery("ckpt/abort", "node0").drop
+    assert not injector.bus_delivery("ckpt/resume", "node1").drop
+    assert injector.bus_delivery("ckpt/abort", "node1").drop
+
+
+# ---------------------------------------------------------------------------
+# probabilistic verdicts
+# ---------------------------------------------------------------------------
+
+def test_probabilistic_verdicts_are_seed_deterministic():
+    plan = FaultPlan(seed=7, bus=BusFaultConfig(
+        loss_prob=0.4, duplicate_prob=0.3, delay_spike_prob=0.2))
+    a = FaultInjector(Simulator(), plan)
+    b = FaultInjector(Simulator(), plan)
+    verdicts_a = [a.bus_delivery("t", "s") for _ in range(64)]
+    verdicts_b = [b.bus_delivery("t", "s") for _ in range(64)]
+    assert verdicts_a == verdicts_b
+    assert any(v.drop for v in verdicts_a)
+    assert any(v.duplicate for v in verdicts_a)
+    assert any(v.extra_delay_ns for v in verdicts_a)
+
+
+def test_zero_probability_classes_draw_nothing():
+    # Only the loss stream may be consumed when the other probs are 0 —
+    # two plans differing in an unused class must verdict identically.
+    only_loss = FaultPlan(seed=3, bus=BusFaultConfig(loss_prob=0.5))
+    injector = FaultInjector(Simulator(), only_loss)
+    drops = [injector.bus_delivery("t", "s").drop for _ in range(64)]
+    repeat = FaultInjector(Simulator(), only_loss)
+    assert [repeat.bus_delivery("t", "s").drop for _ in range(64)] == drops
+
+
+# ---------------------------------------------------------------------------
+# disk faults
+# ---------------------------------------------------------------------------
+
+def test_disk_fault_matches_and_burns_out():
+    sim = Simulator()
+    plan = FaultPlan(disk_faults=(
+        DiskFault(store="node0", operation="take_checkpoint",
+                  max_failures=2),))
+    injector = FaultInjector(sim, plan)
+    injector.disk_check("node1", "take_checkpoint")    # wrong store: no-op
+    injector.disk_check("node0", "write")              # wrong op: no-op
+    with pytest.raises(StorageError):
+        injector.disk_check("node0", "take_checkpoint")
+    with pytest.raises(StorageError):
+        injector.disk_check("node0", "take_checkpoint")
+    # max_failures reached: the store works again.
+    injector.disk_check("node0", "take_checkpoint")
+    assert injector.injected["fault.disk"] == 2
+
+
+def test_disk_fault_waits_for_after_ns():
+    sim = Simulator()
+    plan = FaultPlan(disk_faults=(DiskFault(after_ns=5 * SECOND),))
+    injector = FaultInjector(sim, plan)
+    hits = []
+
+    def probe() -> None:
+        try:
+            injector.disk_check("node0", "take_checkpoint")
+        except StorageError:
+            hits.append(sim.now)
+
+    sim.call_in(1 * SECOND, probe)
+    sim.call_in(6 * SECOND, probe)
+    sim.run()
+    assert hits == [6 * SECOND]
+
+
+# ---------------------------------------------------------------------------
+# clock steps and crash scheduling
+# ---------------------------------------------------------------------------
+
+def test_clock_step_fires_at_time():
+    sim = Simulator()
+    streams = RandomStreams(1)
+    machine = Machine(sim, "m0", rng=streams.stream("m0"))
+    plan = FaultPlan(clock_steps=(
+        ClockStep(node="node0", at_ns=1 * SECOND, step_ns=50 * MS),))
+    injector = FaultInjector(sim, plan)
+    injector.register_clock("node0", machine.clock)
+    injector.arm()
+    before_steps = machine.clock.steps
+    sim.run()
+    assert sim.now == 1 * SECOND
+    assert machine.clock.steps == before_steps + 1
+    assert injector.injected["fault.clock.step"] == 1
+
+
+def test_crash_of_unknown_agent_is_an_error():
+    sim = Simulator()
+    plan = FaultPlan(crashes=(AgentCrash(agent="ghost", stage="save"),))
+    injector = FaultInjector(sim, plan)
+    with pytest.raises(KeyError):
+        injector.arm()
+
+
+# ---------------------------------------------------------------------------
+# reliable bus
+# ---------------------------------------------------------------------------
+
+def _reliable_bus(sim, plan=None, **kwargs):
+    streams = RandomStreams(5)
+    injector = FaultInjector(sim, plan) if plan is not None else None
+    bus = NotificationBus(sim, streams.stream("bus"),
+                          reliability=ReliabilityConfig(**kwargs),
+                          faults=injector)
+    return bus, injector
+
+
+def test_reliable_bus_retransmits_through_a_drop():
+    sim = Simulator()
+    bus, _ = _reliable_bus(
+        sim, FaultPlan(message_losses=(MessageLoss(topic="t", count=1),)))
+    got = []
+    bus.subscribe("t", "node0", got.append)
+    bus.publish("t", "payload")
+    sim.run(until=2 * SECOND)
+    assert [m.payload for m in got] == ["payload"]
+    assert bus.dropped == 1
+    assert bus.retransmits >= 1
+    assert not bus.suspects
+
+
+def test_reliable_bus_suppresses_injected_duplicates():
+    sim = Simulator()
+    bus, _ = _reliable_bus(
+        sim, FaultPlan(bus=BusFaultConfig(duplicate_prob=1.0)))
+    got = []
+    bus.subscribe("t", "node0", got.append)
+    bus.publish("t", 1)
+    bus.publish("t", 2)
+    sim.run(until=2 * SECOND)
+    # Two messages delivered exactly once each (independent path delays
+    # make cross-message order unspecified); both injected copies eaten.
+    assert sorted(m.payload for m in got) == [1, 2]
+    assert bus.duplicates_suppressed >= 2
+
+
+def test_reliable_bus_gives_up_on_dead_subscriber():
+    sim = Simulator()
+    bus, _ = _reliable_bus(sim, max_retransmits=2)
+    bus.subscribe("t", "node0", lambda m: None)
+    bus.publish("t", "lost")
+    bus.unsubscribe("t", "node0")      # crashed before delivery
+    sim.run(until=10 * SECOND)
+    assert bus.gave_up == 1
+    assert bus.dead_letters == [("t", "node0", 1)]
+    assert "node0" in bus.suspects
+    assert bus.undeliverable >= 1
+
+
+def test_ack_loss_drives_retransmits_not_redelivery():
+    sim = Simulator()
+    bus, _ = _reliable_bus(
+        sim, FaultPlan(bus=BusFaultConfig(loss_prob=0.0, ack_loss_prob=1.0)),
+        max_retransmits=2)
+    got = []
+    bus.subscribe("t", "node0", got.append)
+    bus.publish("t", "once")
+    sim.run(until=10 * SECOND)
+    assert [m.payload for m in got] == ["once"]
+    assert bus.acks_lost >= 1
+    assert bus.retransmits >= 1
+    assert bus.duplicates_suppressed >= 1
+
+
+def test_legacy_bus_counters_stay_zero():
+    sim = Simulator()
+    streams = RandomStreams(5)
+    bus = NotificationBus(sim, streams.stream("bus"))
+    got = []
+    bus.subscribe("t", "node0", got.append)
+    bus.publish("t", 1)
+    sim.run(until=1 * SECOND)
+    assert len(got) == 1
+    assert (bus.dropped, bus.retransmits, bus.gave_up,
+            bus.duplicates_suppressed, bus.acks_sent) == (0, 0, 0, 0, 0)
+
+
+# ---------------------------------------------------------------------------
+# hardened barriers
+# ---------------------------------------------------------------------------
+
+def test_barrier_counts_late_arrivals_instead_of_double_firing():
+    sim = Simulator()
+    tracer = Tracer(clock=lambda: sim.now)
+    barrier = Barrier(sim, 2, name="saved", tracer=tracer)
+    barrier.arrive("a")
+    barrier.arrive("b")
+    assert barrier.event.triggered
+    value = barrier.event.value
+    barrier.arrive("c")                     # straggler after the fire
+    assert barrier.event.value == value     # unchanged, no double fire
+    assert barrier.late == ["c"]
+    assert tracer.count("barrier.late") == 1
+
+
+def test_barrier_counts_duplicates_without_inflating():
+    sim = Simulator()
+    tracer = Tracer(clock=lambda: sim.now)
+    barrier = Barrier(sim, 2, name="ready", tracer=tracer)
+    barrier.arrive("a")
+    barrier.arrive("a")                     # retransmitted ack
+    assert not barrier.event.triggered
+    assert barrier.duplicates == ["a"]
+    barrier.arrive("b")
+    assert barrier.event.triggered
+    assert sorted(barrier.event.value) == ["a", "b"]
+    assert tracer.count("barrier.duplicate") == 1

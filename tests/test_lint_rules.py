@@ -1,4 +1,4 @@
-"""Fixture tests for the static determinism lint rules (DET001–DET007).
+"""Fixture tests for the static determinism lint rules (DET001–DET008).
 
 Each rule gets at least one fixture with a known violation (asserting code
 and line) and one clean near-miss.  Suppression comments, JSON output, and
@@ -232,6 +232,34 @@ def test_det007_non_generator_not_flagged():
 
 
 # ---------------------------------------------------------------------------
+# DET008 — mutable / model-instance defaults
+# ---------------------------------------------------------------------------
+
+def test_det008_model_instance_default():
+    src = ("def f(path=PathDelayModel()):\n"
+           "    return path\n")
+    assert codes_at(src, select=["DET008"]) == [("DET008", 1)]
+
+
+def test_det008_mutable_literal_defaults():
+    src = "def f(a=[], b={}, *, c=set()):\n    return a, b, c\n"
+    assert codes_at(src, select=["DET008"]) == [
+        ("DET008", 1), ("DET008", 1), ("DET008", 1)]
+
+
+def test_det008_clean_optional_none():
+    src = ("def f(path=None, n=int(3), name=str()):\n"
+           "    return path, n, name\n")
+    assert codes_at(src, select=["DET008"]) == []
+
+
+def test_det008_not_applied_outside_library():
+    src = "def f(cfg=Config()):\n    return cfg\n"
+    assert codes_at(src, path="tests/test_fixture.py",
+                    select=["DET008"]) == []
+
+
+# ---------------------------------------------------------------------------
 # suppressions
 # ---------------------------------------------------------------------------
 
@@ -283,7 +311,7 @@ def test_json_report_schema():
 
 
 def test_every_registered_rule_has_code_and_summary():
-    assert set(RULES) == {f"DET00{i}" for i in range(1, 8)}
+    assert set(RULES) == {f"DET00{i}" for i in range(1, 9)}
     for code, rule in RULES.items():
         assert rule.code == code
         assert rule.summary
