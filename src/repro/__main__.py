@@ -16,6 +16,9 @@ Subcommands:
 * ``faults``    — seeded fault-storm: a lossy control bus plus a node
                   crash mid-save must not stop a supervised checkpoint;
                   runs twice and asserts determinism (docs/robustness.md)
+* ``trace``     — run a scenario with full tracing and export the span
+                  timeline as Chrome/Perfetto ``trace_event`` JSON
+                  (open in ``ui.perfetto.dev``; see docs/observability.md)
 """
 
 from __future__ import annotations
@@ -123,9 +126,56 @@ def cmd_lint(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from repro.bench import run_bench
+    from repro.bench import run_bench, run_profile
 
+    if args.profile:
+        return run_profile()
     return run_bench(quick=args.quick, output=args.output)
+
+
+#: scenarios ``repro trace`` can run with a tracer attached.  fig8 is
+#: absent by design: the COW-storage rig runs per-configuration private
+#: simulators with no testbed, so there is no tracer to thread through.
+TRACE_SCENARIOS = ("ckpt10_coordinated", "ckpt10_faultstorm", "fig4_sleep",
+                   "fig5_cpuburn", "fig6_iperf", "fig7_bittorrent")
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import ListSink, Tracer, write_chrome_trace
+
+    if args.scenario == "ckpt10_faultstorm":
+        # The storm builds its own simulator and tracer; capture through
+        # the sink parameter instead.
+        from repro.faults.scenario import run_faultstorm
+
+        sink = ListSink()
+        report = run_faultstorm(sink=sink)
+        records = sink.records
+        digest, golden = report.digest, None
+    else:
+        from repro.bench.runner import _golden_pipeline_digests
+        from repro.bench.scenarios import (make_sim, run_ckpt10, run_fig4,
+                                           run_fig5, run_fig6, run_fig7)
+
+        runners = {"ckpt10_coordinated": run_ckpt10, "fig4_sleep": run_fig4,
+                   "fig5_cpuburn": run_fig5, "fig6_iperf": run_fig6,
+                   "fig7_bittorrent": run_fig7}
+        sim = make_sim()
+        tracer = Tracer(clock=lambda: sim.now, sink=ListSink())
+        digest = runners[args.scenario](sim, tracer=tracer)
+        records = tracer.records
+        golden = _golden_pipeline_digests().get(args.scenario)
+
+    count = write_chrome_trace(records, args.out)
+    print(f"{args.scenario}: {len(records)} trace records -> "
+          f"{count} trace events -> {args.out}")
+    print(f"digest: {digest}")
+    if golden is not None:
+        ok = digest == golden
+        print("golden (tracing must not move it):",
+              "OK" if ok else f"MISMATCH (expected {golden})")
+        return 0 if ok else 1
+    return 0
 
 
 def cmd_faults(args) -> int:
@@ -200,6 +250,9 @@ def main(argv=None) -> int:
     bench.add_argument("--output", metavar="PATH",
                        help="JSON artifact path "
                             "(default: BENCH_sim_core.json at repo root)")
+    bench.add_argument("--profile", action="store_true",
+                       help="profile the event loop instead: hot-spot "
+                            "attribution + trace record counts")
     faults = sub.add_parser("faults",
                             help="seeded fault-storm survival + determinism")
     faults.add_argument("--nodes", type=int, default=10,
@@ -211,10 +264,19 @@ def main(argv=None) -> int:
     faults.add_argument("--verify-off", action="store_true",
                         help="check a disabled injector preserves the "
                              "ckpt10 golden digest, then exit")
+    trace = sub.add_parser("trace",
+                           help="run a scenario traced; export a Chrome/"
+                                "Perfetto timeline")
+    trace.add_argument("scenario", choices=TRACE_SCENARIOS,
+                       help="which scenario to run")
+    trace.add_argument("--out", metavar="PATH", default="trace.json",
+                       help="trace_event JSON output path "
+                            "(default: trace.json)")
     args = parser.parse_args(argv)
     return {"info": cmd_info, "selftest": cmd_selftest,
             "results": cmd_results, "lint": cmd_lint,
-            "bench": cmd_bench, "faults": cmd_faults}[args.command](args)
+            "bench": cmd_bench, "faults": cmd_faults,
+            "trace": cmd_trace}[args.command](args)
 
 
 if __name__ == "__main__":

@@ -12,9 +12,9 @@ bit-identical experiment digests.
 from repro.bench.scenarios import (build_fig6_rig, build_fig7_rig,
                                    run_event_churn, run_fig6, run_fig7,
                                    run_timer_storm)
-from repro.bench.runner import run_bench
+from repro.bench.runner import run_bench, run_profile
 
 __all__ = [
     "build_fig6_rig", "build_fig7_rig", "run_event_churn", "run_fig6",
-    "run_fig7", "run_timer_storm", "run_bench",
+    "run_fig7", "run_timer_storm", "run_bench", "run_profile",
 ]

@@ -160,6 +160,93 @@ def _bench_faultstorm(quick: bool) -> Dict:
     }
 
 
+def _bench_trace_overhead(golden: Optional[str], quick: bool) -> Dict:
+    """ckpt10 with tracing off / filtered / list sink / JSONL sink.
+
+    Quantifies what observability costs the fast path: ``off`` is the
+    production configuration (no tracer attached), ``filtered`` attaches
+    a tracer whose category filter rejects everything (the hoisted
+    ``enabled_for`` check is all that runs), ``list`` retains every
+    record in memory, and ``jsonl`` streams every record to the null
+    device.  All four runs must produce the golden digest — tracing
+    never consumes an RNG draw or schedules a simulator event.
+    """
+    from repro.obs import JsonlSink, ListSink, Tracer
+
+    reps = 1 if quick else 2
+    # One untimed warm-up run so the first timed configuration does not
+    # absorb one-off costs (lazy imports, code-object warm-up) that
+    # would masquerade as tracing overhead.
+    run_ckpt10(make_sim(**FAST))
+
+    def timed(make_tracer) -> Tuple[float, object]:
+        best, digest = float("inf"), None
+        for _ in range(reps):
+            sim = make_sim(**FAST)
+            tracer = make_tracer(sim)
+            s, digest = _time_run(lambda: run_ckpt10(sim, tracer=tracer))
+            best = min(best, s)
+        return best, digest
+
+    off_s, off_digest = timed(lambda sim: None)
+    filt_s, filt_digest = timed(
+        lambda sim: Tracer(clock=lambda: sim.now, categories=()))
+    list_s, list_digest = timed(
+        lambda sim: Tracer(clock=lambda: sim.now, sink=ListSink()))
+    jsonl_s, jsonl_digest = timed(
+        lambda sim: Tracer(clock=lambda: sim.now,
+                           sink=JsonlSink(os.devnull)))
+    digests = (off_digest, filt_digest, list_digest, jsonl_digest)
+
+    def pct(s: float) -> float:
+        return round(100.0 * (s - off_s) / off_s, 1)
+
+    return {
+        "fast_seconds": round(off_s, 4),
+        "filtered_seconds": round(filt_s, 4),
+        "list_sink_seconds": round(list_s, 4),
+        "jsonl_sink_seconds": round(jsonl_s, 4),
+        "filtered_overhead_pct": pct(filt_s),
+        "list_sink_overhead_pct": pct(list_s),
+        "jsonl_sink_overhead_pct": pct(jsonl_s),
+        "digest_fast": off_digest,
+        "digest_golden": golden,
+        "digest_match": (len(set(digests)) == 1 and
+                         (golden is None or off_digest == golden)),
+    }
+
+
+def run_profile(out=sys.stdout) -> int:
+    """``repro bench --profile``: hot-spot and record-count attribution.
+
+    Runs the 10-node coordinated checkpoint once with both the
+    event-loop profiler and a tracer attached, then prints where host
+    time went (per callback, via :class:`repro.obs.profile.LoopProfiler`)
+    and what the observability layer recorded (per category).  Profiled
+    runs keep their digests — the profiler reads only the host clock.
+    """
+    from repro.obs import ListSink, Tracer
+
+    goldens = _golden_pipeline_digests()
+    sim = make_sim(**FAST)
+    profiler = sim.enable_profiling()
+    tracer = Tracer(clock=lambda: sim.now, sink=ListSink())
+    elapsed, digest = _time_run(lambda: run_ckpt10(sim, tracer=tracer))
+    print(f"profiled ckpt10_coordinated: {elapsed:.3f}s wall, "
+          f"{profiler.dispatches} callbacks dispatched", file=out)
+    golden = goldens.get("ckpt10_coordinated")
+    if golden is not None:
+        status = "OK" if digest == golden else "MISMATCH"
+        print(f"digest vs golden: {status}", file=out)
+    print(file=out)
+    print(profiler.format_report(), file=out)
+    print(file=out)
+    print("trace records by category:", file=out)
+    for cat in sorted(tracer.category_counts):
+        print(f"  {cat:<28} {tracer.category_counts[cat]:8d}", file=out)
+    return 0 if golden is None or digest == golden else 1
+
+
 #: scenarios whose wall clock is compared against the checked-in artifact
 #: (the fault-free paths must not pay for the fault layer)
 _REGRESSION_WATCH = ("fig4_sleep", "fig5_cpuburn", "fig8_cow_storage",
@@ -202,6 +289,10 @@ def run_bench(quick: bool = False, output: Optional[str] = None,
             run_ckpt10, goldens.get("ckpt10_coordinated")),
         # Robustness gate: seeded storm must survive, deterministically.
         "ckpt10_faultstorm": lambda: _bench_faultstorm(quick),
+        # Observability gate: tracing must be digest-neutral, and the
+        # sink configurations bound its wall-clock cost.
+        "ckpt10_trace_overhead": lambda: _bench_trace_overhead(
+            goldens.get("ckpt10_coordinated"), quick),
     }
     if output is None:
         output = os.path.join(_repo_root(), "BENCH_sim_core.json")

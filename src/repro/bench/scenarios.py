@@ -84,13 +84,13 @@ def run_timer_storm(sim: Simulator, rounds: int = 400,
 
 
 def build_fig6_rig(sim: Simulator, seed: int = 6, memory: int = 64 * MB,
-                   streams: Optional[RandomStreams] = None):
+                   streams: Optional[RandomStreams] = None, tracer=None):
     """The Figure 6 topology: two guests joined by one shaped GigE link."""
     from repro.testbed import (Emulab, ExperimentSpec, LinkSpec, NodeSpec,
                               TestbedConfig)
 
     testbed = Emulab(sim, TestbedConfig(num_machines=4, seed=seed),
-                     streams=streams)
+                     streams=streams, tracer=tracer)
     exp = testbed.define_experiment(ExperimentSpec(
         "bench",
         nodes=[NodeSpec("node0", memory_bytes=memory),
@@ -143,7 +143,7 @@ def _periodic_checkpoints(sim: Simulator, experiment, period_ns: int,
 
 def run_fig6(sim: Simulator, run_seconds: int = 20, num_ckpts: int = 3,
              seed: int = 6,
-             streams: Optional[RandomStreams] = None) -> str:
+             streams: Optional[RandomStreams] = None, tracer=None) -> str:
     """The Figure 6 scenario (iperf under coordinated checkpoints).
 
     Returns the experiment digest, which covers guest virtual time, TCP
@@ -152,7 +152,8 @@ def run_fig6(sim: Simulator, run_seconds: int = 20, num_ckpts: int = 3,
     """
     from repro.workloads import IperfSession
 
-    testbed, exp = build_fig6_rig(sim, seed=seed, streams=streams)
+    testbed, exp = build_fig6_rig(sim, seed=seed, streams=streams,
+                                  tracer=tracer)
     sender, receiver = exp.kernel("node1"), exp.kernel("node0")
     session = IperfSession(sender, receiver)
     session.start()
@@ -167,11 +168,12 @@ def run_fig6(sim: Simulator, run_seconds: int = 20, num_ckpts: int = 3,
 
 def run_fig7(sim: Simulator, run_seconds: int = 25, num_ckpts: int = 3,
              seed: int = 7,
-             streams: Optional[RandomStreams] = None) -> str:
+             streams: Optional[RandomStreams] = None, tracer=None) -> str:
     """The Figure 7 scenario (BitTorrent swarm under checkpoints)."""
     from repro.workloads import BitTorrentSwarm
 
-    testbed, exp = build_fig7_rig(sim, seed=seed, streams=streams)
+    testbed, exp = build_fig7_rig(sim, seed=seed, streams=streams,
+                                  tracer=tracer)
     kernels = [exp.kernel(f"node{i}") for i in range(4)]
     swarm = BitTorrentSwarm(kernels, seeder_index=0, file_bytes=3 * GB,
                             rng=testbed.streams.stream("bt"))
@@ -197,13 +199,14 @@ def _hash_parts(parts) -> str:
 
 
 def build_single_node_rig(sim: Simulator, seed: int, memory: int = 128 * MB,
-                          streams: Optional[RandomStreams] = None):
+                          streams: Optional[RandomStreams] = None,
+                          tracer=None):
     """One checkpointable guest, swapped in (fig4/fig5 topology)."""
     from repro.testbed import (Emulab, ExperimentSpec, NodeSpec,
                               TestbedConfig)
 
     testbed = Emulab(sim, TestbedConfig(num_machines=2, seed=seed),
-                     streams=streams)
+                     streams=streams, tracer=tracer)
     exp = testbed.define_experiment(ExperimentSpec(
         "bench", nodes=[NodeSpec("node0", memory_bytes=memory)]))
     sim.run(until=exp.swap_in())
@@ -237,16 +240,19 @@ def _checkpoint_result_parts(results) -> list:
 
 def run_fig4(sim: Simulator, iterations: int = 600, num_ckpts: int = 3,
              seed: int = 4,
-             streams: Optional[RandomStreams] = None) -> str:
+             streams: Optional[RandomStreams] = None, tracer=None) -> str:
     """The Figure 4 scenario (usleep loop under local checkpoints).
 
     Returns a digest over the experiment state plus every checkpoint's
     timing fields — any divergence in the checkpoint sequencing (phase
     order, firewall windows, stop-and-copy timing) changes it.
+    ``tracer`` attaches observability (spans + records); the digest must
+    stay bit-identical with or without it.
     """
     from repro.workloads import SleeperBenchmark
 
-    _testbed, exp = build_single_node_rig(sim, seed=seed, streams=streams)
+    _testbed, exp = build_single_node_rig(sim, seed=seed, streams=streams,
+                                          tracer=tracer)
     kernel = exp.kernel("node0")
     bench = SleeperBenchmark(kernel, iterations=iterations)
     bench.start()
@@ -264,11 +270,12 @@ def run_fig4(sim: Simulator, iterations: int = 600, num_ckpts: int = 3,
 
 def run_fig5(sim: Simulator, iterations: int = 30, num_ckpts: int = 3,
              seed: int = 5,
-             streams: Optional[RandomStreams] = None) -> str:
+             streams: Optional[RandomStreams] = None, tracer=None) -> str:
     """The Figure 5 scenario (CPU-intensive loop under local checkpoints)."""
     from repro.workloads import CpuBurnBenchmark
 
-    _testbed, exp = build_single_node_rig(sim, seed=seed, streams=streams)
+    _testbed, exp = build_single_node_rig(sim, seed=seed, streams=streams,
+                                          tracer=tracer)
     bench = CpuBurnBenchmark(exp.kernel("node0"), 236_600_000,
                              iterations=iterations)
     bench.start()

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.clocksync.ntp import PathDelayModel
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.core import Simulator
 from repro.sim.random import derived_rng
 from repro.sim.trace import Tracer, maybe_record
@@ -65,7 +66,7 @@ class _Pending:
     """One unacked (message, subscriber) delivery awaiting its ack."""
 
     __slots__ = ("topic", "payload", "publisher", "published_at", "msg_id",
-                 "subscriber", "handler", "attempt", "timer")
+                 "subscriber", "handler", "attempt", "timer", "span")
 
     def __init__(self, topic, payload, publisher, published_at, msg_id,
                  subscriber, handler) -> None:
@@ -78,32 +79,46 @@ class _Pending:
         self.handler = handler
         self.attempt = 0
         self.timer = None
+        #: open retransmit-burst span (first retransmit .. ack/give-up)
+        self.span = None
 
 
 class NotificationBus:
-    """Control-network publish/subscribe."""
+    """Control-network publish/subscribe.
+
+    Delivery accounting lives in a :class:`~repro.obs.metrics
+    .MetricsRegistry` (one is created if none is shared in); the legacy
+    integer attributes (``bus.published``, ``bus.retransmits``, …) are
+    read-only views over the registry's counters.
+    """
 
     def __init__(self, sim: Simulator, rng: Optional[random.Random] = None,
                  path: Optional[PathDelayModel] = None,
                  reliability: Optional[ReliabilityConfig] = None,
-                 faults=None, tracer: Optional[Tracer] = None) -> None:
+                 faults=None, tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.sim = sim
         self.rng = rng or derived_rng("notification-bus")
         self.path = path if path is not None else PathDelayModel()
         self.reliability = reliability
         self.faults = faults
         self.tracer = tracer
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._subscribers: Dict[str, List[tuple]] = {}
-        self.published = 0
-        self.delivered = 0
-        # Fault/reliability accounting (all zero on the legacy path).
-        self.dropped = 0
-        self.retransmits = 0
-        self.duplicates_suppressed = 0
-        self.acks_sent = 0
-        self.acks_lost = 0
-        self.gave_up = 0
-        self.undeliverable = 0
+        # Delivery + fault/reliability accounting (reliability counters
+        # all stay zero on the legacy path).
+        m = self.metrics
+        self._c_published = m.counter("bus.published")
+        self._c_delivered = m.counter("bus.delivered")
+        self._c_dropped = m.counter("bus.dropped")
+        self._c_retransmits = m.counter("bus.retransmits")
+        self._c_duplicates = m.counter("bus.duplicates_suppressed")
+        self._c_acks_sent = m.counter("bus.acks_sent")
+        self._c_acks_lost = m.counter("bus.acks_lost")
+        self._c_gave_up = m.counter("bus.gave_up")
+        self._c_undeliverable = m.counter("bus.undeliverable")
+        #: retransmits-per-burst distribution, observed at burst end
+        self._h_burst = m.histogram("bus.retransmit_burst", buckets=(1, 2, 4, 8))
         #: (topic, subscriber, msg_id) of deliveries the bus gave up on
         self.dead_letters: List[Tuple[str, str, int]] = []
         #: subscribers with at least one exhausted delivery (dead until
@@ -113,6 +128,44 @@ class NotificationBus:
         self._pending: Dict[Tuple[int, str], _Pending] = {}
         self._seen: Dict[str, Set[int]] = {}
         self._rel_rng: Optional[random.Random] = None
+
+    # -- legacy counter views over the metrics registry ------------------------
+
+    @property
+    def published(self) -> int:
+        return self._c_published.value
+
+    @property
+    def delivered(self) -> int:
+        return self._c_delivered.value
+
+    @property
+    def dropped(self) -> int:
+        return self._c_dropped.value
+
+    @property
+    def retransmits(self) -> int:
+        return self._c_retransmits.value
+
+    @property
+    def duplicates_suppressed(self) -> int:
+        return self._c_duplicates.value
+
+    @property
+    def acks_sent(self) -> int:
+        return self._c_acks_sent.value
+
+    @property
+    def acks_lost(self) -> int:
+        return self._c_acks_lost.value
+
+    @property
+    def gave_up(self) -> int:
+        return self._c_gave_up.value
+
+    @property
+    def undeliverable(self) -> int:
+        return self._c_undeliverable.value
 
     def subscribe(self, topic: str, subscriber: str,
                   handler: Callable[[BusMessage], None]) -> None:
@@ -143,7 +196,7 @@ class NotificationBus:
         verdict, so an attached-but-idle injector consumes exactly the
         same draws as no injector at all.
         """
-        self.published += 1
+        self._c_published.inc()
         published_at = self.sim.now
         msg_id = self._next_msg_id
         self._next_msg_id += 1
@@ -170,7 +223,7 @@ class NotificationBus:
         if self.faults is not None:
             verdict = self.faults.bus_delivery(topic, subscriber, attempt)
         if verdict is not None and verdict.drop:
-            self.dropped += 1
+            self._c_dropped.inc()
             return
         extra = verdict.extra_delay_ns if verdict is not None else 0
         message = BusMessage(topic, payload, publisher, published_at,
@@ -197,19 +250,19 @@ class NotificationBus:
             # therefore never acks, which is what drives the publisher's
             # retransmit/give-up machinery and the suspect list.
             if not self._is_subscribed(message.topic, subscriber):
-                self.undeliverable += 1
+                self._c_undeliverable.inc()
                 return
             self._send_ack(message, subscriber)
             seen = self._seen.setdefault(subscriber, set())
             if message.msg_id in seen:
-                self.duplicates_suppressed += 1
+                self._c_duplicates.inc()
                 maybe_record(self.tracer, "bus.duplicate_suppressed",
                              topic=message.topic, subscriber=subscriber,
                              msg_id=message.msg_id)
                 return
             seen.add(message.msg_id)
         message.delivered_at = self.sim.now
-        self.delivered += 1
+        self._c_delivered.inc()
         handler(message)
 
     # -- reliable layer --------------------------------------------------------
@@ -218,9 +271,9 @@ class NotificationBus:
         """Ack travels back over the control network (its own delay)."""
         if self.faults is not None and self.faults.bus_ack_lost(
                 message.topic, subscriber):
-            self.acks_lost += 1
+            self._c_acks_lost.inc()
             return
-        self.acks_sent += 1
+        self._c_acks_sent.inc()
         delay = self.path.sample_oneway(self._reliable_rng())
         key = (message.msg_id, subscriber)
         self.sim.call_in(delay, lambda: self._on_ack(key))
@@ -232,6 +285,11 @@ class NotificationBus:
         if entry.timer is not None:
             entry.timer.cancel()
             entry.timer = None
+        if entry.attempt > 0:
+            self._h_burst.observe(entry.attempt)
+        if entry.span is not None:
+            entry.span.end(outcome="acked", attempts=entry.attempt)
+            entry.span = None
         # An ack is proof of life: clear any earlier suspicion.
         self.suspects.pop(entry.subscriber, None)
 
@@ -254,17 +312,30 @@ class NotificationBus:
         cfg = self.reliability
         if entry.attempt >= cfg.max_retransmits:
             del self._pending[key]
-            self.gave_up += 1
+            self._c_gave_up.inc()
             self.dead_letters.append((entry.topic, entry.subscriber,
                                       entry.msg_id))
             self.suspects[entry.subscriber] = (
                 self.suspects.get(entry.subscriber, 0) + 1)
+            self._h_burst.observe(entry.attempt)
+            if entry.span is not None:
+                entry.span.end(outcome="dead", attempts=entry.attempt)
+                entry.span = None
             maybe_record(self.tracer, "bus.gave_up", topic=entry.topic,
                          subscriber=entry.subscriber, msg_id=entry.msg_id,
                          attempts=entry.attempt + 1)
             return
         entry.attempt += 1
-        self.retransmits += 1
+        self._c_retransmits.inc()
+        tracer = self.tracer
+        if (entry.span is None and tracer is not None
+                and tracer.enabled_for("bus.retransmit.burst")):
+            # First retransmit opens the burst episode; overlapping bursts
+            # toward different subscribers render side by side.
+            entry.span = tracer.async_span(
+                "bus.retransmit.burst", track=f"bus/{entry.subscriber}",
+                name=entry.topic, topic=entry.topic,
+                subscriber=entry.subscriber, msg_id=entry.msg_id)
         maybe_record(self.tracer, "bus.retransmit", topic=entry.topic,
                      subscriber=entry.subscriber, msg_id=entry.msg_id,
                      attempt=entry.attempt)

@@ -46,7 +46,7 @@ from repro.clocksync.clock import SystemClock
 from repro.errors import CheckpointError, FirewallViolation, StorageError
 from repro.net.delaynode import DelayNode, DelayNodeSnapshot
 from repro.sim.core import Simulator
-from repro.sim.trace import Tracer, maybe_record
+from repro.sim.trace import NULL_SPAN, Tracer, maybe_record
 from repro.units import MS, SECOND
 from repro.xen.checkpoint import CheckpointResult, LocalCheckpointer
 
@@ -561,9 +561,25 @@ class Coordinator:
 
     # -- protocol ---------------------------------------------------------------------
 
+    def _round_span(self, name: str):
+        """Open a ``checkpoint.round`` span on the coordinator track."""
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled_for("checkpoint.round"):
+            return NULL_SPAN
+        return tracer.span("checkpoint.round",
+                           track=f"coordinator/{self.session}", name=name,
+                           session=self.session, epoch=self.epoch)
+
     def _run(self, scheduled: bool):
         started = self.sim.now
         self.epoch += 1
+        session_span = NULL_SPAN
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled_for("checkpoint.session"):
+            session_span = tracer.span(
+                "checkpoint.session", track=f"coordinator/{self.session}",
+                name=f"{self.session}#{self.epoch}", session=self.session,
+                epoch=self.epoch, scheduled=scheduled)
         self._agent_failures = []
         expected = self._participants
         self._ready = Barrier(self.sim, expected,
@@ -578,15 +594,21 @@ class Coordinator:
 
         # Round 1: prepare (pre-copy).  Every round carries the epoch so
         # agents and coordinator can drop another round's stragglers.
+        round_span = self._round_span("prepare")
         self.bus.publish(f"{self.session}/prepare", self.epoch,
                          publisher="coordinator")
         got = yield from self._await(self._ready)
         if isinstance(got, _StageAbort):
-            return (yield from self._abort_round(self._ready, got,
-                                                 "prepare", started))
+            round_span.end(outcome="abort")
+            failure = yield from self._abort_round(self._ready, got,
+                                                   "prepare", started)
+            session_span.end(outcome="aborted", stage="prepare")
+            return failure
+        round_span.end(outcome="ok")
 
         # Round 2: trigger the synchronized suspend.
         deadline = None
+        round_span = self._round_span("save")
         if scheduled:
             deadline = self.server_clock.read() + self.margin_ns
             self.bus.publish(f"{self.session}/suspend_at",
@@ -599,20 +621,30 @@ class Coordinator:
         # Round 3: barrier on saved.
         got = yield from self._await(self._saved)
         if isinstance(got, _StageAbort):
-            return (yield from self._abort_round(self._saved, got,
-                                                 "save", started))
+            round_span.end(outcome="abort")
+            failure = yield from self._abort_round(self._saved, got,
+                                                   "save", started)
+            session_span.end(outcome="aborted", stage="save")
+            return failure
+        round_span.end(outcome="ok")
 
         # Round 4: resume everyone.
+        round_span = self._round_span("resume")
         self.bus.publish(f"{self.session}/resume", self.epoch,
                          publisher="coordinator")
         got = yield from self._await(self._resumed)
         if isinstance(got, _StageAbort):
-            return (yield from self._abort_round(self._resumed, got,
-                                                 "resume", started))
+            round_span.end(outcome="abort")
+            failure = yield from self._abort_round(self._resumed, got,
+                                                   "resume", started)
+            session_span.end(outcome="aborted", stage="resume")
+            return failure
+        round_span.end(outcome="ok")
 
         result = self._collect(deadline, started)
         self.results.append(result)
         self._clear_barriers()
+        session_span.end(outcome="ok")
         return result
 
     def _await(self, barrier: Barrier):
@@ -634,6 +666,8 @@ class Coordinator:
     def _abort_round(self, barrier: Barrier, signal: _StageAbort,
                      stage: str, started: int):
         """Phase two of the abort: roll every reachable agent back."""
+        abort_span = self._round_span("abort").annotate(
+            failed_stage=stage, reason=signal.reason)
         arrived = set(barrier.arrived)
         missing = tuple(n for n in self.active_participant_names
                         if n not in arrived)
@@ -659,6 +693,8 @@ class Coordinator:
         )
         self.failures.append(failure)
         self._clear_barriers()
+        abort_span.end(rolled_back=len(failure.rolled_back),
+                       missing=len(missing))
         maybe_record(self.tracer, "checkpoint.abort", session=self.session,
                      stage=stage, reason=signal.reason,
                      missing=missing, rolled_back=failure.rolled_back,

@@ -15,8 +15,10 @@ implements only the stages it participates in.  The engine owns the
 cross-cutting semantics the old monoliths could not express:
 
 * **per-stage timing** — every (stage, provider) step is timed and
-  recorded through :func:`repro.sim.trace.maybe_record` under category
-  ``checkpoint.stage``;
+  emitted as a :class:`~repro.obs.trace.SpanRecord` under category
+  ``checkpoint.stage``, with the pipeline's session name as the span's
+  track — so a 10-node coordinated checkpoint exports as ten per-node
+  stage timelines (see :mod:`repro.obs.export`);
 * **rollback** — :meth:`CheckpointPipeline.abort` walks providers in
   reverse registration order, returning every subsystem to running state
   (the second phase of the coordinator's two-phase abort);
@@ -38,12 +40,16 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import CheckpointError, FirewallViolation, StorageError
 from repro.sim.core import Simulator
-from repro.sim.trace import Tracer, maybe_record
+from repro.sim.trace import NULL_SPAN, Tracer
 from repro.units import MS, US, transfer_time_ns
 
 
 class Stage(enum.Enum):
-    """The pipeline's stages, in execution order."""
+    """The pipeline's stages, in execution order.
+
+        >>> [s.value for s in Stage]
+        ['prepare', 'precopy', 'quiesce', 'suspend', 'save', 'branch', 'resume']
+    """
 
     PREPARE = "prepare"      # bookkeeping before any work
     PRECOPY = "precopy"      # live copy while the subsystem runs
@@ -59,7 +65,13 @@ _STAGE_INDEX: Dict[Stage, int] = {s: i for i, s in enumerate(STAGES)}
 
 
 class StageFailed(CheckpointError):
-    """A provider failed inside a stage; carries where and who."""
+    """A provider failed inside a stage; carries where and who.
+
+        >>> err = StageFailed(Stage.SAVE, "domain.node0",
+        ...                   CheckpointError("sink offline"))
+        >>> (err.stage.value, err.provider)
+        ('save', 'domain.node0')
+    """
 
     def __init__(self, stage: Stage, provider: str, cause: BaseException) -> None:
         super().__init__(f"{provider}: {stage.value} failed: {cause}")
@@ -70,7 +82,11 @@ class StageFailed(CheckpointError):
 
 @dataclass(frozen=True)
 class StageTiming:
-    """How long one provider spent in one stage."""
+    """How long one provider spent in one stage.
+
+        >>> StageTiming("save", "domain.node0", 100, 25).duration_ns
+        25
+    """
 
     stage: str
     provider: str
@@ -80,7 +96,11 @@ class StageTiming:
 
 @dataclass(frozen=True)
 class AgentFailure:
-    """One agent's structured report of a failed stage."""
+    """One agent's structured report of a failed stage.
+
+        >>> AgentFailure("node3", "save", "disk fault", epoch=2).node
+        'node3'
+    """
 
     node: str
     stage: str
@@ -98,6 +118,13 @@ class CheckpointFailure:
     barrier timed out or an agent reported a failure.  ``missing`` names
     the participants that never reached the failed barrier;
     ``rolled_back`` names those that acknowledged the abort round.
+
+        >>> failure = CheckpointFailure(
+        ...     session="ckpt", stage="save", reason="barrier timeout",
+        ...     missing=("node3",), agent_failures=(), rolled_back=("node0",),
+        ...     wall_duration_ns=1000)
+        >>> failure.ok
+        False
     """
 
     session: str
@@ -125,6 +152,17 @@ class Checkpointable:
     where its subsystem holds state.  ``stage_abort`` must roll the
     subsystem back to running state from *any* partial progress and be
     idempotent — it is the unit of the coordinator's rollback round.
+
+        >>> class Bell(Checkpointable):
+        ...     name = "bell"
+        ...     rang = 0
+        ...     def stage_suspend(self):
+        ...         self.rang += 1
+        >>> bell = Bell()
+        >>> bell.stage_suspend(); bell.rang    # other stages stay no-ops
+        1
+        >>> bell.stage_save() is None
+        True
     """
 
     name = "checkpointable"
@@ -197,7 +235,19 @@ class CheckpointPipeline:
     # ------------------------------------------------------------------ execution
 
     def run_stages(self, first: Stage, last: Stage):
-        """Generator: run stages ``first..last`` over all providers."""
+        """Generator: run stages ``first..last`` over all providers.
+
+        Each (stage, provider) step is wrapped in a ``checkpoint.stage``
+        sync span on the pipeline's session track.  The ``enabled_for``
+        verdict is hoisted out of the loop so a disabled or filtered
+        tracer costs the stage loop nothing per step.
+
+            >>> from repro.sim.core import Simulator
+            >>> pipe = CheckpointPipeline(Simulator(), [Checkpointable()])
+            >>> pipe.run_stages_now(Stage.PREPARE, Stage.RESUME)
+            >>> [t.stage for t in pipe.timings]
+            ['prepare', 'precopy', 'quiesce', 'suspend', 'save', 'branch', 'resume']
+        """
         lo, hi = _STAGE_INDEX[first], _STAGE_INDEX[last]
         if lo > hi:
             raise CheckpointError(
@@ -205,27 +255,42 @@ class CheckpointPipeline:
                 f"is reversed")
         if lo == 0:
             self.reset()
+        tracer = self.tracer
+        traced = (tracer is not None
+                  and tracer.enabled_for("checkpoint.stage"))
         for stage in STAGES[lo:hi + 1]:
             for provider in self.providers:
                 started = self.sim.now
+                span = NULL_SPAN
+                if traced:
+                    span = tracer.span(
+                        "checkpoint.stage", track=self.session,
+                        name=stage.value, session=self.session,
+                        stage=stage.value, provider=provider.name)
                 for observer in self.stage_observers:
                     observer(stage, provider)
                 try:
                     step = getattr(provider, f"stage_{stage.value}")()
                     if step is not None:
                         yield from step
-                except StageFailed:
+                except StageFailed as exc:
+                    span.end(error=str(exc))
+                    raise
+                except GeneratorExit:
+                    # The driving process was killed mid-stage (crash /
+                    # abort): close the span so the timeline stays
+                    # well-formed, then unwind normally.
+                    span.end(error="interrupted")
                     raise
                 except (CheckpointError, FirewallViolation,
                         StorageError) as exc:
+                    span.end(error=str(exc))
                     raise StageFailed(stage, provider.name, exc) from exc
                 duration = self.sim.now - started
                 self._completed.append((stage, provider))
                 self.timings.append(StageTiming(stage.value, provider.name,
                                                 started, duration))
-                maybe_record(self.tracer, "checkpoint.stage",
-                             session=self.session, stage=stage.value,
-                             provider=provider.name, duration_ns=duration)
+                span.end(duration_ns=duration)
 
     def run_stages_now(self, first: Stage, last: Stage) -> None:
         """Run a span that must consume zero simulated time, synchronously."""
@@ -292,7 +357,13 @@ class DeadlineSuspend(SuspendPolicy):
 
 
 class ImmediateSuspend(SuspendPolicy):
-    """Suspend on message receipt: skew = bus delivery jitter."""
+    """Suspend on message receipt: skew = bus delivery jitter.
+
+        >>> fired = []
+        >>> ImmediateSuspend().arm(None, None, 0, lambda: fired.append("now"))
+        >>> fired
+        ['now']
+    """
 
     def arm(self, sim, clock, deadline_local_ns, fire):
         fire()
@@ -475,6 +546,9 @@ class ClockHandoff:
     A restore on different hardware re-disciplines from scratch; handing
     the saved offset/frequency trim to the restored node's ntpd seeds
     convergence instead (the clocksync counterpart of §4.3's hand-off).
+
+        >>> ClockHandoff("node0", 1_000, 42, -3.5).error_ns
+        42
     """
 
     node: str
@@ -591,7 +665,11 @@ class NaiveDomainProvider(Checkpointable):
 
 @dataclass(frozen=True)
 class SnapshotCapture:
-    """What a pipeline capture of a run's state produced."""
+    """What a pipeline capture of a run's state produced.
+
+        >>> SnapshotCapture(snapshot_bytes=4096).providers
+        ()
+    """
 
     snapshot_bytes: int
     branch_points: Tuple = ()
@@ -606,6 +684,12 @@ def capture_run_snapshot(run) -> SnapshotCapture:
     metadata-only), every :class:`BranchProvider` takes a branch point,
     and the snapshot cost is the sum of provider costs.  Runs without
     providers fall back to their own ``snapshot_bytes()``.
+
+        >>> class BareRun:
+        ...     def snapshot_bytes(self):
+        ...         return 64
+        >>> capture_run_snapshot(BareRun()).snapshot_bytes
+        64
     """
     getter = getattr(run, "checkpointables", None)
     providers = list(getter()) if getter is not None else []

@@ -28,6 +28,7 @@ from typing import List, Optional, Tuple
 
 from repro.checkpoint.coordinator import Coordinator
 from repro.checkpoint.pipeline import CheckpointFailure
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.core import Simulator
 from repro.sim.random import derived_rng
 from repro.sim.trace import Tracer, maybe_record
@@ -128,13 +129,28 @@ class CheckpointSupervisor:
                  policy: Optional[DegradationPolicy] = None,
                  tracer: Optional[Tracer] = None,
                  rng: Optional[random.Random] = None,
-                 jitter_ns: int = 50 * MS) -> None:
+                 jitter_ns: int = 50 * MS,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.sim = sim
         self.coordinator = coordinator
         self.policy = policy or RetryThenAbort()
         self.tracer = tracer
         self.jitter_ns = jitter_ns
         self._rng = rng
+        # Default to the bus's registry so one snapshot covers the whole
+        # control plane (bus deliveries + supervised retries).
+        if metrics is None:
+            metrics = getattr(coordinator.bus, "metrics", None)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        session = coordinator.session
+        self._c_attempts = self.metrics.counter("supervisor.attempts",
+                                                session=session)
+        self._c_recovered = self.metrics.counter("supervisor.recovered",
+                                                 session=session)
+        self._c_gave_up = self.metrics.counter("supervisor.gave_up",
+                                               session=session)
+        self._c_degraded = self.metrics.counter("supervisor.degraded",
+                                                session=session)
         #: attempts consumed by the most recent supervised checkpoint
         self.attempts = 0
         #: failures of the most recent supervised checkpoint, in order
@@ -162,6 +178,7 @@ class CheckpointSupervisor:
         self.failures = []
         attempt = 0
         while True:
+            self._c_attempts.inc()
             maybe_record(self.tracer, "retry.checkpoint.attempt",
                          session=session, attempt=attempt,
                          scheduled=scheduled, policy=self.policy.name)
@@ -173,6 +190,7 @@ class CheckpointSupervisor:
             if result.ok:
                 self.attempts = attempt + 1
                 if attempt:
+                    self._c_recovered.inc()
                     maybe_record(self.tracer, "retry.checkpoint.recovered",
                                  session=session, attempts=attempt + 1,
                                  excluded=tuple(
@@ -182,12 +200,14 @@ class CheckpointSupervisor:
             decision = self.policy.decide(result, attempt, self.coordinator)
             if not decision.retry:
                 self.attempts = attempt + 1
+                self._c_gave_up.inc()
                 maybe_record(self.tracer, "retry.checkpoint.gave_up",
                              session=session, attempts=attempt + 1,
                              stage=result.stage, reason=decision.reason)
                 return result
             if decision.exclude:
                 self.coordinator.exclude(decision.exclude)
+                self._c_degraded.inc()
                 maybe_record(self.tracer, "retry.checkpoint.degraded",
                              session=session, excluded=decision.exclude,
                              reason=decision.reason)

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 
 from repro.errors import StorageError
 from repro.faults.plan import AgentCrash, FaultPlan
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.core import Simulator
 from repro.sim.random import derived_rng
 from repro.sim.trace import Tracer, maybe_record
@@ -58,13 +59,18 @@ class FaultInjector:
     """Executes a :class:`FaultPlan` deterministically against one sim."""
 
     def __init__(self, sim: Simulator, plan: Optional[FaultPlan] = None,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.sim = sim
         self.plan = plan or FaultPlan()
         self.tracer = tracer
+        #: optional registry mirroring :attr:`injected` as counters
+        self.metrics = metrics
         self.enabled = self.plan.active
         #: per-class counts of faults actually injected
         self.injected: Dict[str, int] = {}
+        #: open crash→reboot windows (async spans), by agent name
+        self._windows: Dict[str, object] = {}
         self._rngs: Dict[str, random.Random] = {}
         self._losses = [_LossBudget(s) for s in self.plan.message_losses]
         self._disk_remaining: List[int] = [f.max_failures
@@ -84,6 +90,8 @@ class FaultInjector:
 
     def _record(self, category: str, **fields) -> None:
         self.injected[category] = self.injected.get(category, 0) + 1
+        if self.metrics is not None:
+            self.metrics.counter(category).inc()
         maybe_record(self.tracer, category, **fields)
 
     # -- registration ----------------------------------------------------------
@@ -160,6 +168,14 @@ class FaultInjector:
                          spec.reboot_after_ns is not None))
         agent.crash()
         if spec.reboot_after_ns is not None:
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled_for("fault.window"):
+                # The crash→reboot window is an async episode on the
+                # agent's fault track; overlapping outages render stacked.
+                self._windows[spec.agent] = tracer.async_span(
+                    "fault.window", track=f"fault/{spec.agent}",
+                    name=kind, agent=spec.agent,
+                    stage=spec.stage or "")
             self.sim.call_in(spec.reboot_after_ns,
                              lambda: self._revive(spec.agent))
 
@@ -168,6 +184,9 @@ class FaultInjector:
         if agent is None or not agent._detached:
             return
         self._record("fault.agent.reboot", agent=name, at_ns=self.sim.now)
+        window = self._windows.pop(name, None)
+        if window is not None:
+            window.end(outcome="rebooted")
         agent.revive()
 
     def _arm_clock_step(self, spec) -> None:

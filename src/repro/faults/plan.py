@@ -23,6 +23,11 @@ class BusFaultConfig:
 
     Each probability is consulted on its own rng substream, so enabling
     one fault class never shifts the draw sequence of another.
+
+        >>> BusFaultConfig().active
+        False
+        >>> BusFaultConfig(loss_prob=0.1).active
+        True
     """
 
     #: probability a delivery attempt is silently dropped
@@ -50,6 +55,9 @@ class MessageLoss:
     Matches topics by suffix (e.g. ``"/abort"``) and optionally a single
     subscriber, which makes targeted protocol tests ("the abort message
     itself is lost") reproducible without probability tuning.
+
+        >>> MessageLoss(topic="/abort", count=2).count
+        2
     """
 
     topic: str
@@ -66,6 +74,11 @@ class AgentCrash:
     pipeline first enters that stage).  A crash detaches the agent from
     the bus mid-protocol; a reboot rolls its providers back (the node
     restarts from running state) and re-subscribes it.
+
+        >>> crash = AgentCrash(agent="node3", stage="save",
+        ...                    reboot_after_ns=1_000_000_000)
+        >>> (crash.agent, crash.at_ns, crash.stage)
+        ('node3', None, 'save')
     """
 
     agent: str
@@ -77,7 +90,11 @@ class AgentCrash:
 
 @dataclass(frozen=True)
 class DelayNodeFailure:
-    """Permanently fail a delay-node agent at ``at_ns`` (no reboot)."""
+    """Permanently fail a delay-node agent at ``at_ns`` (no reboot).
+
+        >>> DelayNodeFailure(agent="delay0", at_ns=5_000).at_ns
+        5000
+    """
 
     agent: str
     at_ns: int
@@ -92,6 +109,9 @@ class DiskFault:
     most ``max_failures`` operations fail (each with ``probability``,
     drawn on the injector's ``disk`` substream), after which the fault
     burns out — modelling transient I/O errors that a retry survives.
+
+        >>> DiskFault(store="node0", max_failures=2).operation
+        'take_checkpoint'
     """
 
     store: str = "*"
@@ -103,7 +123,11 @@ class DiskFault:
 
 @dataclass(frozen=True)
 class ClockStep:
-    """Step a node's system clock by ``step_ns`` at ``at_ns`` (NTP upset)."""
+    """Step a node's system clock by ``step_ns`` at ``at_ns`` (NTP upset).
+
+        >>> ClockStep(node="node1", at_ns=0, step_ns=-250_000).step_ns
+        -250000
+    """
 
     node: str
     at_ns: int
@@ -112,7 +136,15 @@ class ClockStep:
 
 @dataclass(frozen=True)
 class FaultPlan:
-    """A seeded, declarative set of faults to inject into one run."""
+    """A seeded, declarative set of faults to inject into one run.
+
+    An empty plan is inert — the injector's disabled fast path:
+
+        >>> FaultPlan().active
+        False
+        >>> FaultPlan(crashes=(AgentCrash(agent="node3", at_ns=0),)).active
+        True
+    """
 
     seed: int = 0
     bus: BusFaultConfig = field(default_factory=BusFaultConfig)

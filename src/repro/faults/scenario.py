@@ -40,8 +40,21 @@ def default_storm_plan(seed: int = 1, crash_agent: str = "node3",
 
 
 def trace_digest(records) -> str:
-    """SHA-256 over the canonical JSON form of a record sequence."""
-    parts = [(r.time, r.category, sorted(r.fields.items()))
+    """SHA-256 over the canonical JSON form of a record sequence.
+
+    Span records contribute their end time as well, so a run-to-run
+    comparison also proves every duration was reproduced exactly.  (This
+    digest is only ever compared between runs of the same code — it is
+    not a stored golden.)
+
+        >>> from repro.sim.trace import TraceRecord
+        >>> a = trace_digest([TraceRecord(1, "fault.bus.drop", {})])
+        >>> b = trace_digest([TraceRecord(2, "fault.bus.drop", {})])
+        >>> (a == trace_digest([TraceRecord(1, "fault.bus.drop", {})]), a == b)
+        (True, False)
+    """
+    parts = [(r.time, r.category, sorted(r.fields.items()),
+              getattr(r, "end_time", None))
              for r in records]
     blob = json.dumps(parts, sort_keys=True, default=str)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -60,6 +73,8 @@ class SurvivalReport:
     duplicates_suppressed: int
     #: per-class counts of faults the injector actually fired
     injected: Dict[str, int] = field(default_factory=dict)
+    #: control-plane metrics registry snapshot (bus + supervisor + faults)
+    metrics: Dict = field(default_factory=dict)
     trace_digest: str = ""
     experiment_digest: str = ""
     trace_records: int = 0
@@ -79,13 +94,16 @@ def run_faultstorm(num_nodes: int = 10, run_seconds: int = 30,
                    policy: Optional[DegradationPolicy] = None,
                    reliability: Optional[ReliabilityConfig] = None,
                    stage_timeout_ns: int = 3 * SECOND,
-                   race: bool = False) -> SurvivalReport:
+                   race: bool = False, sink=None) -> SurvivalReport:
     """Run the storm end to end in a fresh simulator; returns the report.
 
     The stage timeout is deliberately short so an aborted round plus its
     supervised retries fit inside ``run_seconds`` of simulated time.
     With ``race=True`` the runtime event-race detector watches the whole
     run (recovery paths included) and the report carries its findings.
+    ``sink`` replaces the tracer's default in-memory list (e.g. a
+    :class:`~repro.obs.sinks.RingSink` for bounded memory); the trace
+    digest then covers whatever the sink retained.
     """
     from repro.analysis.digest import experiment_digest
     from repro.testbed import (Emulab, ExperimentSpec, NodeSpec,
@@ -96,7 +114,7 @@ def run_faultstorm(num_nodes: int = 10, run_seconds: int = 30,
 
     sim = Simulator()
     detector = sim.enable_race_detection() if race else None
-    tracer = Tracer(clock=lambda: sim.now)
+    tracer = Tracer(clock=lambda: sim.now, sink=sink)
     injector = FaultInjector(
         sim, plan if plan is not None else default_storm_plan(),
         tracer=tracer)
@@ -141,6 +159,7 @@ def run_faultstorm(num_nodes: int = 10, run_seconds: int = 30,
         gave_up=bus.gave_up,
         duplicates_suppressed=bus.duplicates_suppressed,
         injected=dict(injector.injected),
+        metrics=bus.metrics.snapshot(),
         trace_digest=trace_digest(tracer.records),
         experiment_digest=experiment_digest(exp),
         trace_records=len(tracer.records),

@@ -86,6 +86,12 @@ class DelayNode:
         """Bandwidth-delay-product packets currently inside the node."""
         return self._pipe_ab.packets_in_flight + self._pipe_ba.packets_in_flight
 
+    @property
+    def pipes(self):
+        """The two directional shaping pipes (a->b, b->a) — e.g. for
+        binding metrics probes to their counters."""
+        return (self._pipe_ab, self._pipe_ba)
+
     # -- live checkpoint ------------------------------------------------------------
 
     def freeze(self) -> None:

@@ -60,7 +60,8 @@ class Interface:
             raise NetworkError(f"interface {self.name} has no link")
         self.tx_packets += 1
         self.tx_bytes += packet.wire_bytes
-        if self.tracer is not None:     # inline maybe_record: hot path
+        if self.tracer is not None and self.tracer.enabled_for("if.tx"):
+            # inline maybe_record: hot path, verdict checked pre-kwargs
             self.tracer.record("if.tx", iface=self.name, packet=packet)
         self.link.transmit(self, packet)
 
@@ -77,7 +78,8 @@ class Interface:
     def _deliver_up(self, packet: Packet) -> None:
         self.rx_packets += 1
         self.rx_bytes += packet.wire_bytes
-        if self.tracer is not None:     # inline maybe_record: hot path
+        if self.tracer is not None and self.tracer.enabled_for("if.rx"):
+            # inline maybe_record: hot path, verdict checked pre-kwargs
             self.tracer.record("if.rx", iface=self.name, packet=packet)
         if self._handler is not None:
             self._handler(packet)

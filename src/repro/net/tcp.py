@@ -65,7 +65,8 @@ class TCPConnection:
         "_in_fast_recovery", "_segment_times", "_ca_accumulator", "rcv_nxt",
         "_unacked_segments", "_delack_timer", "recv_buffer_capacity",
         "recv_buffered", "_ooo", "bytes_delivered", "srtt", "rttvar", "rto",
-        "_rto_timer", "_rto_backoff", "on_receive", "auto_consume",
+        "_rto_timer", "_rto_backoff", "_recovery_span", "_recovery_goal",
+        "on_receive", "auto_consume",
         "on_established", "on_close", "on_send_space", "fin_sent",
         "fin_received",
     )
@@ -107,6 +108,9 @@ class TCPConnection:
         self.rto = SECOND
         self._rto_timer = None
         self._rto_backoff = 1
+        # --- loss-recovery episode (open async span, or None) ---
+        self._recovery_span = None
+        self._recovery_goal = 0
         # --- app hooks ---
         self.on_receive: Optional[Callable[[int], None]] = None
         self.auto_consume = True
@@ -225,7 +229,9 @@ class TCPConnection:
                      "retransmit": is_retransmit})
         self.stats.segments_sent += 1
         tracer = self.host.tracer
-        if tracer is not None:          # inline maybe_record: hot path
+        if tracer is not None and tracer.enabled_for("tcp.tx"):
+            # inline maybe_record: hot path; the cached category verdict
+            # is checked before the kwargs dict is even built
             tracer.record("tcp.tx", conn=self._key(), seq=seq, length=length,
                           flags=flags, retransmit=is_retransmit)
         self.host.send(packet)
@@ -277,6 +283,7 @@ class TCPConnection:
         # Timeout: go-back-N.  Collapse the window, rewind snd_nxt so the
         # whole unacknowledged region is retransmitted in slow start.
         self.stats.timeouts += 1
+        self._begin_recovery_span("rto")
         self.ssthresh = max(2 * MSS, self.inflight // 2)
         self.cwnd = MSS
         self._rto_backoff *= 2
@@ -285,6 +292,27 @@ class TCPConnection:
         self._segment_times.clear()
         self._pump()
         self._arm_rto()
+
+    def _begin_recovery_span(self, kind: str) -> None:
+        """Open a loss-recovery episode span (async, per-host tcp track).
+
+        An episode runs from the first loss signal (RTO fire or the
+        dup-ack threshold) until the cumulative ack covers everything
+        that was outstanding when it began.  Overlapping episodes on the
+        same host (different connections) render stacked in the
+        timeline.  No-op if an episode is already open for this
+        connection or the ``tcp.recovery`` category is filtered out.
+        """
+        if self._recovery_span is not None:
+            return
+        tracer = self.host.tracer
+        if tracer is None or not tracer.enabled_for("tcp.recovery"):
+            return
+        self._recovery_goal = self.snd_max
+        self._recovery_span = tracer.async_span(
+            "tcp.recovery", track=f"tcp/{self.host.name}", name=kind,
+            conn=self._key(), kind=kind, snd_una=self.snd_una,
+            goal=self.snd_max)
 
     def _retransmit_first(self) -> None:
         length = min(MSS, self.inflight)
@@ -377,6 +405,10 @@ class TCPConnection:
             self.snd_nxt = max(self.snd_nxt, ack)
             self.dupack_count = 0
             self._rto_backoff = 1
+            if self._recovery_span is not None and \
+                    ack >= self._recovery_goal:
+                self._recovery_span.end(outcome="recovered", acked=ack)
+                self._recovery_span = None
             self._sample_rtt(ack)
             self._segment_times = {end: v for end, v in
                                    self._segment_times.items() if end > ack}
@@ -405,6 +437,7 @@ class TCPConnection:
                     not self._in_fast_recovery:
                 # Fast retransmit / fast recovery (Reno, NewReno exit rule).
                 self.stats.fast_retransmits += 1
+                self._begin_recovery_span("fast_retransmit")
                 self.ssthresh = max(2 * MSS, self.inflight // 2)
                 self.cwnd = self.ssthresh + DUPACK_THRESHOLD * MSS
                 self._in_fast_recovery = True
@@ -494,7 +527,8 @@ class TCPConnection:
     def _deliver(self, nbytes: int) -> None:
         self.bytes_delivered += nbytes
         tracer = self.host.tracer
-        if tracer is not None:          # inline maybe_record: hot path
+        if tracer is not None and tracer.enabled_for("tcp.deliver"):
+            # inline maybe_record: hot path, verdict checked pre-kwargs
             tracer.record("tcp.deliver", conn=self._key(), nbytes=nbytes,
                           total=self.bytes_delivered,
                           vtime=self.host.timers.now())

@@ -1,0 +1,135 @@
+"""Render traced records as a Chrome/Perfetto ``trace_event`` timeline.
+
+Loads in ``chrome://tracing`` or https://ui.perfetto.dev: one process,
+one named thread ("track") per node/delay-node/coordinator, so a 10-node
+coordinated checkpoint appears as ten stacked per-node stage timelines
+plus the coordinator's round structure above them.
+
+Mapping (the `trace_event` spec's phase letters):
+
+* sync :class:`~repro.obs.trace.SpanRecord` → ``"X"`` complete event
+  (``ts`` + ``dur``);
+* async span → ``"b"``/``"e"`` pair sharing an ``id`` so overlapping
+  episodes (bus retransmit bursts, fault windows) render side by side;
+* :class:`~repro.obs.trace.TraceRecord` → ``"i"`` thread-scoped instant;
+* one ``"M"`` metadata event names the process and each track.
+
+Timestamps: simulated integer nanoseconds divided by 1000, because the
+``trace_event`` format counts microseconds (fractions are accepted).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from repro.obs.trace import SpanRecord
+
+#: fields consulted, in order, to place an instant record on a track
+_INSTANT_TRACK_FIELDS = ("track", "node", "agent", "name", "session")
+
+
+def instant_track(record) -> str:
+    """The display track for a point record (heuristic over its fields).
+
+        >>> from repro.obs.trace import TraceRecord
+        >>> instant_track(TraceRecord(0, "fault.crash", {"node": "node3"}))
+        'node3'
+        >>> instant_track(TraceRecord(0, "bus.drop", {"topic": "x"}))
+        'bus'
+    """
+    for key in _INSTANT_TRACK_FIELDS:
+        value = record.fields.get(key)
+        if isinstance(value, str) and value:
+            return value
+    return record.category.split(".", 1)[0]
+
+
+def _json_safe(fields: dict) -> dict:
+    out = {}
+    for key in sorted(fields):
+        value = fields[key]
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = str(value)
+    return out
+
+
+def chrome_trace_events(records: Iterable,
+                        process_name: str = "repro") -> List[dict]:
+    """Convert trace/span records into a ``trace_event`` list.
+
+    Tracks are assigned thread ids in first-seen order; a metadata block
+    at the front names the process and every track.
+
+        >>> from repro.obs.trace import Tracer
+        >>> t = 0
+        >>> tr = Tracer(clock=lambda: t)
+        >>> with tr.span("checkpoint.stage", track="node0", name="save"):
+        ...     t = 2000
+        >>> events = chrome_trace_events(tr.records)
+        >>> [e["ph"] for e in events]
+        ['M', 'M', 'X']
+        >>> (events[-1]["name"], events[-1]["ts"], events[-1]["dur"])
+        ('save', 0.0, 2.0)
+    """
+    spans: List[dict] = []
+    tids: Dict[str, int] = {}
+
+    def tid_for(track: str) -> int:
+        tid = tids.get(track)
+        if tid is None:
+            tid = tids[track] = len(tids) + 1
+        return tid
+
+    for record in records:
+        if isinstance(record, SpanRecord):
+            base = {
+                "name": record.name,
+                "cat": record.category,
+                "pid": 1,
+                "tid": tid_for(record.track),
+                "args": _json_safe(record.fields),
+            }
+            if record.kind == "sync":
+                spans.append({**base, "ph": "X",
+                              "ts": record.time / 1000,
+                              "dur": record.duration_ns / 1000})
+            else:
+                ident = f"0x{record.span_id:x}"
+                spans.append({**base, "ph": "b", "id": ident,
+                              "ts": record.time / 1000})
+                spans.append({**base, "ph": "e", "id": ident,
+                              "ts": record.end_time / 1000})
+        else:
+            spans.append({
+                "name": record.category,
+                "cat": record.category,
+                "ph": "i",
+                "s": "t",
+                "ts": record.time / 1000,
+                "pid": 1,
+                "tid": tid_for(instant_track(record)),
+                "args": _json_safe(record.fields),
+            })
+
+    meta: List[dict] = [{
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+        "args": {"name": process_name},
+    }]
+    for track, tid in tids.items():
+        meta.append({"name": "thread_name", "ph": "M", "pid": 1,
+                     "tid": tid, "args": {"name": track}})
+    return meta + spans
+
+
+def write_chrome_trace(records: Iterable, path: str,
+                       process_name: str = "repro") -> int:
+    """Write a ``trace.json`` Perfetto can open; returns the event count."""
+    events = chrome_trace_events(records, process_name=process_name)
+    with open(path, "w") as fh:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"},
+                  fh, indent=1)
+        fh.write("\n")
+    return len(events)

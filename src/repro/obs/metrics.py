@@ -1,0 +1,242 @@
+"""Metrics registry: named, labelled Counters, Gauges, and Histograms.
+
+The registry replaces the ad-hoc ``self.retransmits += 1`` counters that
+used to be scattered through the bus reliability layer, the checkpoint
+supervisor, and the fault injector.  Two usage styles:
+
+* **push** — control-plane code calls ``registry.counter("bus.retransmits",
+  node="node3").inc()``; cheap enough off the hot path.
+* **pull (probes)** — hot paths (Dummynet pipes, branching storage) keep
+  their plain integer counters and register a :meth:`MetricsRegistry.probe`
+  that reads them lazily at snapshot time.  Zero cost per packet.
+
+Everything is deterministic: a snapshot is a plain dict with sorted keys
+and no timestamps, so two identical runs produce byte-identical JSON.
+
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("bus.sent", topic="ckpt").inc(3)
+    >>> reg.gauge("queue.depth", pipe="lan0").set(7)
+    >>> snap = reg.snapshot()
+    >>> snap["counters"]['bus.sent{topic=ckpt}']
+    3
+    >>> snap["gauges"]['queue.depth{pipe=lan0}']
+    7
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+#: default histogram bucket upper bounds (ns-flavoured exponential ladder)
+DEFAULT_BUCKETS: Tuple[int, ...] = (
+    1_000, 10_000, 100_000, 1_000_000, 10_000_000,
+    100_000_000, 1_000_000_000, 10_000_000_000,
+)
+
+
+def _series_key(name: str, labels: Dict[str, Any]) -> str:
+    """Canonical ``name{k=v,...}`` series key with sorted labels.
+
+        >>> _series_key("bus.sent", {"node": "n1", "topic": "a"})
+        'bus.sent{node=n1,topic=a}'
+        >>> _series_key("bus.sent", {})
+        'bus.sent'
+    """
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing integer.
+
+        >>> c = Counter()
+        >>> c.inc(); c.inc(4); c.value
+        5
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move both ways.
+
+        >>> g = Gauge()
+        >>> g.set(10); g.inc(2); g.dec(5); g.value
+        7
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+    def dec(self, amount=1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Bucketed distribution with count/sum/min/max.
+
+    ``buckets`` are inclusive upper bounds; observations above the last
+    bound land in the implicit overflow bucket.
+
+        >>> h = Histogram(buckets=(10, 100))
+        >>> for v in (3, 42, 9000):
+        ...     h.observe(v)
+        >>> (h.count, h.sum, h.min, h.max)
+        (3, 9045, 3, 9000)
+        >>> h.bucket_counts
+        [1, 1, 1]
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, buckets: Sequence[int] = DEFAULT_BUCKETS) -> None:
+        self.buckets: Tuple[int, ...] = tuple(buckets)
+        if list(self.buckets) != sorted(self.buckets):
+            raise ValueError("histogram buckets must be sorted ascending")
+        self.bucket_counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary of the distribution."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": (self.sum / self.count) if self.count else None,
+            "buckets": {
+                **{str(bound): n
+                   for bound, n in zip(self.buckets, self.bucket_counts)},
+                "+inf": self.bucket_counts[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of metric series keyed by name + labels.
+
+    Re-requesting the same name/labels returns the same instance, so
+    components can hold direct references and skip the lookup:
+
+        >>> reg = MetricsRegistry()
+        >>> reg.counter("x") is reg.counter("x")
+        True
+        >>> reg.counter("x", node="a") is reg.counter("x", node="b")
+        False
+
+    Probes are lazy gauges — read at snapshot time only:
+
+        >>> stats = {"drops": 0}
+        >>> reg.probe("pipe.drops", lambda: stats["drops"], pipe="lan0")
+        >>> stats["drops"] = 9
+        >>> reg.snapshot()["gauges"]['pipe.drops{pipe=lan0}']
+        9
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._probes: Dict[str, Callable[[], Any]] = {}
+
+    # -- get-or-create --------------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The :class:`Counter` for ``name`` + ``labels`` (created once)."""
+        key = _series_key(name, labels)
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """The :class:`Gauge` for ``name`` + ``labels`` (created once)."""
+        key = _series_key(name, labels)
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(self, name: str, buckets: Sequence[int] = DEFAULT_BUCKETS,
+                  **labels: Any) -> Histogram:
+        """The :class:`Histogram` for ``name`` + ``labels`` (created once)."""
+        key = _series_key(name, labels)
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram(buckets)
+        return metric
+
+    def probe(self, name: str, read: Callable[[], Any],
+              **labels: Any) -> None:
+        """Register a pull gauge: ``read()`` is called at snapshot time.
+
+        This is the zero-cost adoption path for hot loops — the producer
+        keeps its plain int attribute; the registry only reads it when a
+        snapshot is taken.
+        """
+        self._probes[_series_key(name, labels)] = read
+
+    # -- output ---------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """All series as one JSON-safe dict with sorted keys.
+
+        Probes are evaluated now and reported alongside the push gauges
+        (a probe shadows a push gauge with the same series key).
+        """
+        gauges = {key: g.value for key, g in self._gauges.items()}
+        for key, read in self._probes.items():
+            gauges[key] = read()
+        return {
+            "counters": {k: self._counters[k].value
+                         for k in sorted(self._counters)},
+            "gauges": {k: gauges[k] for k in sorted(gauges)},
+            "histograms": {k: self._histograms[k].to_dict()
+                           for k in sorted(self._histograms)},
+        }
+
+    def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
+        """``{series_key: value}`` for counters whose key starts with prefix."""
+        return {k: c.value for k, c in sorted(self._counters.items())
+                if k.startswith(prefix)}
+
+    def clear(self) -> None:
+        """Forget every series and probe (mainly for tests)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._probes.clear()

@@ -1,0 +1,167 @@
+"""Trace sinks: where a :class:`~repro.obs.trace.Tracer` puts records.
+
+A sink is anything with ``emit(record)``; the tracer never looks at what
+the sink keeps.  Three shapes cover the repo's needs:
+
+* :class:`ListSink` — keep everything (the legacy default; analyses and
+  digests read ``tracer.records`` afterwards);
+* :class:`RingSink` — keep the last *N* records for long runs, counting
+  what was evicted so truncation is never silent;
+* :class:`JsonlSink` — stream every record to a JSON-lines file and keep
+  nothing in memory.
+
+:class:`TeeSink` fans one record out to several sinks (e.g. keep a ring
+in memory *and* stream the full log to disk).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import IO, List, Optional, Union
+
+
+class Sink:
+    """Sink interface: override :meth:`emit`; :meth:`close` is optional."""
+
+    def emit(self, record) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (no-op by default)."""
+
+
+class ListSink(Sink):
+    """Keeps every record in an unbounded list.
+
+        >>> sink = ListSink()
+        >>> sink.emit("a"); sink.emit("b")
+        >>> sink.records
+        ['a', 'b']
+    """
+
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records: List = []
+
+    def emit(self, record) -> None:
+        self.records.append(record)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class RingSink(Sink):
+    """Keeps only the newest ``capacity`` records; counts evictions.
+
+        >>> sink = RingSink(capacity=2)
+        >>> for r in ("a", "b", "c"):
+        ...     sink.emit(r)
+        >>> (list(sink.records), sink.evicted)
+        (['b', 'c'], 1)
+    """
+
+    __slots__ = ("records", "capacity", "evicted")
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.records: deque = deque(maxlen=capacity)
+        #: records dropped from the old end to admit new ones
+        self.evicted = 0
+
+    def emit(self, record) -> None:
+        if len(self.records) == self.capacity:
+            self.evicted += 1
+        self.records.append(record)
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.evicted = 0
+
+
+def record_to_json_dict(record) -> dict:
+    """Canonical JSON shape of a trace/span record (sorted field keys).
+
+        >>> from repro.obs.trace import TraceRecord
+        >>> record_to_json_dict(TraceRecord(3, "bus.drop", {"topic": "t"}))
+        {'t': 3, 'cat': 'bus.drop', 'topic': 't'}
+    """
+    out = {"t": record.time, "cat": record.category}
+    end_time = getattr(record, "end_time", None)
+    if end_time is not None:
+        out["end"] = end_time
+        out["track"] = record.track
+        out["name"] = record.name
+        out["kind"] = record.kind
+    for key in sorted(record.fields):
+        out.setdefault(key, record.fields[key])
+    return out
+
+
+class JsonlSink(Sink):
+    """Streams records to a JSON-lines file; keeps nothing in memory.
+
+    Accepts a path (opened and owned by the sink) or an already-open
+    text file object (flushed but not closed by :meth:`close`).
+    """
+
+    __slots__ = ("_fh", "_owns", "emitted")
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        if isinstance(target, str):
+            self._fh: Optional[IO[str]] = open(target, "w")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self.emitted = 0
+
+    def emit(self, record) -> None:
+        assert self._fh is not None, "sink is closed"
+        self._fh.write(json.dumps(record_to_json_dict(record),
+                                  default=str, separators=(",", ":")))
+        self._fh.write("\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._fh is None:
+            return
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+        self._fh = None
+
+
+class TeeSink(Sink):
+    """Fans each record out to every child sink, in order.
+
+        >>> a, b = ListSink(), RingSink(capacity=8)
+        >>> TeeSink([a, b]).emit("r")
+        >>> (a.records, list(b.records))
+        (['r'], ['r'])
+    """
+
+    __slots__ = ("sinks",)
+
+    def __init__(self, sinks) -> None:
+        self.sinks = list(sinks)
+
+    def emit(self, record) -> None:
+        for sink in self.sinks:
+            sink.emit(record)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+    @property
+    def records(self):
+        """Records of the first child that retains any (for digests)."""
+        for sink in self.sinks:
+            records = getattr(sink, "records", None)
+            if records is not None:
+                return records
+        return []

@@ -248,6 +248,9 @@ class Simulator:
         #: opt-in runtime determinism checker (see repro.lint.runtime);
         #: None means zero-overhead normal operation
         self.race_detector = None
+        #: opt-in event-loop hot-spot profiler (see repro.obs.profile);
+        #: None means zero-overhead normal operation
+        self.profiler = None
 
     # -- event construction ---------------------------------------------------
 
@@ -386,6 +389,11 @@ class Simulator:
                 self.now = when
                 if self.race_detector is not None:
                     self.race_detector.observe(when, prio, seq, fn)
+                if self.profiler is not None:
+                    t0 = self.profiler.begin()
+                    fn()
+                    self.profiler.end(t0, fn)
+                    return
                 fn()
                 return
             if when < self.now:
@@ -394,6 +402,14 @@ class Simulator:
             self.now = when
             if self.race_detector is not None:
                 self.race_detector.observe(when, prio, seq, item)
+            if self.profiler is not None:
+                t0 = self.profiler.begin()
+                if isinstance(item, Event):
+                    item._process()
+                else:
+                    item()
+                self.profiler.end(t0, item)
+                return
             if isinstance(item, Event):
                 item._process()
             else:
@@ -411,6 +427,20 @@ class Simulator:
 
         self.race_detector = EventRaceDetector(sim=self)
         return self.race_detector
+
+    def enable_profiling(self):
+        """Attach an event-loop profiler; returns it for later inspection.
+
+        Opt-in: the profiler brackets every dispatched callback with host
+        wall-clock reads to attribute real time to callables by module
+        and qualified name.  It observes host time only — it never reads
+        or advances simulated time — so traces and digests are unchanged.
+        See :class:`repro.obs.profile.LoopProfiler`.
+        """
+        from repro.obs.profile import LoopProfiler
+
+        self.profiler = LoopProfiler()
+        return self.profiler
 
     def run(self, until: Optional[Any] = None) -> Any:
         """Run the simulation.

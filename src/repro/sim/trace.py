@@ -1,59 +1,17 @@
-"""Lightweight structured tracing for simulation components.
+"""Compatibility shim: the tracer now lives in :mod:`repro.obs.trace`.
 
-Components call ``tracer.record(category, **fields)``; analyses filter the
-records afterwards.  Tracing is optional everywhere — a ``None`` tracer is
-accepted and ignored via :func:`maybe_record`.
+The original flat list tracer grew into the full observability layer
+(:mod:`repro.obs`: spans, sinks, metrics, timeline export).  Existing
+imports of ``repro.sim.trace`` keep working — everything here is a
+re-export — but new code should import from :mod:`repro.obs` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional
+from repro.obs.trace import (NULL_SPAN, Span, SpanRecord, TraceRecord,
+                             Tracer, maybe_record, verify_span_nesting)
 
-
-@dataclass(frozen=True)
-class TraceRecord:
-    """One traced occurrence."""
-
-    time: int
-    category: str
-    fields: dict
-
-    def __getattr__(self, name: str) -> Any:
-        try:
-            return self.fields[name]
-        except KeyError:
-            raise AttributeError(name) from None
-
-
-@dataclass
-class Tracer:
-    """Accumulates :class:`TraceRecord` objects, optionally filtered."""
-
-    clock: Callable[[], int]
-    categories: Optional[set[str]] = None
-    records: list = field(default_factory=list)
-
-    def record(self, category: str, **fields: Any) -> None:
-        """Append a record for ``category`` if it passes the filter."""
-        if self.categories is not None and category not in self.categories:
-            return
-        self.records.append(TraceRecord(self.clock(), category, fields))
-
-    def select(self, category: str) -> Iterator[TraceRecord]:
-        """Iterate records of one category in time order."""
-        return (r for r in self.records if r.category == category)
-
-    def count(self, category: str) -> int:
-        """Number of records in ``category``."""
-        return sum(1 for r in self.records if r.category == category)
-
-    def clear(self) -> None:
-        """Drop all records."""
-        self.records.clear()
-
-
-def maybe_record(tracer: Optional[Tracer], category: str, **fields: Any) -> None:
-    """Record on ``tracer`` if it is not None."""
-    if tracer is not None:
-        tracer.record(category, **fields)
+__all__ = [
+    "NULL_SPAN", "Span", "SpanRecord", "TraceRecord", "Tracer",
+    "maybe_record", "verify_span_nesting",
+]

@@ -38,14 +38,15 @@ class ControlNetwork:
                  path: Optional[PathDelayModel] = None,
                  bulk_rate_bytes_per_s: int = CONTROL_NET_BULK_RATE,
                  reliability: Optional[ReliabilityConfig] = None,
-                 faults=None, tracer: Optional[Tracer] = None) -> None:
+                 faults=None, tracer: Optional[Tracer] = None,
+                 metrics=None) -> None:
         self.sim = sim
         self.rng = rng or derived_rng("controlnet")
         self.path = path if path is not None else PathDelayModel()
         self.ntp_server = NTPServer(server_clock)
         self.bus = NotificationBus(sim, self.rng, self.path,
                                    reliability=reliability, faults=faults,
-                                   tracer=tracer)
+                                   tracer=tracer, metrics=metrics)
         self.fileserver_channel = ByteChannel(
             sim, bulk_rate_bytes_per_s, name="fs-uplink")
 

@@ -24,6 +24,7 @@ from repro.hw.machine import Machine, MachineSpec
 from repro.net.delaynode import DelayNode, LinkShape, install_shaped_link
 from repro.net.interface import Interface
 from repro.net.link import Link
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.core import Simulator
 from repro.sim.random import RandomStreams
 from repro.sim.trace import Tracer
@@ -99,14 +100,21 @@ class Emulab:
                  config: Optional[TestbedConfig] = None,
                  tracer: Optional[Tracer] = None,
                  streams: Optional[RandomStreams] = None,
-                 faults=None) -> None:
+                 faults=None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.sim = sim
         self.config = config = (config if config is not None
                                 else TestbedConfig())
         self.tracer = tracer
+        #: one registry for the whole testbed: bus counters, fault
+        #: counters, supervisor retries, plus pull probes bound to hot
+        #: subsystems (Dummynet pipes, branch stores) at swap-in
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: optional :class:`~repro.faults.injector.FaultInjector`; bound
         #: to every experiment at swap-in (agents, clocks, branches)
         self.faults = faults
+        if faults is not None and getattr(faults, "metrics", None) is None:
+            faults.metrics = self.metrics
         # An injected streams factory (e.g. repro.lint.runtime's recording /
         # perturbed variants for shadow runs) must be draw-equivalent to
         # RandomStreams(config.seed).
@@ -123,7 +131,8 @@ class Emulab:
         self.control = ControlNetwork(sim, self.ops.clock,
                                       rng=self.streams.stream("controlnet"),
                                       reliability=config.bus_reliability,
-                                      faults=faults, tracer=tracer)
+                                      faults=faults, tracer=tracer,
+                                      metrics=self.metrics)
         self.image_store = ImageStore()
         for name, size in self.DEFAULT_IMAGES.items():
             self.image_store.register(name, size)
@@ -208,6 +217,7 @@ class Experiment:
                 clock, testbed.streams.stream(stream_name))
         self._pending_ntp = []
         self._build_coordinator()
+        self._bind_metrics_probes()
         self._start_event_system()
         if testbed.faults is not None:
             testbed.faults.bind_experiment(self)
@@ -215,6 +225,37 @@ class Experiment:
         self.state = "SWAPPED_IN"
         self.swap_ins += 1
         return self
+
+    def _bind_metrics_probes(self) -> None:
+        """Register pull probes over the experiment's hot subsystems.
+
+        Dummynet pipes and branch stores keep their plain integer
+        counters (zero cost per packet / per block); the testbed registry
+        reads them lazily at snapshot time.
+        """
+        registry = self.testbed.metrics
+        for name, node in self.nodes.items():
+            stats = node.branch.stats
+            registry.probe("branch.log_appends",
+                           lambda s=stats: s.log_appends, node=name)
+            registry.probe("branch.metadata_writes",
+                           lambda s=stats: s.metadata_writes, node=name)
+            registry.probe("branch.read_before_write",
+                           lambda s=stats: s.read_before_write_blocks,
+                           node=name)
+        for delay_node in self.delay_nodes.values():
+            for pipe in delay_node.pipes:
+                registry.probe("pipe.submitted",
+                               lambda p=pipe: p.submitted, pipe=pipe.name)
+                registry.probe("pipe.delivered",
+                               lambda p=pipe: p.delivered, pipe=pipe.name)
+                registry.probe(
+                    "pipe.dropped",
+                    lambda p=pipe: p.dropped_loss + p.dropped_queue,
+                    pipe=pipe.name)
+                registry.probe("pipe.in_flight",
+                               lambda p=pipe: p.packets_in_flight,
+                               pipe=pipe.name)
 
     def _start_event_system(self) -> None:
         """Arm the experiment's dynamic part (§2).
@@ -255,7 +296,8 @@ class Experiment:
         plugin = Ext3FreeBlockPlugin(filesystem)
         domain.attach_vbd(branch, name=f"{spec.name}.vbd0")
         checkpointer = LocalCheckpointer(domain,
-                                         testbed.config.checkpoint_config)
+                                         testbed.config.checkpoint_config,
+                                         tracer=testbed.tracer)
         # Storage and the disciplined clock checkpoint with the domain:
         # the branch takes a branch point during the ``branch`` stage and
         # the clock state is captured during ``save`` (both metadata-only).

@@ -80,10 +80,13 @@ class LocalCheckpointer:
     """Checkpoints one domain transparently."""
 
     def __init__(self, domain: Domain,
-                 config: Optional[CheckpointConfig] = None) -> None:
+                 config: Optional[CheckpointConfig] = None,
+                 tracer=None) -> None:
         self.domain = domain
         self.sim: Simulator = domain.sim
         self.config = config if config is not None else CheckpointConfig()
+        #: forwarded to the lazily built local pipeline (stage spans)
+        self.tracer = tracer
         self.results: list[CheckpointResult] = []
         self._busy = False
         self._pipeline = None
@@ -102,7 +105,7 @@ class LocalCheckpointer:
                                                    DomainProvider)
             self._provider = DomainProvider(self)
             self._pipeline = CheckpointPipeline(
-                self.sim, [self._provider],
+                self.sim, [self._provider], tracer=self.tracer,
                 session=f"local.{self.domain.name}")
         return self._pipeline
 

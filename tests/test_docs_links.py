@@ -1,0 +1,64 @@
+"""Docs gate: every relative link in README.md and docs/ resolves.
+
+Runs the same checker CI invokes (``tools/check_links.py``) plus a few
+structural assertions on the docs index so the module→doc map cannot
+silently rot.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_links", REPO_ROOT / "tools" / "check_links.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_all_relative_doc_links_resolve(capsys):
+    checker = _load_checker()
+    assert checker.main(["check_links", str(REPO_ROOT)]) == 0, \
+        capsys.readouterr().err
+
+
+def test_checker_catches_a_broken_link(tmp_path):
+    checker = _load_checker()
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text(
+        "[gone](docs/missing.md) and [ok](docs/here.md)\n")
+    (tmp_path / "docs" / "here.md").write_text("# Here\n")
+    problems = checker.check_file(tmp_path / "README.md", tmp_path)
+    assert len(problems) == 1 and "missing.md" in problems[0]
+
+
+def test_checker_catches_a_missing_anchor(tmp_path):
+    checker = _load_checker()
+    (tmp_path / "a.md").write_text("[x](b.md#no-such-heading)\n")
+    (tmp_path / "b.md").write_text("# Real Heading\n")
+    problems = checker.check_file(tmp_path / "a.md", tmp_path)
+    assert problems and "no-such-heading" in problems[0]
+    # The real anchor passes.
+    (tmp_path / "a.md").write_text("[x](b.md#real-heading)\n")
+    assert checker.check_file(tmp_path / "a.md", tmp_path) == []
+
+
+def test_docs_index_maps_every_documented_package():
+    index = (REPO_ROOT / "docs" / "README.md").read_text()
+    for doc in ("simulator.md", "transparency.md", "checkpoint-pipeline.md",
+                "robustness.md", "observability.md", "performance.md",
+                "determinism.md"):
+        assert doc in index, f"docs/README.md does not link {doc}"
+    # The architecture diagram names the layer stack.
+    for layer in ("sim/", "checkpoint/", "faults/", "net/", "obs"):
+        assert layer in index
+
+
+def test_readme_links_the_docs_index():
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "docs/README.md" in readme
+    assert "docs/observability.md" in readme

@@ -1,0 +1,72 @@
+"""Satellite acceptance: full tracing under the fault storm.
+
+The ckpt10 fault storm runs with tracing fully enabled into a bounded
+ring sink.  The timeline must stay well-formed (spans nest per track,
+fault windows and retransmit bursts open *and* close), and attaching the
+sink must not move the run's deterministic digests by a single bit.
+"""
+
+from repro.faults.scenario import run_faultstorm, trace_digest
+from repro.obs import RingSink, SpanRecord, verify_span_nesting
+
+
+def test_faultstorm_traced_timeline_is_well_formed_and_deterministic():
+    sink = RingSink(capacity=100_000)
+    first = run_faultstorm(run_seconds=20, sink=sink)
+    assert first.completed
+
+    records = list(sink.records)
+    assert sink.evicted == 0 and records
+    # Span nesting must be well-formed on every track.
+    assert verify_span_nesting(records) == []
+
+    spans = [r for r in records if isinstance(r, SpanRecord)]
+    by_cat = {}
+    for s in spans:
+        by_cat.setdefault(s.category, []).append(s)
+    # The aborted round, the abort walk, and the retried rounds all
+    # appear as durations on the coordinator track.
+    assert "checkpoint.session" in by_cat and "checkpoint.round" in by_cat
+    round_names = {s.name for s in by_cat["checkpoint.round"]}
+    assert "abort" in round_names
+    # node3's crash->reboot outage is one closed async window.
+    windows = by_cat["fault.window"]
+    assert [w.agent for w in windows] == ["node3"]
+    assert windows[0].kind == "async"
+    assert windows[0].fields["outcome"] == "rebooted"
+    assert windows[0].duration_ns > 0
+    # The lossy bus produced closed retransmit bursts with attempt counts.
+    bursts = by_cat["bus.retransmit.burst"]
+    assert bursts and all(b.fields["attempts"] >= 1 for b in bursts)
+    assert all(b.fields["outcome"] in ("acked", "dead") for b in bursts)
+
+    # Identical storm, identical sink: bit-identical trace + state.
+    second_sink = RingSink(capacity=100_000)
+    second = run_faultstorm(run_seconds=20, sink=second_sink)
+    assert first.digest == second.digest
+    assert trace_digest(sink.records) == trace_digest(second_sink.records)
+
+
+def test_ring_sink_does_not_perturb_the_run_itself():
+    # Same storm, different sinks: everything except the trace retention
+    # (experiment digest, attempts, injected faults) must be identical —
+    # the sink choice can never feed back into the simulation.
+    bounded = run_faultstorm(run_seconds=20, sink=RingSink(capacity=64))
+    unbounded = run_faultstorm(run_seconds=20)
+    assert bounded.experiment_digest == unbounded.experiment_digest
+    assert bounded.attempts == unbounded.attempts
+    assert bounded.injected == unbounded.injected
+    assert bounded.metrics == unbounded.metrics
+
+
+def test_span_stage_records_preserve_analysis_summary():
+    from repro.analysis.metrics import stage_timing_summary
+    from repro.obs import ListSink
+
+    sink = ListSink()
+    report = run_faultstorm(run_seconds=20, sink=sink)
+    assert report.completed
+    stage_records = [r for r in sink.records
+                     if r.category == "checkpoint.stage"]
+    summary = stage_timing_summary(stage_records)
+    assert summary["save"]["count"] > 0  # stages aggregated from spans

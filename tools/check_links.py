@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Relative-link checker for the repo's markdown documentation.
+
+Scans ``README.md`` and ``docs/*.md`` for inline markdown links
+(``[text](target)``), ignores absolute URLs and mailto links, and
+verifies that every *relative* target resolves to a real file — and,
+when the target carries a ``#fragment``, that the destination document
+actually contains a heading that slugifies to that fragment.
+
+Run from anywhere:
+
+    python tools/check_links.py [repo_root]
+
+Exit status is 0 when every link resolves, 1 otherwise (one diagnostic
+line per broken link).  CI runs this next to the doctest step so docs
+rot is caught at review time, not by the next reader.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links only; reference-style links are not used in this repo.
+# Skips images' leading "!" implicitly (the [..](..) shape is the same
+# and the target must exist either way).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    """Slugify a heading the way GitHub anchors do (close enough).
+
+    Lowercase, strip markdown emphasis/backticks, drop punctuation,
+    spaces become hyphens.
+    """
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def doc_files(root: Path) -> list[Path]:
+    """The markdown set under the docs gate: top README + docs/*.md."""
+    files = [root / "README.md"]
+    files += sorted((root / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def check_file(md: Path, root: Path) -> list[str]:
+    """Return one diagnostic string per broken relative link in *md*."""
+    problems = []
+    text = md.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+            continue
+        path_part, _, fragment = target.partition("#")
+        dest = (md.parent / path_part).resolve()
+        try:
+            dest.relative_to(root.resolve())
+        except ValueError:
+            problems.append(f"{md}: link escapes the repo: {target}")
+            continue
+        if not dest.exists():
+            problems.append(f"{md}: broken link: {target}")
+            continue
+        if fragment and dest.suffix == ".md":
+            headings = HEADING_RE.findall(dest.read_text(encoding="utf-8"))
+            if fragment not in {github_slug(h) for h in headings}:
+                problems.append(
+                    f"{md}: missing anchor #{fragment} in {path_part}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).parent.parent
+    files = doc_files(root)
+    problems = [p for md in files for p in check_file(md, root)]
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = len(files)
+    if problems:
+        print(f"check_links: {len(problems)} broken link(s) "
+              f"across {checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"check_links: OK ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
