@@ -8,8 +8,9 @@ Subcommands:
                   transparency); exits non-zero on failure
 * ``results``   — print the benchmark result tables recorded under
                   ``benchmarks/results/``
-* ``lint``      — the determinism sanitizer (rules DET001–DET008 over
-                  the given paths; see docs/determinism.md)
+* ``lint``      — the determinism sanitizer (per-file rules DET001–DET008
+                  plus whole-program rules DET009/DET010 and CKPT001–003;
+                  see docs/determinism.md and docs/static-analysis.md)
 * ``bench``     — event-core performance benchmarks (fast path vs the
                   legacy Event path; writes ``BENCH_sim_core.json``; see
                   docs/performance.md)
@@ -115,14 +116,17 @@ def cmd_results(_args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from repro.lint.cli import list_rules, run_lint
+    from repro.lint.cli import dump_graph, list_rules, run_lint
 
     if args.list_rules:
-        print("determinism rules:")
+        print("determinism and checkpoint-coverage rules:")
         list_rules(sys.stdout)
         return 0
+    if args.graph:
+        return dump_graph(args.paths or ["src"])
     return run_lint(args.paths or ["src"], json_output=args.json,
-                    select=args.select)
+                    select=args.select, baseline=args.baseline,
+                    write_baseline_to=args.write_baseline)
 
 
 def cmd_bench(args) -> int:
@@ -244,6 +248,14 @@ def main(argv=None) -> int:
                            "(default: all)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
+    lint.add_argument("--graph", action="store_true",
+                      help="dump the project call graph and taint facts "
+                           "as JSON instead of linting")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="ratchet file: fail only on findings absent "
+                           "from FILE")
+    lint.add_argument("--write-baseline", metavar="FILE",
+                      help="record the current findings to FILE and exit 0")
     bench = sub.add_parser("bench", help="event-core performance benchmarks")
     bench.add_argument("--quick", action="store_true",
                        help="smaller workloads (CI smoke run)")

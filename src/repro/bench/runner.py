@@ -112,16 +112,28 @@ def _bench_figure(scenario: Callable, quick: bool, **kwargs) -> Dict:
     }
 
 
-def _bench_pipeline_figure(scenario: Callable, golden: Optional[str]) -> Dict:
+def _bench_pipeline_figure(scenario: Callable, golden: Optional[str],
+                           reps: int = 1) -> Dict:
     """A checkpoint-pipeline equivalence scenario, timed in both modes.
 
     Unlike :func:`_bench_figure`, the scenario arguments are never scaled
     down in quick mode: the digests must stay comparable to the stored
     goldens captured before the pipeline port, and those goldens are
     parameter-dependent.
+
+    ``reps`` takes a best-of-N wall clock (interleaved fast/legacy, like
+    :func:`_bench_figure`): the sub-10ms scenarios sit inside the ≤2%
+    regression watch, where a single sample is dominated by scheduler
+    jitter rather than by the code under test.  The runs are
+    deterministic, so every repetition returns the same digest.
     """
-    fast_s, digest_fast = _time_run(lambda: scenario(make_sim(**FAST)))
-    legacy_s, digest_legacy = _time_run(lambda: scenario(make_sim(**LEGACY)))
+    fast_s = legacy_s = float("inf")
+    digest_fast = digest_legacy = None
+    for _ in range(max(1, reps)):
+        s, digest_fast = _time_run(lambda: scenario(make_sim(**FAST)))
+        fast_s = min(fast_s, s)
+        s, digest_legacy = _time_run(lambda: scenario(make_sim(**LEGACY)))
+        legacy_s = min(legacy_s, s)
     return {
         "fast_seconds": round(fast_s, 4),
         "legacy_seconds": round(legacy_s, 4),
@@ -279,10 +291,13 @@ def run_bench(quick: bool = False, output: Optional[str] = None,
                                                  run_seconds=25),
         # Checkpoint-pipeline equivalence gate: fixed args, digests must
         # also match the pre-port goldens in PIPELINE_digests.json.
+        # fig4/fig5 finish in single-digit milliseconds: without repeats
+        # the ≤2% watch fails on host jitter alone (the +28%/+17% noise
+        # documented in ROADMAP item 5), so they get best-of-N.
         "fig4_sleep": lambda: _bench_pipeline_figure(
-            run_fig4, goldens.get("fig4_sleep")),
+            run_fig4, goldens.get("fig4_sleep"), reps=7),
         "fig5_cpuburn": lambda: _bench_pipeline_figure(
-            run_fig5, goldens.get("fig5_cpuburn")),
+            run_fig5, goldens.get("fig5_cpuburn"), reps=15),
         "fig8_cow_storage": lambda: _bench_pipeline_figure(
             run_fig8, goldens.get("fig8_cow_storage")),
         "ckpt10_coordinated": lambda: _bench_pipeline_figure(

@@ -1,27 +1,50 @@
-"""repro.lint — the determinism sanitizer.
+"""repro.lint — the determinism and checkpoint-coverage sanitizer.
 
 The simulation kernel promises bit-for-bit reproducible runs
-(:mod:`repro.sim.core`); this package enforces that promise two ways:
+(:mod:`repro.sim.core`) and the checkpoint pipeline promises that a
+snapshot captures *all* provider state (:mod:`repro.checkpoint.pipeline`);
+this package enforces both promises two ways:
 
-* **statically**, with an AST lint engine (:mod:`repro.lint.engine`) and a
-  catalogue of repo-specific determinism rules (:mod:`repro.lint.rules`,
-  codes ``DET001``–``DET007``), runnable as ``repro lint`` or via
-  :func:`check_source` / :func:`check_paths`;
+* **statically**, with an AST lint engine (:mod:`repro.lint.engine`), a
+  catalogue of per-file determinism rules (:mod:`repro.lint.rules`, codes
+  ``DET001``–``DET008``), and a whole-program pass
+  (:mod:`repro.lint.graph`) that builds a project-wide call graph to run
+  interprocedural taint rules (``DET009``/``DET010``) and the
+  checkpoint-coverage family (``CKPT001``–``CKPT003``) — runnable as
+  ``repro lint`` or via :func:`check_source` / :func:`check_sources` /
+  :func:`check_paths`;
 * **dynamically**, with an opt-in event-race detector and a shadow-run
-  divergence checker (:mod:`repro.lint.runtime`).
+  divergence checker (:mod:`repro.lint.runtime`), plus a checkpoint
+  state-diff sanitizer (:mod:`repro.lint.statecheck`) that attributes
+  cross-checkpoint divergence to named provider fields.
 
-See ``docs/determinism.md`` for the rule catalogue and rationale.
+Pre-existing findings can be ratcheted with a baseline file
+(:mod:`repro.lint.baseline`) instead of blocking the gate.  See
+``docs/static-analysis.md`` for the full rule catalogue and
+``docs/determinism.md`` for the determinism rationale.
 """
 
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
 from repro.lint.engine import (Violation, check_paths, check_source,
-                               iter_python_files)
+                               check_sources, iter_python_files)
+from repro.lint.graph import (PROJECT_RULES, ProjectIndex, all_project_codes,
+                              build_index, check_project)
 from repro.lint.rules import RULES, Rule, all_codes
 from repro.lint.runtime import (EventRace, EventRaceDetector,
                                 ShadowRunReport, shadow_run, trace_digest)
+from repro.lint.statecheck import (FieldDivergence, StateCheck,
+                                   StateCheckReport, field_digests,
+                                   fingerprint)
 
 __all__ = [
-    "Violation", "check_paths", "check_source", "iter_python_files",
+    "Violation", "check_paths", "check_source", "check_sources",
+    "iter_python_files",
     "RULES", "Rule", "all_codes",
+    "PROJECT_RULES", "ProjectIndex", "all_project_codes", "build_index",
+    "check_project",
+    "apply_baseline", "load_baseline", "write_baseline",
     "EventRace", "EventRaceDetector", "ShadowRunReport", "shadow_run",
     "trace_digest",
+    "FieldDivergence", "StateCheck", "StateCheckReport", "field_digests",
+    "fingerprint",
 ]

@@ -1,0 +1,86 @@
+"""Baseline ratchet for the lint gate: tolerate old findings, block new.
+
+Adopting a new rule on an existing tree usually surfaces findings that
+are deliberate (host-side boundaries, baseline models).  The preferred
+treatment is a ``# repro: noqa=CODE`` with a comment at the site; when a
+finding spans generated or third-party-ish code where editing is
+unattractive, a baseline file records it instead::
+
+    repro lint --write-baseline lint-baseline.json src/
+    repro lint --baseline lint-baseline.json src/        # exit 1 only on NEW
+
+Entries are keyed by ``path:code:message`` — deliberately *not* by line
+number, so unrelated edits that shift a finding up or down do not
+invalidate the baseline, while any new instance of the same rule in the
+same file (which produces a different message or exceeds the recorded
+count) still fails.  The ratchet only ever tightens: findings absent
+from a run are dropped on the next ``--write-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.lint.engine import Violation
+
+_FORMAT = "repro-lint-baseline/1"
+
+
+def baseline_key(violation: Violation) -> str:
+    return f"{violation.path}:{violation.code}:{violation.message}"
+
+
+def write_baseline(path: str, violations: Sequence[Violation]) -> int:
+    """Record ``violations`` as the new baseline; returns the entry count."""
+    counts = Counter(baseline_key(v) for v in violations)
+    payload = {
+        "format": _FORMAT,
+        "entries": {key: counts[key] for key in sorted(counts)},
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n", encoding="utf-8")
+    return sum(counts.values())
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """Load a baseline file; raises ``ValueError`` on a malformed one."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+        raise ValueError(f"{path} is not a {_FORMAT} file")
+    entries = payload.get("entries")
+    if not isinstance(entries, dict):
+        raise ValueError(f"{path}: missing 'entries' table")
+    out: Dict[str, int] = {}
+    for key, count in entries.items():
+        if not isinstance(key, str) or not isinstance(count, int) \
+                or count < 1:
+            raise ValueError(f"{path}: bad entry {key!r}: {count!r}")
+        out[key] = count
+    return out
+
+
+def apply_baseline(violations: Iterable[Violation],
+                   baseline: Dict[str, int]
+                   ) -> Tuple[List[Violation], int]:
+    """Split findings into (new, suppressed-count) against a baseline.
+
+    Counter semantics: a baseline entry with count N absorbs at most N
+    findings with that key; the N+1th is new and fails the gate.
+    """
+    budget = Counter(baseline)
+    fresh: List[Violation] = []
+    suppressed = 0
+    for v in violations:
+        key = baseline_key(v)
+        if budget[key] > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            fresh.append(v)
+    return fresh, suppressed

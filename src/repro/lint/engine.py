@@ -4,7 +4,14 @@ The engine is rule-agnostic: it parses each file once, builds a
 :class:`LintContext` (source, import map, suppression table), and hands the
 tree to every enabled rule from :data:`repro.lint.rules.RULES`.  Violations
 on a line carrying ``# repro: noqa`` (all codes) or
-``# repro: noqa=DET001,DET004`` (listed codes) are dropped.
+``# repro: noqa=DET001,DET004`` (listed codes) are dropped; for multiline
+statements and decorated definitions the pragma applies to the whole
+statement span, so it may sit on any physical line of the statement.
+
+:func:`check_paths` / :func:`check_sources` additionally run the
+whole-program rules from :mod:`repro.lint.graph` (codes ``DET009``/
+``DET010`` and the ``CKPT`` family), which need every file's AST at once;
+:func:`check_source` stays per-file by construction.
 """
 
 from __future__ import annotations
@@ -14,7 +21,8 @@ import json
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import (Dict, Iterable, Iterator, List, Optional, Sequence, Set,
+                    Tuple)
 
 #: directories never descended into when walking a tree
 SKIP_DIRS = {"__pycache__", ".git", ".hg", "build", "dist", "node_modules"}
@@ -112,15 +120,94 @@ def _noqa_table(source: str) -> Dict[int, Optional[Set[str]]]:
     return table
 
 
+def _merge_suppression(table: Dict[int, Optional[Set[str]]],
+                       lines: Iterable[int], span: range) -> None:
+    """Spread the noqa entries found on ``lines`` over every line in ``span``."""
+    blanket = any(table.get(i, ()) is None for i in lines)
+    codes: Set[str] = set()
+    if not blanket:
+        for i in lines:
+            codes |= table.get(i) or set()
+    for i in span:
+        if blanket or table.get(i, set()) is None:
+            table[i] = None
+        else:
+            table[i] = (table.get(i) or set()) | codes
+
+
+def suppression_table(source: str,
+                      tree: Optional[ast.AST] = None
+                      ) -> Dict[int, Optional[Set[str]]]:
+    """Line -> suppressed codes, with statement-span expansion.
+
+    A ``# repro: noqa`` pragma anywhere inside a *simple* multiline
+    statement (an assignment or call continued across lines) covers the
+    whole statement, and a pragma on a decorator or signature line of a
+    ``def``/``class`` covers the header span down to the first body
+    statement.  Compound-statement bodies are never expanded into — a
+    pragma inside a function suppresses only its own statement.
+    """
+    table = _noqa_table(source)
+    if tree is None or not table:
+        return table
+    pragma_lines = set(table)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            start = min([d.lineno for d in node.decorator_list]
+                        + [node.lineno])
+            end = (node.body[0].lineno - 1) if node.body else node.lineno
+        elif isinstance(node, ast.stmt) and not hasattr(node, "body"):
+            start = node.lineno
+            end = node.end_lineno or node.lineno
+        else:
+            continue
+        if end <= start:
+            continue
+        span = range(start, end + 1)
+        hits = pragma_lines.intersection(span)
+        if hits:
+            _merge_suppression(table, hits, span)
+    return table
+
+
+def apply_suppressions(violations: Iterable[Violation],
+                       table: Dict[int, Optional[Set[str]]]
+                       ) -> List[Violation]:
+    """Drop violations whose line carries a matching noqa entry."""
+    kept = []
+    for v in violations:
+        codes = table.get(v.line, ())
+        if codes is None or v.code in codes:       # None == blanket noqa
+            continue
+        kept.append(v)
+    return kept
+
+
+def _run_file_rules(ctx: LintContext,
+                    wanted: Optional[Set[str]]) -> List[Violation]:
+    """Per-file rules over one parsed tree, noqa already applied."""
+    from repro.lint.rules import RULES
+
+    for code, rule_cls in RULES.items():
+        if wanted is not None and code not in wanted:
+            continue
+        if rule_cls.library_only and not ctx.in_library:
+            continue
+        rule_cls(ctx).run()
+    return apply_suppressions(ctx.violations,
+                              suppression_table(ctx.source, ctx.tree))
+
+
 def check_source(source: str, path: str = "<string>",
                  select: Optional[Iterable[str]] = None) -> List[Violation]:
     """Lint one source string as if it lived at ``path``.
 
     ``select`` restricts the run to the given rule codes; the default runs
-    every registered rule.
+    every registered per-file rule.  Whole-program rules (``DET009``+,
+    ``CKPT``) need the full project and only run under
+    :func:`check_sources` / :func:`check_paths`.
     """
-    from repro.lint.rules import RULES
-
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -129,21 +216,42 @@ def check_source(source: str, path: str = "<string>",
                           f"syntax error: {exc.msg}")]
     ctx = LintContext(path, source, tree)
     wanted = set(select) if select is not None else None
-    for code, rule_cls in RULES.items():
-        if wanted is not None and code not in wanted:
-            continue
-        if rule_cls.library_only and not ctx.in_library:
-            continue
-        rule_cls(ctx).run()
-    suppressed = _noqa_table(source)
-    kept = []
-    for v in ctx.violations:
-        codes = suppressed.get(v.line, ())
-        if codes is None or v.code in codes:       # None == blanket noqa
-            continue
-        kept.append(v)
+    kept = _run_file_rules(ctx, wanted)
     kept.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     return kept
+
+
+def check_sources(pairs: Sequence[Tuple[str, str]],
+                  select: Optional[Iterable[str]] = None,
+                  project: bool = True) -> List[Violation]:
+    """Lint ``(path, source)`` pairs: per-file rules plus the project pass.
+
+    This is the full analysis :func:`check_paths` and the CLI run — every
+    per-file rule over each tree, then the whole-program graph rules from
+    :mod:`repro.lint.graph` over all trees at once.  Trees are parsed
+    exactly once and shared between the two passes.
+    """
+    wanted = set(select) if select is not None else None
+    violations: List[Violation] = []
+    parsed: List[Tuple[str, str, ast.AST]] = []
+    for path, source in pairs:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            violations.append(Violation(
+                path.replace("\\", "/"), exc.lineno or 0, (exc.offset or 0),
+                PARSE_ERROR_CODE, f"syntax error: {exc.msg}"))
+            continue
+        ctx = LintContext(path, source, tree)
+        violations.extend(_run_file_rules(ctx, wanted))
+        parsed.append((ctx.path, source, tree))
+    if project and parsed:
+        from repro.lint.graph import PROJECT_RULES, check_project
+
+        if wanted is None or wanted & set(PROJECT_RULES):
+            violations.extend(check_project(parsed, select=wanted))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return violations
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
@@ -163,17 +271,22 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
 
 
 def check_paths(paths: Sequence[str],
-                select: Optional[Iterable[str]] = None) -> List[Violation]:
-    """Lint every python file under ``paths``; returns sorted violations."""
+                select: Optional[Iterable[str]] = None,
+                project: bool = True) -> List[Violation]:
+    """Lint every python file under ``paths``; returns sorted violations.
+
+    Runs the per-file rules *and* the whole-program graph rules (pass
+    ``project=False`` for the old per-file-only behaviour).
+    """
     violations: List[Violation] = []
+    pairs: List[Tuple[str, str]] = []
     for f in iter_python_files(paths):
         try:
-            source = f.read_text(encoding="utf-8")
+            pairs.append((str(f), f.read_text(encoding="utf-8")))
         except OSError as exc:
             violations.append(Violation(str(f), 0, 0, PARSE_ERROR_CODE,
                                         f"unreadable: {exc}"))
-            continue
-        violations.extend(check_source(source, path=str(f), select=select))
+    violations.extend(check_sources(pairs, select=select, project=project))
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     return violations
 

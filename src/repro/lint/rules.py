@@ -15,8 +15,14 @@ DET007    process discipline: no blocking sleep, no discarded wait events
 DET008    no mutable or model-instance default arguments
 ========  ==============================================================
 
-Rationale and worked examples live in ``docs/determinism.md``.  Suppress a
-single knowingly-safe line with ``# repro: noqa=DET004``.
+The whole-program rules — DET009/DET010 (interprocedural taint) and the
+checkpoint-coverage family CKPT001–CKPT003 — need every file's AST at
+once and live in :mod:`repro.lint.graph`.
+
+Rationale and worked examples live in ``docs/determinism.md``; the full
+catalogue including the project-wide rules is in
+``docs/static-analysis.md``.  Suppress a single knowingly-safe line with
+``# repro: noqa=DET004``.
 """
 
 from __future__ import annotations

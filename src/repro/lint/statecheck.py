@@ -1,0 +1,264 @@
+"""Runtime checkpoint-coverage sanitizer: field-level provider state diffs.
+
+The static ``CKPT`` rules (:mod:`repro.lint.graph`) reason about what a
+provider's stage hooks *could* cover; this module measures what a live
+checkpoint actually preserved.  A :class:`StateCheck` attached to a
+:class:`~repro.checkpoint.pipeline.CheckpointPipeline` fingerprints
+every registered provider's ``__dict__`` field-by-field the moment its
+``suspend`` stage starts, and :meth:`StateCheck.verify` — called after
+the pipeline has resumed (or after a rollback via ``abort()``) —
+fingerprints again and attributes every divergence to a named field::
+
+    pipeline = CheckpointPipeline(sim, providers)
+    check = StateCheck(pipeline, ignore={"timings", "last_result"})
+    ... drive the checkpoint ...
+    report = check.verify()
+    assert report.clean, report.format()
+
+Divergence is not always a bug — ``stage_resume`` legitimately updates
+result fields — which is why known-mutating fields are declared in
+``ignore``.  What remains is exactly the signal the static pass hunts
+for: state that changed across the suspend→resume window without any
+stage hook accounting for it (CKPT001's hidden state, confirmed
+dynamically), or state a rollback failed to restore.  Fingerprints
+descend one level into dict/object-valued fields, so a report names
+``buffers.rx`` rather than just ``buffers``.
+
+The module is deliberately decoupled from the checkpoint package: the
+observer duck-types on ``stage.value == "suspend"``, so importing
+:mod:`repro.lint` never drags in the simulator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+#: recursion ceiling for structural fingerprints
+_MAX_DEPTH = 4
+#: fields deeper than this never get their own report line
+_ATTR_DEPTH = 1
+_REPR_LIMIT = 60
+
+
+# ---------------------------------------------------------------------------
+# fingerprinting
+# ---------------------------------------------------------------------------
+
+def _clip(text: str) -> str:
+    return text if len(text) <= _REPR_LIMIT else text[:_REPR_LIMIT - 3] + "..."
+
+
+def _canonical(value, depth: int, seen: Set[int]) -> str:
+    """A deterministic structural encoding of ``value``.
+
+    Containers encode element-wise (sets sorted by element encoding so
+    iteration order cannot leak in); objects encode as class name plus
+    sorted ``__dict__``.  Recursion is depth- and cycle-limited; beyond
+    the limit only the type name survives, which still flags a swap of
+    one deep object for another type.
+    """
+    if value is None or isinstance(value, (bool, int, str, bytes)):
+        return f"{type(value).__name__}:{value!r}"
+    if isinstance(value, float):
+        return f"float:{value.hex() if value == value else 'nan'}"
+    if depth >= _MAX_DEPTH or id(value) in seen:
+        return f"type:{type(value).__name__}"
+    seen = seen | {id(value)}
+    if isinstance(value, (list, tuple)):
+        inner = ",".join(_canonical(v, depth + 1, seen) for v in value)
+        return f"{type(value).__name__}:[{inner}]"
+    if isinstance(value, (set, frozenset)):
+        inner = ",".join(sorted(
+            _canonical(v, depth + 1, seen) for v in value))
+        return f"{type(value).__name__}:{{{inner}}}"
+    if isinstance(value, dict):
+        items = sorted(
+            (_canonical(k, depth + 1, seen), _canonical(v, depth + 1, seen))
+            for k, v in value.items())
+        inner = ",".join(f"{k}={v}" for k, v in items)
+        return f"dict:{{{inner}}}"
+    attrs = getattr(value, "__dict__", None)
+    if isinstance(attrs, dict):
+        inner = ",".join(
+            f"{k}={_canonical(v, depth + 1, seen)}"
+            for k, v in sorted(attrs.items()))
+        return f"{type(value).__name__}:{{{inner}}}"
+    qualname = getattr(value, "__qualname__", None)
+    if qualname is not None:                     # functions, methods, classes
+        return f"{type(value).__name__}:{qualname}"
+    return f"{type(value).__name__}:?"
+
+
+def fingerprint(value) -> str:
+    """Short deterministic digest of a value's structural state."""
+    encoded = _canonical(value, 0, set())
+    return hashlib.sha256(encoded.encode("utf-8", "replace")).hexdigest()[:12]
+
+
+def _summary(value) -> str:
+    """A short human-readable rendering for report lines."""
+    try:
+        text = repr(value)
+    except Exception:                            # repr may raise mid-mutation
+        text = f"<unreprable {type(value).__name__}>"
+    return _clip(text)
+
+
+def field_digests(obj) -> Dict[str, Tuple[str, str]]:
+    """``field path -> (digest, summary)`` for ``obj.__dict__``.
+
+    Dict- and object-valued fields contribute one extra level of
+    ``field.sub`` entries so divergence attributes to the innermost
+    named field that moved.
+    """
+    out: Dict[str, Tuple[str, str]] = {}
+    attrs = getattr(obj, "__dict__", None) or {}
+    for name, value in attrs.items():
+        out[str(name)] = (fingerprint(value), _summary(value))
+        sub = value.__dict__ if hasattr(value, "__dict__") else (
+            value if isinstance(value, dict) else None)
+        if isinstance(sub, dict):
+            for key, subvalue in sub.items():
+                if isinstance(key, str):
+                    out[f"{name}.{key}"] = (fingerprint(subvalue),
+                                            _summary(subvalue))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the sanitizer
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FieldDivergence:
+    """One provider field whose state differs across the checkpoint."""
+
+    provider: str
+    field: str                  # possibly nested: ``buffers.rx``
+    before: str                 # summary at suspend start
+    after: str                  # summary at verify time
+
+    def format(self) -> str:
+        return (f"{self.provider}.{self.field}: "
+                f"{self.before} -> {self.after}")
+
+
+@dataclass
+class StateCheckReport:
+    """Outcome of one :meth:`StateCheck.verify` pass."""
+
+    divergences: List[FieldDivergence]
+    providers_checked: List[str]
+
+    @property
+    def clean(self) -> bool:
+        return not self.divergences
+
+    def fields(self) -> List[str]:
+        """``provider.field`` strings, the assertion-friendly view."""
+        return [f"{d.provider}.{d.field}" for d in self.divergences]
+
+    def format(self) -> str:
+        if self.clean:
+            checked = ", ".join(self.providers_checked) or "none"
+            return f"state check clean (providers: {checked})"
+        lines = [f"{len(self.divergences)} field(s) diverged across "
+                 f"the checkpoint:"]
+        lines += [f"  {d.format()}" for d in self.divergences]
+        return "\n".join(lines)
+
+
+class StateCheck:
+    """Attach to a pipeline; fingerprint providers across the checkpoint.
+
+    Registration appends an observer to ``pipeline.stage_observers``;
+    the observer duck-types on ``stage.value`` so this module never
+    imports the checkpoint package.  ``ignore`` entries are field names
+    (``"last_result"``), nested paths (``"remus.pending"``), or
+    provider-scoped paths (``"domain.node0:last_result"``); ignoring a
+    field also ignores everything beneath it.
+    """
+
+    def __init__(self, pipeline, ignore: Iterable[str] = ()) -> None:
+        self.pipeline = pipeline
+        self.ignore: Set[str] = set(ignore)
+        self._before: Dict[str, Dict[str, Tuple[str, str]]] = {}
+        pipeline.stage_observers.append(self._observe)
+
+    def detach(self) -> None:
+        """Remove the observer from the pipeline."""
+        try:
+            self.pipeline.stage_observers.remove(self._observe)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------- capture
+
+    def _observe(self, stage, provider) -> None:
+        if getattr(stage, "value", stage) == "suspend":
+            self._before[provider.name] = field_digests(provider)
+
+    def captured(self) -> List[str]:
+        """Names of providers with a recorded pre-suspend fingerprint."""
+        return sorted(self._before)
+
+    # ------------------------------------------------------------- verdict
+
+    def _ignored(self, provider: str, path: str) -> bool:
+        candidates = {path, f"{provider}:{path}"}
+        head = path.split(".", 1)[0]
+        candidates |= {head, f"{provider}:{head}"}
+        return bool(candidates & self.ignore)
+
+    def verify(self) -> StateCheckReport:
+        """Diff every captured provider's state against its current state.
+
+        Call after the pipeline has completed ``resume`` (or after a
+        rollback via ``abort()``).  Divergence attributes to the
+        innermost recorded field path: if ``buffers.rx`` moved, the
+        report names it instead of the enclosing ``buffers``.
+        """
+        divergences: List[FieldDivergence] = []
+        checked: List[str] = []
+        for provider in self.pipeline.providers:
+            name = provider.name
+            before = self._before.get(name)
+            if before is None:
+                continue
+            checked.append(name)
+            after = field_digests(provider)
+            divergences.extend(self._diff(name, before, after))
+        return StateCheckReport(divergences=divergences,
+                                providers_checked=checked)
+
+    def _diff(self, provider: str,
+              before: Dict[str, Tuple[str, str]],
+              after: Dict[str, Tuple[str, str]]) -> List[FieldDivergence]:
+        moved: List[str] = []
+        for path in sorted(set(before) | set(after)):
+            if before.get(path, (None,))[0] != after.get(path, (None,))[0]:
+                moved.append(path)
+        moved_set = set(moved)
+        # Attribution before ignore filtering, so ignoring ``field.sub``
+        # also silences the parent divergence it explains.  A field
+        # present only on one side (added/removed wholesale) is reported
+        # as itself; one that mutated internally is reported by its
+        # innermost recorded sub-path instead.
+        out: List[FieldDivergence] = []
+        for path in moved:
+            if "." in path:
+                parent = path.split(".", 1)[0]
+                if parent not in before or parent not in after:
+                    continue            # the parent line tells the story
+            elif path in before and path in after and any(
+                    other.startswith(path + ".") for other in moved_set):
+                continue                # a child names the divergence
+            if self._ignored(provider, path):
+                continue
+            out.append(FieldDivergence(
+                provider=provider, field=path,
+                before=before.get(path, (None, "<absent>"))[1],
+                after=after.get(path, (None, "<absent>"))[1]))
+        return out

@@ -1,9 +1,12 @@
-"""The determinism gate: ``repro lint src/ tests/ benchmarks/`` must be clean.
+"""The determinism gate: the whole repo must lint clean.
 
 This is the tier-1 enforcement point for the static sanitizer — any
-wall-clock read, ambient randomness, bare RNG construction, or unordered
-iteration feeding scheduling that sneaks into the tree fails the suite with
-the offending file:line in the assertion message.
+wall-clock read, ambient randomness, bare RNG construction, unordered
+iteration feeding scheduling, laundered clock helper (DET009/DET010), or
+uncovered provider state (CKPT001–003) that sneaks into the tree fails
+the suite with the offending file:line in the assertion message.
+``check_paths`` runs the per-file rules *and* the whole-program graph
+pass, so this gate covers both.
 """
 
 import subprocess
@@ -14,7 +17,8 @@ from repro.lint import check_paths, iter_python_files
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 LINTED_TREES = [REPO_ROOT / "src", REPO_ROOT / "tests",
-                REPO_ROOT / "benchmarks"]
+                REPO_ROOT / "benchmarks", REPO_ROOT / "tools",
+                REPO_ROOT / "examples"]
 
 
 def test_tree_is_lint_clean():

@@ -285,6 +285,94 @@ def test_noqa_multiple_codes():
     assert codes_at(src) == []
 
 
+def test_noqa_unknown_code_suppresses_nothing():
+    # An unknown code in the list is inert: it neither errors nor hides
+    # real findings on the same line.
+    src = "import time\n\nstamp = time.time()  # repro: noqa=DET999\n"
+    assert codes_at(src) == [("DET001", 3)]
+
+
+def test_noqa_unknown_plus_matching_code_still_suppresses():
+    src = ("import time\n\n"
+           "stamp = time.time()  # repro: noqa=DET999,DET001\n")
+    assert codes_at(src) == []
+
+
+def test_noqa_spans_multiline_statement():
+    # The violation's reported line is the call's first line; the pragma
+    # sits on the closing line of the same statement and still applies.
+    src = ("import time\n"
+           "\n"
+           "stamp = time.time(\n"
+           ")  # repro: noqa=DET001\n")
+    assert codes_at(src) == []
+
+
+def test_noqa_on_decorator_line_covers_decorated_def():
+    # DET008 reports at the ``def`` line; a pragma on the decorator line
+    # covers the whole header span.
+    src = ("import functools\n"
+           "\n"
+           "@functools.lru_cache  # repro: noqa=DET008\n"
+           "def f(seen=[]):\n"
+           "    return seen\n")
+    assert codes_at(src, select=["DET008"]) == []
+
+
+def test_noqa_on_multiline_signature_line_covers_def():
+    src = ("def f(\n"
+           "    seen=[],  # repro: noqa=DET008\n"
+           "):\n"
+           "    return seen\n")
+    assert codes_at(src, select=["DET008"]) == []
+
+
+def test_noqa_inside_function_body_does_not_leak_to_def():
+    # Expansion covers statement spans, never compound-statement bodies:
+    # a pragma on a body line must not hide a violation on the ``def``.
+    src = ("def f(seen=[]):\n"
+           "    x = 1  # repro: noqa=DET008\n"
+           "    return seen, x\n")
+    assert codes_at(src, select=["DET008"]) == [("DET008", 1)]
+
+
+# ---------------------------------------------------------------------------
+# ImportMap resolution
+# ---------------------------------------------------------------------------
+
+def test_importmap_from_import_as_chain():
+    import ast
+
+    from repro.lint.engine import ImportMap
+
+    tree = ast.parse("from datetime import datetime as dt\n"
+                     "from os import path as p\n"
+                     "import time as t\n")
+    imports = ImportMap(tree)
+    assert imports.names["dt"] == "datetime.datetime"
+    assert imports.names["p"] == "os.path"
+    assert imports.names["t"] == "time"
+    call = ast.parse("dt.now()").body[0].value.func
+    assert imports.resolve(call) == "datetime.datetime.now"
+
+
+def test_det001_via_aliased_from_import_chain():
+    src = ("from datetime import datetime as dt\n"
+           "\n"
+           "when = dt.now()\n")
+    assert codes_at(src) == [("DET001", 3)]
+
+
+def test_importmap_unknown_name_resolves_none():
+    import ast
+
+    from repro.lint.engine import ImportMap
+
+    imports = ImportMap(ast.parse("import time\n"))
+    assert imports.resolve(ast.parse("mystery.call()").body[0].value.func) \
+        is None
+
+
 # ---------------------------------------------------------------------------
 # engine plumbing: select, syntax errors, JSON output, CLI
 # ---------------------------------------------------------------------------

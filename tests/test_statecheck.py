@@ -1,0 +1,271 @@
+"""Runtime checkpoint-coverage sanitizer (`repro.lint.statecheck`).
+
+The centrepiece is the static/dynamic cross-validation demanded by the
+analyzer design: one seeded provider with hidden state is caught by
+CKPT001 *statically* (from its source text) and by :class:`StateCheck`
+*dynamically* (from a live pipeline run), with both reports naming the
+same field.
+"""
+
+import inspect
+
+import pytest
+
+from repro.checkpoint.pipeline import (Checkpointable, CheckpointPipeline,
+                                       Stage)
+from repro.lint import check_sources
+from repro.lint.statecheck import (StateCheck, field_digests, fingerprint)
+from repro.sim.core import Simulator
+
+
+class HiddenStateProvider(Checkpointable):
+    """Deliberately buggy: ``seen`` is touched by no stage hook."""
+
+    def __init__(self, name="lossy"):
+        self.name = name
+        self.packets = []
+        self.seen = 0
+
+    def on_packet(self, pkt):
+        self.packets.append(pkt)
+        self.seen += 1
+
+    def stage_save(self):
+        self.last_snapshot = {"packets": list(self.packets)}
+
+    def stage_resume(self):
+        self.packets = list(self.last_snapshot["packets"])
+
+
+def make_pipeline(*providers):
+    return CheckpointPipeline(Simulator(), list(providers))
+
+
+# ---------------------------------------------------------------------------
+# the static/dynamic cross-validation (acceptance criterion a)
+# ---------------------------------------------------------------------------
+
+def test_hidden_state_caught_statically_and_dynamically():
+    source = inspect.getsource(HiddenStateProvider)
+    header = ("from repro.checkpoint.pipeline import Checkpointable\n\n\n"
+              + source)
+    base = ("class Checkpointable:\n"
+            "    name = 'checkpointable'\n"
+            "    def stage_save(self):\n"
+            "        return None\n"
+            "    def stage_resume(self):\n"
+            "        return None\n")
+    static = check_sources(
+        [("src/repro/checkpoint/pipeline.py", base),
+         ("src/repro/checkpoint/lossy.py", header)],
+        select=["CKPT001"])
+    assert [v.code for v in static] == ["CKPT001"]
+    assert "`self.seen`" in static[0].message
+
+    provider = HiddenStateProvider()
+    pipeline = make_pipeline(provider)
+    check = StateCheck(pipeline, ignore={"last_snapshot"})
+    pipeline.run_stages_now(Stage.PREPARE, Stage.SAVE)
+    provider.on_packet("late")          # event handler fires while frozen
+    pipeline.run_stages_now(Stage.BRANCH, Stage.RESUME)
+    report = check.verify()
+    # stage_resume restored ``packets`` from the snapshot (dropping the
+    # late packet is the *snapshot's* semantics); ``seen`` leaked — the
+    # exact field CKPT001 flagged above.
+    assert not report.clean
+    assert report.fields() == ["lossy.seen"]
+
+
+def test_covered_provider_runs_clean():
+    class CoveredProvider(Checkpointable):
+        def __init__(self):
+            self.name = "covered"
+            self.epoch = 0
+
+        def stage_save(self):
+            self._saved = self.epoch
+
+        def stage_resume(self):
+            self.epoch = self._saved
+
+    provider = CoveredProvider()
+    pipeline = make_pipeline(provider)
+    check = StateCheck(pipeline, ignore={"_saved"})
+    pipeline.run_stages_now(Stage.PREPARE, Stage.RESUME)
+    report = check.verify()
+    assert report.clean
+    assert report.providers_checked == ["covered"]
+    assert "clean" in report.format()
+
+
+# ---------------------------------------------------------------------------
+# attribution and ignore semantics
+# ---------------------------------------------------------------------------
+
+class NestedProvider(Checkpointable):
+    def __init__(self):
+        self.name = "nested"
+        self.buffers = {"rx": [], "tx": []}
+
+
+def run_checkpoint_with_frozen_mutation(provider, mutate, ignore=()):
+    pipeline = make_pipeline(provider)
+    check = StateCheck(pipeline, ignore=ignore)
+    pipeline.run_stages_now(Stage.PREPARE, Stage.SUSPEND)
+    mutate(provider)
+    pipeline.run_stages_now(Stage.SAVE, Stage.RESUME)
+    return check.verify()
+
+
+def test_divergence_attributes_to_nested_field():
+    report = run_checkpoint_with_frozen_mutation(
+        NestedProvider(), lambda p: p.buffers["rx"].append(1))
+    assert report.fields() == ["nested.buffers.rx"]
+    assert "[] -> [1]" in report.format()
+
+
+def test_ignore_by_field_name():
+    report = run_checkpoint_with_frozen_mutation(
+        NestedProvider(), lambda p: p.buffers["rx"].append(1),
+        ignore={"buffers"})
+    assert report.clean
+
+
+def test_ignore_nested_path():
+    report = run_checkpoint_with_frozen_mutation(
+        NestedProvider(), lambda p: p.buffers["rx"].append(1),
+        ignore={"buffers.rx"})
+    assert report.clean
+
+
+def test_ignore_provider_scoped():
+    report = run_checkpoint_with_frozen_mutation(
+        NestedProvider(), lambda p: p.buffers["rx"].append(1),
+        ignore={"nested:buffers"})
+    assert report.clean
+    report = run_checkpoint_with_frozen_mutation(
+        NestedProvider(), lambda p: p.buffers["rx"].append(1),
+        ignore={"other:buffers"})
+    assert not report.clean
+
+
+def test_added_and_removed_fields_reported():
+    def mutate(p):
+        p.extra = 7
+        del p.buffers
+
+    report = run_checkpoint_with_frozen_mutation(NestedProvider(), mutate)
+    fields = report.fields()
+    assert "nested.extra" in fields
+    assert "nested.buffers" in fields
+    rendered = report.format()
+    assert "<absent>" in rendered
+
+
+# ---------------------------------------------------------------------------
+# rollback coverage
+# ---------------------------------------------------------------------------
+
+class RollbackProvider(Checkpointable):
+    """``stage_abort`` restores ``mode`` only when ``complete_abort``."""
+
+    def __init__(self, complete_abort):
+        self.name = "rb"
+        self.mode = "running"
+        self.complete_abort = complete_abort
+
+    def stage_suspend(self):
+        self.mode = "frozen"
+
+    def stage_abort(self):
+        if self.complete_abort:
+            self.mode = "running"
+
+
+def drive_abort(pipeline):
+    for _ in pipeline.abort():
+        pass
+
+
+def test_complete_rollback_is_clean():
+    provider = RollbackProvider(complete_abort=True)
+    pipeline = make_pipeline(provider)
+    check = StateCheck(pipeline)
+    with pytest.raises(Exception):
+        pipeline.run_stages_now(Stage.PREPARE, Stage.SAVE)
+        raise RuntimeError("simulated failure after save")
+    drive_abort(pipeline)
+    assert check.verify().clean
+
+
+def test_incomplete_rollback_attributes_field():
+    provider = RollbackProvider(complete_abort=False)
+    pipeline = make_pipeline(provider)
+    check = StateCheck(pipeline)
+    pipeline.run_stages_now(Stage.PREPARE, Stage.SAVE)
+    drive_abort(pipeline)
+    report = check.verify()
+    assert report.fields() == ["rb.mode"]
+    assert "'running' -> 'frozen'" in report.format()
+
+
+# ---------------------------------------------------------------------------
+# plumbing: capture points, detach, fingerprints
+# ---------------------------------------------------------------------------
+
+def test_capture_happens_at_suspend_not_before():
+    provider = NestedProvider()
+    pipeline = make_pipeline(provider)
+    check = StateCheck(pipeline)
+    pipeline.run_stages_now(Stage.PREPARE, Stage.QUIESCE)
+    assert check.captured() == []
+    pipeline.run_stages_now(Stage.SUSPEND, Stage.SUSPEND)
+    assert check.captured() == ["nested"]
+
+
+def test_verify_skips_uncaptured_providers():
+    provider = NestedProvider()
+    pipeline = make_pipeline(provider)
+    check = StateCheck(pipeline)
+    report = check.verify()
+    assert report.clean and report.providers_checked == []
+
+
+def test_detach_stops_observation():
+    provider = NestedProvider()
+    pipeline = make_pipeline(provider)
+    check = StateCheck(pipeline)
+    check.detach()
+    pipeline.run_stages_now(Stage.PREPARE, Stage.RESUME)
+    assert check.captured() == []
+    check.detach()                      # idempotent
+
+
+def test_fingerprint_is_order_insensitive_for_sets():
+    a = {"x", "y", "z"}
+    b = {"z", "y", "x"}
+    assert fingerprint(a) == fingerprint(b)
+    assert fingerprint(a) != fingerprint({"x", "y"})
+
+
+def test_fingerprint_distinguishes_nested_object_state():
+    class Box:
+        def __init__(self, v):
+            self.v = v
+
+    assert fingerprint(Box(1)) == fingerprint(Box(1))
+    assert fingerprint(Box(1)) != fingerprint(Box(2))
+
+
+def test_field_digests_include_nested_paths():
+    provider = NestedProvider()
+    digests = field_digests(provider)
+    assert {"name", "buffers", "buffers.rx", "buffers.tx"} <= set(digests)
+
+
+def test_fingerprint_handles_cycles_and_depth():
+    loop = []
+    loop.append(loop)
+    assert fingerprint(loop) == fingerprint(loop)
+    deep = [[[[[[1]]]]]]
+    assert isinstance(fingerprint(deep), str)
