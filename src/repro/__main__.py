@@ -133,7 +133,7 @@ def cmd_bench(args) -> int:
     from repro.bench import run_bench, run_profile
 
     if args.profile:
-        return run_profile()
+        return run_profile(json_output=args.output)
     return run_bench(quick=args.quick, output=args.output)
 
 
@@ -260,11 +260,14 @@ def main(argv=None) -> int:
     bench.add_argument("--quick", action="store_true",
                        help="smaller workloads (CI smoke run)")
     bench.add_argument("--output", metavar="PATH",
-                       help="JSON artifact path "
-                            "(default: BENCH_sim_core.json at repo root)")
+                       help="JSON artifact path (default: "
+                            "BENCH_sim_core.json at repo root; with "
+                            "--profile: benchmarks/results/"
+                            "PROFILE_sim_core.json)")
     bench.add_argument("--profile", action="store_true",
                        help="profile the event loop instead: hot-spot "
-                            "attribution + trace record counts")
+                            "attribution + trace record counts, written "
+                            "as a JSON report")
     faults = sub.add_parser("faults",
                             help="seeded fault-storm survival + determinism")
     faults.add_argument("--nodes", type=int, default=10,

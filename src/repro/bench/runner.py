@@ -1,37 +1,65 @@
 """The ``repro bench`` runner: fast path vs legacy path, timed.
 
 Each scenario is executed twice — once with the optimized scheduler
-(``fast_path=True, packet_trains=True``) and once with the legacy
-Event-per-callback path (``fast_path=False, packet_trains=False``) — and
-the wall-clock ratio is recorded.  The figure scenarios also record their
-experiment digests in both modes, so the JSON doubles as an equivalence
-artifact: ``digest_match`` must be ``true``.
+(``fast_path=True, packet_trains=True, batch_pipes=True``) and once with
+the legacy Event-per-callback path (all three off) — and the wall-clock
+ratio is recorded.  The figure scenarios also record their experiment
+digests in both modes, so the JSON doubles as an equivalence artifact:
+``digest_match`` must be ``true``.  ``mode_matrix_ckpt10`` goes further
+and runs the full 2x2x2 ``fast_path`` x ``packet_trains`` x
+``batch_pipes`` matrix against the pipeline golden.
 
 Output goes to ``BENCH_sim_core.json`` at the repository root (or the
-path given with ``--output``).  Wall-clock reads below are the *host*
-clock measuring the benchmark harness itself, never simulated time —
-hence the targeted DET001 suppressions.
+path given with ``--output``); ``repro bench --profile`` writes its
+hot-spot report to ``benchmarks/results/PROFILE_sim_core.json``.
+Wall-clock reads below are the *host* clock measuring the benchmark
+harness itself, never simulated time — hence the targeted DET001
+suppressions.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import sys
 import time
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.bench.scenarios import (make_sim, run_ckpt10, run_event_churn,
                                    run_fig4, run_fig5, run_fig6, run_fig7,
-                                   run_fig8, run_timer_storm)
+                                   run_fig8, run_pipe_saturation,
+                                   run_timer_storm)
 
-FAST = {"fast_path": True, "packet_trains": True}
-LEGACY = {"fast_path": False, "packet_trains": False}
+FAST = {"fast_path": True, "packet_trains": True, "batch_pipes": True}
+LEGACY = {"fast_path": False, "packet_trains": False, "batch_pipes": False}
 
 
 def _repo_root() -> str:
     return os.path.dirname(os.path.dirname(os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))))
+
+
+def _native_modules() -> List[str]:
+    """Names of hot modules currently running as compiled extensions.
+
+    The optional mypyc build (``pip install -e .[native]`` with
+    ``REPRO_NATIVE=1``; see docs/performance.md) replaces
+    ``repro.sim.core`` / ``repro.net.dummynet`` with C extensions.  The
+    bench artifact records which were active so pure-Python and native
+    numbers are never conflated.
+    """
+    native = []
+    for mod_name in ("repro.sim.core", "repro.net.dummynet"):
+        mod = sys.modules.get(mod_name)
+        if mod is None:
+            import importlib
+
+            mod = importlib.import_module(mod_name)
+        origin = getattr(mod, "__file__", "") or ""
+        if origin.endswith((".so", ".pyd")):
+            native.append(mod_name)
+    return native
 
 
 def _golden_pipeline_digests() -> Dict[str, str]:
@@ -53,11 +81,23 @@ def _time_run(fn: Callable[[], object]) -> Tuple[float, object]:
 
 
 def _bench_event_churn(quick: bool) -> Dict:
-    events = 40_000 if quick else 200_000
-    fast_s, fired = _time_run(
-        lambda: run_event_churn(make_sim(**FAST), events=events))
-    legacy_s, _ = _time_run(
-        lambda: run_event_churn(make_sim(**LEGACY), events=events))
+    # Never scaled down: event_churn is under the *hard-fail* regression
+    # watch, and its gate compares the fast/legacy speedup ratio against
+    # the checked-in (full-mode) artifact — the ratio is only comparable
+    # when quick and full runs measure the same workload.  Best-of-5
+    # interleaved keeps single-sample scheduler jitter out of the gate;
+    # the whole scenario stays around a second.
+    events = 200_000
+    reps = 5
+    fast_s = legacy_s = float("inf")
+    fired = 0
+    for _ in range(reps):
+        s, fired = _time_run(
+            lambda: run_event_churn(make_sim(**FAST), events=events))
+        fast_s = min(fast_s, s)
+        s, _ = _time_run(
+            lambda: run_event_churn(make_sim(**LEGACY), events=events))
+        legacy_s = min(legacy_s, s)
     return {
         "events": fired,
         "fast_seconds": round(fast_s, 4),
@@ -81,6 +121,42 @@ def _bench_timer_storm(quick: bool) -> Dict:
         "events_per_sec_fast": round(armed / fast_s),
         "events_per_sec_legacy": round(armed / legacy_s),
         "speedup": round(legacy_s / fast_s, 3),
+    }
+
+
+def _bench_pipe_saturation(quick: bool) -> Dict:
+    """One saturated Dummynet pipe: merged advance vs two-call vs legacy.
+
+    ``batch_ratio`` compares the merged single-call pipe driver against
+    the two-call fast path (both on the optimized scheduler); ``speedup``
+    is the usual fast-vs-legacy ratio.  All three drivers must produce
+    the same delivery digest.
+    """
+    packets = 5_000 if quick else 20_000
+    reps = 1 if quick else 3
+    batch_s = twocall_s = legacy_s = float("inf")
+    d_batch = d_twocall = d_legacy = None
+    for _ in range(reps):
+        s, d_batch = _time_run(lambda: run_pipe_saturation(
+            make_sim(**FAST), packets=packets))
+        batch_s = min(batch_s, s)
+        s, d_twocall = _time_run(lambda: run_pipe_saturation(
+            make_sim(fast_path=True, packet_trains=True, batch_pipes=False),
+            packets=packets))
+        twocall_s = min(twocall_s, s)
+        s, d_legacy = _time_run(lambda: run_pipe_saturation(
+            make_sim(**LEGACY), packets=packets))
+        legacy_s = min(legacy_s, s)
+    return {
+        "packets": packets,
+        "fast_seconds": round(batch_s, 4),
+        "twocall_seconds": round(twocall_s, 4),
+        "legacy_seconds": round(legacy_s, 4),
+        "speedup": round(legacy_s / batch_s, 3),
+        "batch_ratio": round(twocall_s / batch_s, 3),
+        "digest_fast": d_batch,
+        "digest_legacy": d_legacy,
+        "digest_match": d_batch == d_twocall == d_legacy,
     }
 
 
@@ -122,10 +198,10 @@ def _bench_pipeline_figure(scenario: Callable, golden: Optional[str],
     parameter-dependent.
 
     ``reps`` takes a best-of-N wall clock (interleaved fast/legacy, like
-    :func:`_bench_figure`): the sub-10ms scenarios sit inside the ≤2%
-    regression watch, where a single sample is dominated by scheduler
-    jitter rather than by the code under test.  The runs are
-    deterministic, so every repetition returns the same digest.
+    :func:`_bench_figure`): scenarios inside the ≤2% regression watch
+    need repeats or a single sample is dominated by scheduler jitter
+    rather than by the code under test.  The runs are deterministic, so
+    every repetition returns the same digest.
     """
     fast_s = legacy_s = float("inf")
     digest_fast = digest_legacy = None
@@ -146,22 +222,58 @@ def _bench_pipeline_figure(scenario: Callable, golden: Optional[str],
     }
 
 
+def _bench_mode_matrix(golden: Optional[str]) -> Dict:
+    """ckpt10 across the full 2x2x2 scheduling-mode matrix.
+
+    Every combination of ``fast_path`` x ``packet_trains`` x
+    ``batch_pipes`` must reproduce the pipeline golden bit-for-bit.  This
+    is the strongest equivalence statement the bench makes: the three
+    optimization layers compose in any order without moving a digest.
+    """
+    digests: Dict[str, str] = {}
+    elapsed_fast = None
+    for fp, pt, bp in itertools.product((True, False), repeat=3):
+        key = (f"fast_path={'on' if fp else 'off'},"
+               f"packet_trains={'on' if pt else 'off'},"
+               f"batch_pipes={'on' if bp else 'off'}")
+        s, digest = _time_run(lambda: run_ckpt10(
+            make_sim(fast_path=fp, packet_trains=pt, batch_pipes=bp)))
+        digests[key] = digest
+        if fp and pt and bp:
+            elapsed_fast = s
+    unique = sorted(set(digests.values()))
+    match = len(unique) == 1 and (golden is None or unique[0] == golden)
+    result = {
+        "combinations": len(digests),
+        "fast_seconds": round(elapsed_fast, 4),
+        "digest_fast": digests[("fast_path=on,packet_trains=on,"
+                                "batch_pipes=on")],
+        "digest_golden": golden,
+        "digest_match": match,
+    }
+    if not match:
+        result["digests"] = digests
+    return result
+
+
 def _bench_faultstorm(quick: bool) -> Dict:
     """The seeded fault-storm, run twice: survival plus determinism.
 
     There is no fast/legacy split here — the storm exercises the
     recovery machinery, not the scheduler — so the run is repeated with
     identical inputs instead and ``digest_match`` asserts the two runs
-    (trace + experiment state) were bit-identical.
+    (trace + experiment state) were bit-identical.  The wall clock is
+    the best of the two runs (same best-of discipline as the figures).
     """
     from repro.faults.scenario import run_faultstorm
 
     run_seconds = 20 if quick else 30
-    storm_s, first = _time_run(lambda: run_faultstorm(
+    first_s, first = _time_run(lambda: run_faultstorm(
         run_seconds=run_seconds))
-    _, second = _time_run(lambda: run_faultstorm(run_seconds=run_seconds))
+    second_s, second = _time_run(lambda: run_faultstorm(
+        run_seconds=run_seconds))
     return {
-        "fast_seconds": round(storm_s, 4),
+        "fast_seconds": round(min(first_s, second_s), 4),
         "completed": first.completed,
         "attempts": first.attempts,
         "retransmits": first.retransmits,
@@ -185,7 +297,7 @@ def _bench_trace_overhead(golden: Optional[str], quick: bool) -> Dict:
     """
     from repro.obs import JsonlSink, ListSink, Tracer
 
-    reps = 1 if quick else 2
+    reps = 1 if quick else 3
     # One untimed warm-up run so the first timed configuration does not
     # absorb one-off costs (lazy imports, code-object warm-up) that
     # would masquerade as tracing overhead.
@@ -228,14 +340,23 @@ def _bench_trace_overhead(golden: Optional[str], quick: bool) -> Dict:
     }
 
 
-def run_profile(out=sys.stdout) -> int:
+def _default_profile_path() -> str:
+    return os.path.join(_repo_root(), "benchmarks", "results",
+                        "PROFILE_sim_core.json")
+
+
+def run_profile(out=sys.stdout, json_output: Optional[str] = None,
+                top: int = 15) -> int:
     """``repro bench --profile``: hot-spot and record-count attribution.
 
     Runs the 10-node coordinated checkpoint once with both the
-    event-loop profiler and a tracer attached, then prints where host
-    time went (per callback, via :class:`repro.obs.profile.LoopProfiler`)
-    and what the observability layer recorded (per category).  Profiled
-    runs keep their digests — the profiler reads only the host clock.
+    event-loop profiler and a tracer attached, prints where host time
+    went (per callback, via :class:`repro.obs.profile.LoopProfiler`) and
+    what the observability layer recorded (per category), and writes the
+    same data as JSON to ``benchmarks/results/PROFILE_sim_core.json``
+    (or ``json_output``) so the hot-spot table is diffable PR-over-PR.
+    Profiled runs keep their digests — the profiler reads only the host
+    clock.
     """
     from repro.obs import ListSink, Tracer
 
@@ -251,19 +372,53 @@ def run_profile(out=sys.stdout) -> int:
         status = "OK" if digest == golden else "MISMATCH"
         print(f"digest vs golden: {status}", file=out)
     print(file=out)
-    print(profiler.format_report(), file=out)
+    print(profiler.format_report(top=top), file=out)
     print(file=out)
     print("trace records by category:", file=out)
     for cat in sorted(tracer.category_counts):
         print(f"  {cat:<28} {tracer.category_counts[cat]:8d}", file=out)
+
+    if json_output is None:
+        json_output = _default_profile_path()
+    payload = {
+        "profile": "sim_core",
+        "scenario": "ckpt10_coordinated",
+        "python": sys.version.split()[0],
+        "native_modules": _native_modules(),
+        "config": FAST,
+        "wall_seconds": round(elapsed, 4),
+        "dispatches": profiler.dispatches,
+        "digest": digest,
+        "digest_golden": golden,
+        "digest_match": golden is None or digest == golden,
+        "hot_spots": profiler.report(top=top),
+        "trace_records": dict(sorted(tracer.category_counts.items())),
+    }
+    os.makedirs(os.path.dirname(json_output), exist_ok=True)
+    with open(json_output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nwrote {json_output}", file=out)
     return 0 if golden is None or digest == golden else 1
 
 
 #: scenarios whose wall clock is compared against the checked-in artifact
-#: (the fault-free paths must not pay for the fault layer)
+#: and *warned* about (the fault-free paths must not pay for the fault
+#: layer; sub-second wall clocks make these too jittery to hard-fail)
 _REGRESSION_WATCH = ("fig4_sleep", "fig5_cpuburn", "fig8_cow_storage",
                      "ckpt10_coordinated")
+#: scenarios whose regression FAILS the bench.  The gated quantity is the
+#: fast/legacy *speedup ratio* from the same interleaved best-of-N run,
+#: not the absolute event rate: a loaded or slower host drags both paths
+#: down together and cancels out of the ratio, while a real fast-path
+#: regression moves only the numerator.  (Absolute rates on shared
+#: containers swing tens of percent between runs — an absolute-rate gate
+#: at a 2% budget is pure flake.)  The scenario's workload is never
+#: scaled down in quick mode, so the ratio is quick↔full comparable.
+_REGRESSION_FAIL = ("event_churn",)
 _REGRESSION_BUDGET_PCT = 2.0
+#: absolute floor on the same ratio — the PR 7 acceptance criterion
+_SPEEDUP_FLOOR = {"event_churn": 3.0}
 
 
 def _previous_results(path: str) -> Dict[str, Dict]:
@@ -280,28 +435,33 @@ def run_bench(quick: bool = False, output: Optional[str] = None,
     """Run all scenarios, write the JSON artifact, print a summary.
 
     Returns a process exit code: non-zero if any figure scenario's
-    fast/legacy digests diverge (the bench is also an equivalence gate).
+    fast/legacy digests diverge (the bench is also an equivalence gate)
+    or if a hard-fail regression scenario slowed past the budget.
     """
     goldens = _golden_pipeline_digests()
     scenarios = {
         "event_churn": lambda: _bench_event_churn(quick),
         "timer_cancel_rearm_storm": lambda: _bench_timer_storm(quick),
+        "pipe_saturation": lambda: _bench_pipe_saturation(quick),
         "fig6_iperf": lambda: _bench_figure(run_fig6, quick, run_seconds=20),
         "fig7_bittorrent": lambda: _bench_figure(run_fig7, quick,
                                                  run_seconds=25),
         # Checkpoint-pipeline equivalence gate: fixed args, digests must
         # also match the pre-port goldens in PIPELINE_digests.json.
-        # fig4/fig5 finish in single-digit milliseconds: without repeats
-        # the ≤2% watch fails on host jitter alone (the +28%/+17% noise
-        # documented in ROADMAP item 5), so they get best-of-N.
+        # These finish in milliseconds to sub-second: without repeats the
+        # ≤2% watch fails on host jitter alone (the +28%/+17% noise
+        # documented in ROADMAP item 5), so all four get best-of-N.
         "fig4_sleep": lambda: _bench_pipeline_figure(
             run_fig4, goldens.get("fig4_sleep"), reps=7),
         "fig5_cpuburn": lambda: _bench_pipeline_figure(
             run_fig5, goldens.get("fig5_cpuburn"), reps=15),
         "fig8_cow_storage": lambda: _bench_pipeline_figure(
-            run_fig8, goldens.get("fig8_cow_storage")),
+            run_fig8, goldens.get("fig8_cow_storage"), reps=3),
         "ckpt10_coordinated": lambda: _bench_pipeline_figure(
-            run_ckpt10, goldens.get("ckpt10_coordinated")),
+            run_ckpt10, goldens.get("ckpt10_coordinated"), reps=5),
+        # Strongest equivalence gate: all 8 scheduling-mode combinations.
+        "mode_matrix_ckpt10": lambda: _bench_mode_matrix(
+            goldens.get("ckpt10_coordinated")),
         # Robustness gate: seeded storm must survive, deterministically.
         "ckpt10_faultstorm": lambda: _bench_faultstorm(quick),
         # Observability gate: tracing must be digest-neutral, and the
@@ -332,10 +492,36 @@ def run_bench(quick: bool = False, output: Optional[str] = None,
         if pct > _REGRESSION_BUDGET_PCT:
             regressions.append((name, pct))
 
+    # Hard-fail throughput watch: compares the host-load-invariant
+    # fast/legacy speedup ratio (see _REGRESSION_FAIL) and enforces the
+    # absolute acceptance floor on the same ratio.
+    failures = []
+    for name in _REGRESSION_FAIL:
+        after = results.get(name, {}).get("speedup")
+        if not after:
+            continue
+        floor = _SPEEDUP_FLOOR.get(name)
+        if floor and after < floor:
+            results[name]["speedup_floor"] = floor
+            failures.append((name, f"speedup {after}x below the "
+                                   f"{floor}x acceptance floor"))
+            continue
+        before = previous.get(name, {}).get("speedup")
+        if not before:
+            continue
+        pct = round(100.0 * (before - after) / before, 1)
+        results[name]["speedup_previous"] = before
+        results[name]["regression_vs_checked_in_pct"] = pct
+        if pct > _REGRESSION_BUDGET_PCT:
+            failures.append((name, f"speedup -{pct}% vs checked-in "
+                                   f"artifact (budget "
+                                   f"{_REGRESSION_BUDGET_PCT}%)"))
+
     payload = {
         "bench": "sim_core",
         "mode": "quick" if quick else "full",
         "python": sys.version.split()[0],
+        "native_modules": _native_modules(),
         "fast_config": FAST,
         "legacy_config": LEGACY,
         "scenarios": results,
@@ -370,10 +556,17 @@ def run_bench(quick: bool = False, output: Optional[str] = None,
             if r.get("completed") is False:
                 print("  STORM DID NOT COMPLETE within the retry budget",
                       file=out)
+            if "digests" in r:
+                for combo, digest in r["digests"].items():
+                    print(f"  {combo}: {digest}", file=out)
     for name, pct in regressions:
         print(f"WARNING: {name} fast path {pct:+.1f}% vs checked-in artifact "
               f"(budget {_REGRESSION_BUDGET_PCT}%)", file=out)
+    for name, why in failures:
+        ok = False
+        print(f"FAIL: {name} {why}", file=out)
     print(f"\nwrote {output}", file=out)
     if not ok:
-        print("bench FAILED: digests diverged", file=out)
+        print("bench FAILED: digests diverged or throughput regressed",
+              file=out)
     return 0 if ok else 1

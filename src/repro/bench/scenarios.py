@@ -22,9 +22,11 @@ from repro.sim.timers import SimTimerService
 from repro.units import GB, GBPS, MB, MBPS, MS, SECOND, US
 
 
-def make_sim(fast_path: bool = True, packet_trains: bool = True) -> Simulator:
+def make_sim(fast_path: bool = True, packet_trains: bool = True,
+             batch_pipes: bool = True) -> Simulator:
     """A simulator in the requested scheduling mode."""
-    return Simulator(fast_path=fast_path, packet_trains=packet_trains)
+    return Simulator(fast_path=fast_path, packet_trains=packet_trains,
+                     batch_pipes=batch_pipes)
 
 
 # -- kernel microbenchmarks ----------------------------------------------------
@@ -78,6 +80,54 @@ def run_timer_storm(sim: Simulator, rounds: int = 400,
         sim.run(until=sim.now + 1 * MS)
     sim.run(until=sim.now + 61 * SECOND)
     return armed, state["fired"]
+
+
+def run_pipe_saturation(sim: Simulator, packets: int = 20_000,
+                        bursts: int = 40) -> str:
+    """A Dummynet pipe saturated between checkpoint epochs.
+
+    Pumps ``packets`` packets through one shaped pipe (bandwidth + delay
+    line) in ``bursts`` back-to-back bursts, refilling the router queue
+    from the sink callback so the bandwidth server never idles — the
+    steady-state load the batched advance (``Simulator(batch_pipes=True)``)
+    exists for.  Returns a digest over every delivery instant and packet
+    identity, so any scheduling divergence between the merged-advance and
+    two-call pipe drivers changes the result.
+    """
+    from repro.net.dummynet import Pipe, PipeConfig
+    from repro.net.packet import Packet
+
+    config = PipeConfig(bandwidth_bps=100 * MBPS, delay_ns=5 * MS,
+                        queue_slots=200)
+    state = {"sent": 0, "h": hashlib.sha256()}
+    per_burst = max(1, packets // bursts)
+
+    def sink(packet: Packet) -> None:
+        state["h"].update(b"%d:%d;" % (sim.now, packet.headers["n"]))
+        # Refill from the delivery callback: keeps the queue non-empty so
+        # the server stays saturated (and exercises advance re-entrancy).
+        if state["sent"] < packets:
+            n = state["sent"]
+            state["sent"] += 1
+            pipe.submit(Packet("src", "dst", "bench", 1434,
+                               headers={"n": n}))
+
+    rng = RandomStreams(seed=11).stream("bench.pipe_saturation")
+    pipe = Pipe(sim, config, sink, rng, name="saturation")
+    for _ in range(bursts):
+        if state["sent"] >= packets:
+            break
+        for _i in range(per_burst):
+            if state["sent"] >= packets:
+                break
+            n = state["sent"]
+            state["sent"] += 1
+            pipe.submit(Packet("src", "dst", "bench", 1434,
+                               headers={"n": n}))
+        sim.run(until=sim.now + 50 * MS)
+    sim.run()
+    state["h"].update(b"delivered=%d" % pipe.delivered)
+    return state["h"].hexdigest()
 
 
 # -- figure rigs ----------------------------------------------------------------
@@ -306,7 +356,8 @@ def run_fig8(sim: Simulator, file_mb: int = 96, seed: int = 8) -> str:
     parts: list = []
     for config_name in ("base", "branch", "branch-aged", "branch-orig"):
         config_sim = sim if config_name == "base" else Simulator(
-            fast_path=sim.fast_path, packet_trains=sim.packet_trains)
+            fast_path=sim.fast_path, packet_trains=sim.packet_trains,
+            batch_pipes=sim.batch_pipes)
         disk = Disk(config_sim, DiskSpec(capacity_bytes=16 * GB))
         branch = None
         if config_name == "base":

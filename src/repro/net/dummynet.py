@@ -15,14 +15,26 @@ live-checkpoint protocol, including virtualizing the pipe clock so queued
 packets resume with their *remaining* service times (§4.4's "virtualizing
 time to account for the time spent in the checkpoint").
 
-Scheduling rides the simulator's fast path with cancellable handles: the
-bandwidth server keeps one :class:`~repro.sim.core.ScheduledCall` for the
-transmission in progress, and the delay line keeps one for its *head* entry
-only (service is FIFO and delays are constant, so delivery instants are
-monotone — each fire delivers every entry due at that instant and re-arms
-for the new head).  Freezing simply cancels both handles, which reclaims
-the heap entries lazily instead of leaving fire-time-checked tombstones
-behind.
+Scheduling rides the simulator's fast path with cancellable handles, in one
+of two modes:
+
+* **batch mode** (``Simulator(batch_pipes=True)``, the default) — the whole
+  pipe is driven by a *single* armed
+  :class:`~repro.sim.core.ScheduledCall` at the earliest pending action
+  (transmission finish or delay-line head delivery).  One
+  :meth:`_advance` fire drains *everything* due at that instant in one
+  pass — finish the transmission, deliver every due delay-line entry,
+  start the next transmission — instead of one event-store round trip per
+  packet per stage.  Between checkpoint epochs a saturated pipe therefore
+  costs one scheduled entry per distinct action instant, and the re-arm is
+  skipped entirely while an earlier-or-equal call is already pending.
+* **two-call mode** (``batch_pipes=False``) — the pre-batching layout: the
+  bandwidth server keeps one handle for the transmission in progress and
+  the delay line keeps one for its head entry.  Kept for A/B equivalence
+  runs; `repro bench` drives both and gates on identical delivery digests.
+
+Freezing cancels the armed handle(s), which reclaims the event-store
+entries lazily instead of leaving fire-time-checked tombstones behind.
 """
 
 from __future__ import annotations
@@ -36,7 +48,11 @@ from repro.errors import CheckpointError, NetworkError
 from repro.net.packet import Packet
 from repro.sim.core import ScheduledCall, Simulator
 from repro.sim.random import derived_rng
-from repro.units import MBPS, transmission_time_ns
+from repro.units import MBPS, SECOND, transmission_time_ns
+
+#: nbytes * _BITS_TO_NS // rate_bps == transmission_time_ns(nbytes, rate):
+#: bits = nbytes * 8, scaled to nanoseconds before the ceil division
+_BITS_TO_NS = 8 * SECOND
 
 
 @dataclass(frozen=True)
@@ -75,6 +91,13 @@ class PipeSnapshot:
 class Pipe:
     """One shaping pipe: bounded queue -> bandwidth server -> delay line."""
 
+    __slots__ = ("sim", "config", "sink", "rng", "name", "_queue",
+                 "_transmitting", "_delay_line", "_batch", "_advance_call",
+                 "_armed_at", "_tx_call", "_delay_call", "_frozen",
+                 "_bw", "_delay_ns", "_schedule",
+                 "submitted", "delivered", "dropped_loss", "dropped_queue",
+                 "frozen_arrivals")
+
     def __init__(self, sim: Simulator, config: PipeConfig,
                  sink: Callable[[Packet], None],
                  rng: Optional[random.Random] = None,
@@ -87,6 +110,15 @@ class Pipe:
         self._queue: List[Packet] = []      # bounded by config.queue_slots
         self._transmitting: Optional[Tuple[Packet, int]] = None  # (pkt, finish)
         self._delay_line: deque = deque()                   # (pkt, deliver_at)
+        # batch mode: drive everything through one merged advance call
+        self._batch = bool(getattr(sim, "batch_pipes", True))
+        self._advance_call: Optional[ScheduledCall] = None
+        self._armed_at = -1                 # instant the advance call is armed for
+        # hot-path prebinds: PipeConfig is frozen, so these never go stale
+        self._bw = config.bandwidth_bps
+        self._delay_ns = config.delay_ns
+        self._schedule = sim.schedule_call
+        # two-call mode state (unused when batching)
         self._tx_call: Optional[ScheduledCall] = None
         self._delay_call: Optional[ScheduledCall] = None
         self._frozen = False
@@ -114,7 +146,84 @@ class Pipe:
             # will be shaped after thaw like any backlog.
             self.frozen_arrivals += 1
             return
+        if self._batch:
+            if self._transmitting is None:
+                pkt = self._queue.pop(0)
+                # inlined transmission_time_ns (ceil division, >= 1 ns)
+                tx = -(-pkt.wire_bytes * _BITS_TO_NS // self._bw)
+                self._transmitting = (pkt, self.sim.now + tx)
+                self._arm()
+            return
         self._start_transmission()
+
+    # -- batch mode: one merged advance call -------------------------------------
+
+    def _arm(self) -> None:
+        """Ensure the advance call fires no later than the earliest action.
+
+        A pending call armed at or before the new deadline is kept (a
+        too-early fire is a cheap no-op that re-arms); only a *later* one
+        is cancelled and replaced.  Transmission finishes are strictly in
+        the future (transmission time is >= 1 ns) and delay-line delivery
+        instants are monotone, so re-arms are rare under load.
+        """
+        t = self._transmitting
+        line = self._delay_line
+        if t is not None:
+            due = t[1]
+            if line and line[0][1] < due:
+                due = line[0][1]
+        elif line:
+            due = line[0][1]
+        else:
+            return
+        call = self._advance_call
+        if call is not None:
+            if self._armed_at <= due:
+                return
+            call.cancel()
+        self._armed_at = due
+        self._advance_call = self._schedule(due, self._advance)
+
+    def _advance(self) -> None:
+        """Drain every action due now in one pass, then re-arm once.
+
+        Order within an instant is fixed: finish the transmission first
+        (it may feed the delay line or the sink), then deliver every due
+        delay-line entry, then start the next transmission.  Spurious
+        fires (after a perturb shortened the delay line) find nothing due
+        and simply re-arm.
+        """
+        self._advance_call = None
+        self._armed_at = -1
+        now = self.sim.now
+        t = self._transmitting
+        if t is not None and t[1] <= now:
+            packet = t[0]
+            self._transmitting = None
+            if self._delay_ns == 0:
+                self.delivered += 1
+                self.sink(packet)
+            else:
+                # FIFO + constant delay: appending keeps the line sorted.
+                self._delay_line.append((packet, now + self._delay_ns))
+        line = self._delay_line
+        while line and line[0][1] <= now:
+            packet, _t = line.popleft()
+            self.delivered += 1
+            self.sink(packet)
+        if self._frozen:
+            return                          # a sink callback froze the pipe
+        # A sink callback may have re-entered submit() and already started
+        # the next transmission; only start one if the server is idle.
+        if self._transmitting is None and self._queue:
+            packet = self._queue.pop(0)
+            # inlined transmission_time_ns (ceil division, >= 1 ns)
+            tx = -(-packet.wire_bytes * _BITS_TO_NS // self._bw)
+            self._transmitting = (packet, now + tx)
+        self._arm()
+
+    # -- two-call mode (batch_pipes=False) ----------------------------------------
 
     def _start_transmission(self) -> None:
         if self._transmitting is not None or not self._queue:
@@ -197,8 +306,9 @@ class Pipe:
         """Drop the packet closest to delivery (an injected loss).
 
         Takes from the router queue first, then from the delay line (a
-        loss in flight); the delay line's scheduled delivery notices the
-        shorter line and re-arms for the new head.
+        loss in flight); the scheduled delivery notices the shorter line
+        and re-arms for the new head (in batch mode the already-armed
+        advance simply fires early and finds nothing due).
         """
         if self._queue:
             self.dropped_queue += 1
@@ -218,8 +328,12 @@ class Pipe:
         self._frozen = True
         now = self.sim.now
         # Convert absolute deadlines into remaining times and cancel the
-        # scheduled callbacks — the pipe's virtual clock stops and the heap
-        # entries are reclaimed lazily.
+        # scheduled callbacks — the pipe's virtual clock stops and the
+        # event-store entries are reclaimed lazily.
+        if self._advance_call is not None:
+            self._advance_call.cancel()
+            self._advance_call = None
+            self._armed_at = -1
         if self._tx_call is not None:
             self._tx_call.cancel()
             self._tx_call = None
@@ -238,6 +352,19 @@ class Pipe:
             raise CheckpointError(f"pipe {self.name} is not frozen")
         self._frozen = False
         now = self.sim.now
+        if self._batch:
+            if self._transmitting is not None:
+                packet, remaining = self._transmitting
+                self._transmitting = (packet, now + remaining)
+            self._delay_line = deque((p, now + r)
+                                     for p, r in self._delay_line)
+            if self._transmitting is None and self._queue:
+                packet = self._queue.pop(0)
+                tx = transmission_time_ns(packet.wire_bytes,
+                                          self.config.bandwidth_bps)
+                self._transmitting = (packet, now + tx)
+            self._arm()
+            return
         if self._transmitting is not None:
             packet, remaining = self._transmitting
             finish = now + remaining

@@ -35,7 +35,7 @@ class _Direction:
     """One serializing direction of a duplex link."""
 
     __slots__ = ("sim", "src", "dst", "busy_until", "queued", "drops",
-                 "train", "scheduled", "fire")
+                 "train", "scheduled", "fire", "schedule", "deliver")
 
     def __init__(self, sim: Simulator, src: Interface, dst: Interface) -> None:
         self.sim = sim
@@ -49,6 +49,10 @@ class _Direction:
         self.scheduled = False
         #: the one delivery callable reused for every entry of the train
         self.fire = self._deliver_next
+        #: prebound hot-path targets: one attribute hop instead of two on
+        #: every train re-arm and every delivery
+        self.schedule = sim.schedule_fn
+        self.deliver = dst.deliver
 
     def _deliver_next(self) -> None:
         train = self.train
@@ -56,15 +60,18 @@ class _Direction:
         if train:
             # Re-arm for the next arrival *before* delivering: a handler
             # that synchronously transmits again must see consistent state.
-            self.sim.schedule_fn(train[0][0], self.fire)
+            self.schedule(train[0][0], self.fire)
         else:
             self.scheduled = False          # train drained: batching disengages
         self.queued -= 1
-        self.dst.deliver(packet)
+        self.deliver(packet)
 
 
 class Link:
     """A full-duplex wire between two interfaces."""
+
+    __slots__ = ("sim", "bandwidth_bps", "propagation_ns", "queue_packets",
+                 "batching", "_dirs")
 
     def __init__(self, sim: Simulator, a: Interface, b: Interface,
                  bandwidth_bps: int = GBPS, propagation_ns: int = 1 * US,
@@ -102,7 +109,7 @@ class Link:
             direction.train.append((arrive, packet))
             if not direction.scheduled:
                 direction.scheduled = True
-                self.sim.schedule_fn(arrive, direction.fire)
+                direction.schedule(arrive, direction.fire)
             return
 
         def deliver() -> None:

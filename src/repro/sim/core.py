@@ -1,16 +1,36 @@
 """Deterministic discrete-event simulation kernel.
 
-The kernel is a classic event-heap design: :class:`Simulator` owns a binary
-heap of ``(time, priority, sequence, item)`` entries and advances simulated
-time by popping the earliest entry and running it.  Simulated time is
+The kernel orders work by ``(time, priority, sequence)``: simulated time is
 integer nanoseconds (see :mod:`repro.units`), and ties are broken by a
 monotonically increasing sequence number, so a run is reproducible
 bit-for-bit regardless of host platform.
 
-Two kinds of item ride the heap:
+Storage is a **two-lane event store** (profile-guided; see
+docs/performance.md for the measurements that chose this layout over both
+``heapq`` tuples alone and a hand-rolled sift-up/sift-down array heap):
+
+* the **tail lane** — a plain deque of ``(when, priority, seq, item)``
+  entries kept sorted by construction.  Most scheduling in a discrete-event
+  simulation is *monotone*: a callback running at time ``t`` schedules its
+  successor at ``t + delta``, which lands at or past everything already
+  pending.  Such entries append in O(1) with two integer comparisons and
+  pop from the head in O(1) — no sifting, no per-entry log(n).
+* the **heap lane** — a classic binary heap (C ``heapq``) that absorbs the
+  out-of-order remainder: timers armed into the far future while nearer
+  work is pending, retransmission deadlines, URGENT-priority kicks.
+
+Dispatch merges the lanes by comparing their heads; because both lanes are
+min-ordered and every entry carries the full ``(when, priority, seq)``
+prefix, the merged pop order is exactly the order a single heap would
+produce.  The run loop itself is inlined (no per-event ``step()`` call)
+whenever no race detector or profiler is attached.
+
+Two kinds of item ride the store:
 
 * :class:`Event` (and subclasses) — the full-featured waitable object used
-  by processes, with a value, callbacks, and failure propagation;
+  by processes, with a value, callbacks, and failure propagation; events
+  are callable (dispatch invokes ``event()``) so the hot loop never needs
+  an ``isinstance`` check;
 * the scheduling **fast path** — :meth:`Simulator.schedule_call` pushes a
   single slotted :class:`ScheduledCall` handle (cancellable), and
   :meth:`Simulator.schedule_fn` pushes the bare callable itself.  Neither
@@ -18,10 +38,11 @@ Two kinds of item ride the heap:
   makes per-packet and per-timer scheduling cheap (see docs/performance.md).
 
 Cancellation is *lazy*: a cancelled :class:`ScheduledCall` drops its
-callback reference immediately and is skipped when popped; when tombstones
-exceed half the heap the heap is compacted in one O(n) pass.  Pop order is
-fully determined by the ``(time, priority, sequence)`` prefix, so compaction
-(which only rearranges the backing array) can never change scheduling order.
+callback reference immediately and is skipped when popped (O(1), no
+per-entry handle bookkeeping); when tombstones exceed half the live store
+both lanes are compacted in one O(n) pass.  Pop order is fully determined
+by the ``(time, priority, sequence)`` prefix, so compaction (which only
+rearranges backing storage) can never change scheduling order.
 
 Processes (generator coroutines that ``yield`` events) are layered on top in
 :mod:`repro.sim.process`.
@@ -30,6 +51,8 @@ Processes (generator coroutines that ``yield`` events) are layered on top in
 from __future__ import annotations
 
 import heapq
+from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import SimulationError
@@ -47,7 +70,7 @@ class Event:
 
     An event starts *pending*.  Calling :meth:`succeed` or :meth:`fail`
     *triggers* it: it acquires a value (or an exception) and is scheduled on
-    the simulator's heap.  When the simulator pops it, the event is
+    the simulator's event store.  When the simulator pops it, the event is
     *processed*: all registered callbacks run, in registration order.
 
     Callbacks receive the event itself as their only argument.
@@ -67,7 +90,7 @@ class Event:
 
     @property
     def triggered(self) -> bool:
-        """True once the event has a value and is on the heap."""
+        """True once the event has a value and is on the event store."""
         return self._value is not _PENDING
 
     @property
@@ -132,7 +155,11 @@ class Event:
         """Remove a previously registered callback (no-op if absent).
 
         On a processed event the callback list is gone and there is nothing
-        to remove; that case returns immediately instead of scanning.
+        to remove; that case returns immediately instead of scanning.  The
+        same applies *during* dispatch of this event: ``_process`` detaches
+        the list before running it, so removal from inside one of the
+        event's own callbacks is a no-op — the remaining callbacks still
+        fire (see tests/test_sim_heap_edges.py, which pins this contract).
         """
         cbs = self.callbacks
         if cbs is None:
@@ -149,6 +176,13 @@ class Event:
             fn(self)
         if self._ok is False and not self._defused:
             raise self._value
+
+    def __call__(self) -> None:
+        # Events are callable so the dispatch loop can invoke any non-handle
+        # item uniformly, without an isinstance check on the hot path.
+        # Defined as a real method (not an alias) so subclasses overriding
+        # _process stay correct.
+        self._process()
 
     def __repr__(self) -> str:
         state = ("processed" if self.processed
@@ -174,9 +208,9 @@ class Timeout(Event):
 class ScheduledCall:
     """A cancellable handle for one fast-path scheduled callback.
 
-    The handle *is* the heap item: cancelling sets ``fn`` to ``None``
+    The handle *is* the stored item: cancelling sets ``fn`` to ``None``
     (releasing the callback and anything it closes over immediately) and the
-    simulator skips the tombstone when it reaches the top of the heap.  In
+    simulator skips the tombstone when it reaches the head of its lane.  In
     legacy mode (``Simulator(fast_path=False)``) the handle instead guards a
     conventional :class:`Event`, reproducing the pre-fast-path fire-time
     tombstone semantics for A/B equivalence runs.
@@ -205,7 +239,7 @@ class ScheduledCall:
             sim = self.sim
             sim._dead += 1
             if (sim._dead >= sim.COMPACT_MIN and
-                    sim._dead * 2 > len(sim._heap)):
+                    sim._dead * 2 > len(sim._heap) + len(sim._tail)):
                 sim._compact()
 
     def _event_fire(self, _event: "Event") -> None:
@@ -221,22 +255,30 @@ class ScheduledCall:
 
 
 class Simulator:
-    """The event loop: a clock plus a heap of scheduled events.
+    """The event loop: a clock plus the two-lane store of scheduled events.
 
-    ``fast_path`` and ``packet_trains`` exist so one binary can run the
-    optimized and the legacy scheduling paths side by side (equivalence
-    tests, `repro bench`); both default on and production code never turns
-    them off.
+    ``fast_path``, ``packet_trains`` and ``batch_pipes`` exist so one binary
+    can run the optimized and the legacy scheduling paths side by side
+    (equivalence tests, `repro bench`); all default on and production code
+    never turns them off.
     """
 
     #: lazy-deletion compaction knobs: compact when at least COMPACT_MIN
     #: tombstones exist *and* they outnumber live entries
     COMPACT_MIN = 64
 
+    __slots__ = ("now", "_heap", "_tail", "_seq", "_dead", "_running",
+                 "fast_path", "packet_trains", "batch_pipes",
+                 "race_detector", "profiler")
+
     def __init__(self, *, fast_path: bool = True,
-                 packet_trains: bool = True) -> None:
+                 packet_trains: bool = True,
+                 batch_pipes: bool = True) -> None:
         self.now: int = 0
+        #: heap lane: out-of-order entries, C-heapq ordered
         self._heap: list[tuple[int, int, int, Any]] = []
+        #: tail lane: monotone entries, sorted by construction
+        self._tail: deque = deque()
         self._seq = 0
         self._dead = 0                      # cancelled fast-path tombstones
         self._running = False
@@ -245,11 +287,15 @@ class Simulator:
         self.fast_path = fast_path
         #: links/delay nodes coalesce back-to-back packets into trains
         self.packet_trains = packet_trains
+        #: Dummynet pipes keep one merged advance call per pipe and drain
+        #: same-instant runs inline (see repro.net.dummynet)
+        self.batch_pipes = batch_pipes
         #: opt-in runtime determinism checker (see repro.lint.runtime);
-        #: None means zero-overhead normal operation
+        #: None means zero-overhead normal operation.  Attach *before*
+        #: calling run(): the run loop is specialized per run() call.
         self.race_detector = None
         #: opt-in event-loop hot-spot profiler (see repro.obs.profile);
-        #: None means zero-overhead normal operation
+        #: None means zero-overhead normal operation.  Attach before run().
         self.profiler = None
 
     # -- event construction ---------------------------------------------------
@@ -286,16 +332,24 @@ class Simulator:
 
         The fast path pushes one slotted :class:`ScheduledCall` — no Event,
         no callback list, no wrapper lambda.  ``handle.cancel()`` removes
-        the entry lazily (skipped at pop, compacted when tombstones exceed
-        half the heap).
+        the entry lazily (skipped at pop, compacted past the threshold).
         """
         if when < self.now:
             raise SimulationError(
                 f"cannot schedule at {when} before now={self.now}")
         if self.fast_path:
-            self._seq += 1
+            self._seq = seq = self._seq + 1
             handle = ScheduledCall(self, fn)
-            heapq.heappush(self._heap, (when, priority, self._seq, handle))
+            tail = self._tail
+            if tail:
+                last = tail[-1]
+                lw = last[0]
+                if when > lw or (when == lw and priority >= last[1]):
+                    tail.append((when, priority, seq, handle))
+                else:
+                    heappush(self._heap, (when, priority, seq, handle))
+            else:
+                tail.append((when, priority, seq, handle))
             return handle
         # Legacy path, reproducing the pre-fast-path implementation: a
         # Timeout event plus a wrapper lambda per scheduled callback;
@@ -312,16 +366,25 @@ class Simulator:
                     priority: int = NORMAL) -> None:
         """Fire-and-forget fast path: pushes the bare callable itself.
 
-        Zero per-call allocation beyond the heap entry; there is no handle,
-        so the call cannot be cancelled.  Reuse one prebound callable to
-        schedule the same work repeatedly (packet trains do this).
+        Zero per-call allocation beyond the stored entry; there is no
+        handle, so the call cannot be cancelled.  Reuse one prebound
+        callable to schedule the same work repeatedly (packet trains do).
         """
         if when < self.now:
             raise SimulationError(
                 f"cannot schedule at {when} before now={self.now}")
         if self.fast_path:
-            self._seq += 1
-            heapq.heappush(self._heap, (when, priority, self._seq, fn))
+            self._seq = seq = self._seq + 1
+            tail = self._tail
+            if tail:
+                last = tail[-1]
+                lw = last[0]
+                if when > lw or (when == lw and priority >= last[1]):
+                    tail.append((when, priority, seq, fn))
+                else:
+                    heappush(self._heap, (when, priority, seq, fn))
+            else:
+                tail.append((when, priority, seq, fn))
             return
         ev = self._legacy_event(when, priority)
         ev.callbacks.append(lambda _e: fn())
@@ -337,17 +400,25 @@ class Simulator:
         return ev
 
     def _compact(self) -> None:
-        """Drop cancelled tombstones and re-heapify (O(n), amortized O(1)).
+        """Drop cancelled tombstones from both lanes (O(n), amortized O(1)).
 
-        Rearranging the backing array cannot change pop order: the
-        ``(time, priority, sequence)`` prefix is a total order.  The sweep
-        mutates the list in place — run loops hold a reference to it.
+        Rearranging backing storage cannot change pop order: the
+        ``(time, priority, sequence)`` prefix is a total order.  Both
+        sweeps mutate their containers in place — run loops hold
+        references to them.
         """
         heap = self._heap
         heap[:] = [entry for entry in heap
                    if not (entry[3].__class__ is ScheduledCall and
                            entry[3].fn is None)]
         heapq.heapify(heap)
+        tail = self._tail
+        live = [entry for entry in tail
+                if not (entry[3].__class__ is ScheduledCall and
+                        entry[3].fn is None)]
+        if len(live) != len(tail):
+            tail.clear()
+            tail.extend(live)               # order preserved: still sorted
         self._dead = 0
 
     # -- scheduling internals ------------------------------------------------
@@ -355,28 +426,74 @@ class Simulator:
     def _enqueue(self, event: Event, delay: int, priority: int) -> None:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+        self._seq = seq = self._seq + 1
+        when = self.now + delay
+        tail = self._tail
+        if tail:
+            last = tail[-1]
+            lw = last[0]
+            if when > lw or (when == lw and priority >= last[1]):
+                tail.append((when, priority, seq, event))
+            else:
+                heappush(self._heap, (when, priority, seq, event))
+        else:
+            tail.append((when, priority, seq, event))
+
+    @property
+    def pending_count(self) -> int:
+        """Entries currently stored, cancelled tombstones included."""
+        return len(self._heap) + len(self._tail)
 
     # -- execution ------------------------------------------------------------
 
     def peek(self) -> Optional[int]:
         """Timestamp of the next *live* scheduled event, or None if idle."""
         heap = self._heap
-        while heap:
-            item = heap[0][3]
+        tail = self._tail
+        while True:
+            if heap:
+                if tail and tail[0] < heap[0]:
+                    entry, in_tail = tail[0], True
+                else:
+                    entry, in_tail = heap[0], False
+            elif tail:
+                entry, in_tail = tail[0], True
+            else:
+                return None
+            item = entry[3]
             if item.__class__ is ScheduledCall and item.fn is None:
-                heapq.heappop(heap)
+                if in_tail:
+                    tail.popleft()
+                else:
+                    heappop(heap)
                 self._dead -= 1
                 continue
-            return heap[0][0]
+            return entry[0]
+
+    def _pop_next(self):
+        """Pop the globally earliest entry, or None if the store is empty."""
+        heap = self._heap
+        tail = self._tail
+        if heap:
+            if tail and tail[0] < heap[0]:
+                return tail.popleft()
+            return heappop(heap)
+        if tail:
+            return tail.popleft()
         return None
 
     def step(self) -> None:
-        """Process the next live event (skipping cancelled tombstones)."""
-        heap = self._heap
-        while heap:
-            when, prio, seq, item = heapq.heappop(heap)
+        """Process the next live event (skipping cancelled tombstones).
+
+        This is the generic, instrumented dispatch: the race detector and
+        profiler hooks live here.  Uninstrumented ``run()`` calls use the
+        inlined loops below instead.
+        """
+        while True:
+            entry = self._pop_next()
+            if entry is None:
+                return
+            when, prio, seq, item = entry
             if item.__class__ is ScheduledCall:
                 fn = item.fn
                 if fn is None:
@@ -404,16 +521,10 @@ class Simulator:
                 self.race_detector.observe(when, prio, seq, item)
             if self.profiler is not None:
                 t0 = self.profiler.begin()
-                if isinstance(item, Event):
-                    item._process()
-                else:
-                    item()
+                item()
                 self.profiler.end(t0, item)
                 return
-            if isinstance(item, Event):
-                item._process()
-            else:
-                item()                      # bare fast-path callable
+            item()                          # Event or bare fast-path callable
             return
 
     def enable_race_detection(self):
@@ -421,7 +532,9 @@ class Simulator:
 
         Opt-in: detection watches every popped event for same-timestamp
         ties whose callbacks touch a shared component (a latent ordering
-        hazard).  See :class:`repro.lint.runtime.EventRaceDetector`.
+        hazard).  Attach before calling :meth:`run` — the run loop checks
+        for instrumentation once per run() call, not per event.
+        See :class:`repro.lint.runtime.EventRaceDetector`.
         """
         from repro.lint.runtime import EventRaceDetector
 
@@ -435,7 +548,8 @@ class Simulator:
         wall-clock reads to attribute real time to callables by module
         and qualified name.  It observes host time only — it never reads
         or advances simulated time — so traces and digests are unchanged.
-        See :class:`repro.obs.profile.LoopProfiler`.
+        Attach before calling :meth:`run` (same contract as the race
+        detector).  See :class:`repro.obs.profile.LoopProfiler`.
         """
         from repro.obs.profile import LoopProfiler
 
@@ -445,7 +559,7 @@ class Simulator:
     def run(self, until: Optional[Any] = None) -> Any:
         """Run the simulation.
 
-        ``until`` may be ``None`` (run until the heap drains), an integer
+        ``until`` may be ``None`` (run until the store drains), an integer
         absolute time in nanoseconds (run up to and including that instant),
         or an :class:`Event` (run until it is processed; its value is
         returned).
@@ -454,49 +568,155 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         try:
+            if self.race_detector is not None or self.profiler is not None:
+                return self._run_instrumented(until)
+
+            # The three loops below are the hottest code in the tree; they
+            # are specialized per `until` kind and deliberately duplicate
+            # the dispatch snippet instead of calling step() per event.
+            heap = self._heap
+            tail = self._tail
+            pop_tail = tail.popleft
+            SC = ScheduledCall
+
             if isinstance(until, Event):
                 stop = until
                 if stop.processed:
                     return stop.value if stop.ok else None
-                done = []
+                done: list = []
                 stop.add_callback(done.append)
-                while self._heap and not done:
-                    self.step()
-                if not done:
-                    raise SimulationError(
-                        "simulation ran out of events before target event")
+                while not done:
+                    if heap:
+                        if tail and tail[0] < heap[0]:
+                            entry = pop_tail()
+                        else:
+                            entry = heappop(heap)
+                    elif tail:
+                        entry = pop_tail()
+                    else:
+                        raise SimulationError(
+                            "simulation ran out of events before target "
+                            "event")
+                    item = entry[3]
+                    if item.__class__ is SC:
+                        fn = item.fn
+                        if fn is None:
+                            self._dead -= 1
+                            continue
+                        item.fn = None
+                        self.now = entry[0]
+                        fn()
+                    else:
+                        self.now = entry[0]
+                        item()
                 if not stop.ok:
                     if not stop._defused:
                         raise stop.value
                     return None
                 return stop.value
+
             if until is None:
-                while self._heap:
-                    self.step()
-                return None
+                while True:
+                    if heap:
+                        if tail and tail[0] < heap[0]:
+                            entry = pop_tail()
+                        else:
+                            entry = heappop(heap)
+                    elif tail:
+                        entry = pop_tail()
+                    else:
+                        return None
+                    item = entry[3]
+                    if item.__class__ is SC:
+                        fn = item.fn
+                        if fn is None:
+                            self._dead -= 1
+                            continue
+                        item.fn = None
+                        self.now = entry[0]
+                        fn()
+                    else:
+                        self.now = entry[0]
+                        item()
+
             horizon = int(until)
             if horizon < self.now:
                 raise SimulationError(
                     f"run(until={horizon}) is in the past (now={self.now})")
-            # The horizon check must see the next *live* event's timestamp:
-            # a cancelled tombstone below the horizon must not let the loop
-            # step into a live event beyond it.  (Inline head purge rather
-            # than peek()-per-step — this is the hottest loop in the tree.)
-            heap = self._heap
-            while heap:
-                head = heap[0]
-                item = head[3]
-                if item.__class__ is ScheduledCall and item.fn is None:
-                    heapq.heappop(heap)
-                    self._dead -= 1
-                    continue
-                if head[0] > horizon:
+            # Tombstones below the horizon are skipped without advancing
+            # the clock, so a cancelled entry can never drag the loop into
+            # a live event beyond the horizon.  The one entry popped past
+            # the horizon is pushed back (at most once per run() call).
+            while True:
+                if heap:
+                    if tail and tail[0] < heap[0]:
+                        entry = pop_tail()
+                        from_tail = True
+                    else:
+                        entry = heappop(heap)
+                        from_tail = False
+                elif tail:
+                    entry = pop_tail()
+                    from_tail = True
+                else:
                     break
-                self.step()
+                if entry[0] > horizon:
+                    if from_tail:
+                        tail.appendleft(entry)  # head restored: still sorted
+                    else:
+                        heappush(heap, entry)
+                    break
+                item = entry[3]
+                if item.__class__ is SC:
+                    fn = item.fn
+                    if fn is None:
+                        self._dead -= 1
+                        continue
+                    item.fn = None
+                    self.now = entry[0]
+                    fn()
+                else:
+                    self.now = entry[0]
+                    item()
             self.now = horizon
             return None
         finally:
             self._running = False
+
+    def _run_instrumented(self, until: Optional[Any]) -> Any:
+        """The generic step()-per-event loop, used when a race detector or
+        profiler is attached so every dispatch passes their hooks."""
+        if isinstance(until, Event):
+            stop = until
+            if stop.processed:
+                return stop.value if stop.ok else None
+            done: list = []
+            stop.add_callback(done.append)
+            while (self._heap or self._tail) and not done:
+                self.step()
+            if not done:
+                raise SimulationError(
+                    "simulation ran out of events before target event")
+            if not stop.ok:
+                if not stop._defused:
+                    raise stop.value
+                return None
+            return stop.value
+        if until is None:
+            while self._heap or self._tail:
+                self.step()
+            return None
+        horizon = int(until)
+        if horizon < self.now:
+            raise SimulationError(
+                f"run(until={horizon}) is in the past (now={self.now})")
+        while True:
+            nxt = self.peek()               # purges tombstones at the heads
+            if nxt is None or nxt > horizon:
+                break
+            self.step()
+        self.now = horizon
+        return None
 
     # -- conveniences ----------------------------------------------------------
 

@@ -10,10 +10,10 @@ timers and application sleeps.
 Cancellation is propagated downward: a :class:`TimerHandle` owns an
 underlying cancellable (a :class:`~repro.sim.core.ScheduledCall` for
 :class:`SimTimerService`, a wheel entry for the guest timer wheel), so a
-cancelled timer's heap entry is reclaimed lazily instead of sitting on the
-event heap as a tombstone until its original deadline.  TCP's
+cancelled timer's store entry is reclaimed lazily instead of sitting on the
+event store as a tombstone until its original deadline.  TCP's
 cancel/rearm-heavy RTO timers make this the difference between an O(live)
-and an O(every-timer-ever-armed) heap.
+and an O(every-timer-ever-armed) store.
 """
 
 from __future__ import annotations
@@ -71,14 +71,17 @@ class TimerService(Protocol):
 class SimTimerService:
     """Timers in true simulated time (for hosts outside any guest)."""
 
+    __slots__ = ("sim", "_schedule")
+
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
+        # prebound: call_in is on TCP's RTO arm/cancel hot path
+        self._schedule = sim.schedule_call
 
     def now(self) -> int:
         return self.sim.now
 
     def call_in(self, delay_ns: int, fn: Callable[[], None]) -> TimerHandle:
         handle = TimerHandle(fn)
-        handle._call = self.sim.schedule_call(self.sim.now + delay_ns,
-                                              handle._fire)
+        handle._call = self._schedule(self.sim.now + delay_ns, handle._fire)
         return handle

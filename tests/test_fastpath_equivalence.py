@@ -25,6 +25,11 @@ MODES = [
     ("fast+per-packet", dict(fast_path=True, packet_trains=False)),
     ("legacy+trains", dict(fast_path=False, packet_trains=True)),
     ("legacy+per-packet", dict(fast_path=False, packet_trains=False)),
+    # the third optimization axis: merged single-call pipe driver on/off
+    ("fast+trains+two-call-pipes",
+     dict(fast_path=True, packet_trains=True, batch_pipes=False)),
+    ("legacy+per-packet+batch-pipes",
+     dict(fast_path=False, packet_trains=False, batch_pipes=True)),
 ]
 
 
@@ -40,6 +45,7 @@ def test_fig6_all_modes_bit_identical(fig6_digests):
 
 
 def test_fig7_modes_bit_identical():
+    # The two opposite corners of the full 2x2x2 mode cube.
     digests = {name: run_fig7(make_sim(**kw), run_seconds=8, num_ckpts=1)
                for name, kw in (MODES[0], MODES[3])}
     assert digests["fast+trains"] == digests["legacy+per-packet"], digests

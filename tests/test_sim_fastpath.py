@@ -79,12 +79,12 @@ def test_same_time_ordering_is_fifo_across_item_kinds():
 def test_tombstones_compact_past_threshold():
     sim = Simulator()
     handles = [sim.call_in(1 * SECOND, lambda: None) for _ in range(300)]
-    assert len(sim._heap) == 300
+    assert len(sim._heap) + len(sim._tail) == 300
     for h in handles:
         h.cancel()
     # Compaction triggered once tombstones passed COMPACT_MIN and half
-    # the heap: the backing array shrank without running anything.
-    assert len(sim._heap) < 300
+    # the live store: both lanes shrank without running anything.
+    assert len(sim._heap) + len(sim._tail) < 300
     assert sim._dead < Simulator.COMPACT_MIN
     sim.run()
     assert sim.now == 0
@@ -115,9 +115,9 @@ def test_timer_service_cancellation_reclaims_heap_entry():
     sim = Simulator()
     svc = SimTimerService(sim)
     handle = svc.call_in(60 * SECOND, lambda: None)
-    assert len(sim._heap) == 1
+    assert len(sim._heap) + len(sim._tail) == 1
     handle.cancel()
-    assert sim._dead == 1 or len(sim._heap) == 0
+    assert sim._dead == 1 or len(sim._heap) + len(sim._tail) == 0
     assert sim.peek() is None
 
 
@@ -149,7 +149,7 @@ def test_legacy_mode_keeps_cancelled_entries_until_deadline():
     sim = Simulator(fast_path=False)
     handle = sim.call_in(1 * SECOND, lambda: None)
     handle.cancel()
-    assert len(sim._heap) == 1      # fire-time tombstone, like the old code
+    assert len(sim._heap) + len(sim._tail) == 1   # fire-time tombstone
     sim.run()
     assert sim.now == 1 * SECOND    # the dead Event still pops at deadline
 

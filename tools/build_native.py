@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Build (or report on) the optional mypyc extensions in place.
+
+Usage::
+
+    python tools/build_native.py            # compile, if mypyc is available
+    python tools/build_native.py --check    # report native/pure status only
+    python tools/build_native.py --clean    # remove compiled artifacts
+
+Compiles ``repro.sim.core`` and ``repro.net.dummynet`` to C extensions
+next to their sources (an in-place ``build_ext``), so ``PYTHONPATH=src``
+runs pick them up automatically — the import system prefers the extension
+over the ``.py``.  The pure-Python tree stays authoritative: after
+building, run the tier-1 suite and ``repro bench`` and confirm every
+``digest_match`` is still ``true``.
+
+Degrades gracefully: without mypyc (the ``.[native]`` extra) or a C
+toolchain this prints what is missing and exits 0, because the native
+build is an optional accelerator, not a requirement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+MODULES = ("repro.sim.core", "repro.net.dummynet")
+
+
+def _artifact_globs() -> list:
+    pats = []
+    for mod in MODULES:
+        rel = mod.replace(".", os.sep)
+        pats.append(os.path.join(REPO, "src", rel + ".*.so"))
+        pats.append(os.path.join(REPO, "src", rel + ".*.pyd"))
+    # mypyc emits one shared runtime library per build group
+    pats.append(os.path.join(REPO, "src", "*__mypyc*.so"))
+    pats.append(os.path.join(REPO, "src", "*__mypyc*.pyd"))
+    return pats
+
+
+def check() -> int:
+    any_native = False
+    for mod in MODULES:
+        rel = mod.replace(".", os.sep)
+        hits = (glob.glob(os.path.join(REPO, "src", rel + ".*.so")) +
+                glob.glob(os.path.join(REPO, "src", rel + ".*.pyd")))
+        status = "native" if hits else "pure-python"
+        any_native = any_native or bool(hits)
+        print(f"{mod:<24} {status}")
+    return 0
+
+
+def clean() -> int:
+    removed = 0
+    for pat in _artifact_globs():
+        for path in glob.glob(pat):
+            os.unlink(path)
+            print(f"removed {os.path.relpath(path, REPO)}")
+            removed += 1
+    if not removed:
+        print("no compiled artifacts found")
+    return 0
+
+
+def build() -> int:
+    try:
+        import mypyc  # noqa: F401
+    except ImportError:
+        print("mypyc is not installed; skipping the native build "
+              "(pip install -e .[native] to enable)")
+        return 0
+    env = dict(os.environ, REPRO_NATIVE="1")
+    proc = subprocess.run(
+        [sys.executable, "setup.py", "build_ext", "--inplace"],
+        cwd=REPO, env=env)
+    if proc.returncode != 0:
+        print("native build failed (missing C toolchain?); the "
+              "pure-Python modules remain in use")
+        return proc.returncode
+    check()
+    print("native build complete — now re-run the tier-1 suite and "
+          "`repro bench`; every digest_match must still be true")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="report which modules are compiled, then exit")
+    parser.add_argument("--clean", action="store_true",
+                        help="remove compiled artifacts")
+    args = parser.parse_args()
+    if args.check:
+        return check()
+    if args.clean:
+        return clean()
+    return build()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
