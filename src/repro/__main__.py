@@ -20,6 +20,11 @@ Subcommands:
 * ``trace``     — run a scenario with full tracing and export the span
                   timeline as Chrome/Perfetto ``trace_event`` JSON
                   (open in ``ui.perfetto.dev``; see docs/observability.md)
+* ``snapshot``  — true snapshot/restore over the serializable worlds:
+                  take delta-chained snapshots of a running world,
+                  inspect/diff their manifests, and restore one into a
+                  cold world with an optional replay cross-check
+                  (docs/snapshots.md)
 """
 
 from __future__ import annotations
@@ -230,6 +235,96 @@ def cmd_faults(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_snapshot(args) -> int:
+    from repro.checkpoint.snapshot import SnapshotStore
+    from repro.errors import SnapshotError
+    from repro.timetravel.scenarios import WORLD_BUILDERS
+    from repro.units import MS
+
+    if args.action == "take":
+        builder = WORLD_BUILDERS.get(args.world)
+        if builder is None:
+            print(f"unknown world {args.world!r} "
+                  f"(have {sorted(WORLD_BUILDERS)})")
+            return 1
+        world = builder(seed=args.seed)
+        store = SnapshotStore()
+        parent = None
+        print(f"{'id':<8} {'virtual_ms':>11} {'bytes':>8} {'new':>8} "
+              f"{'dedup%':>7}")
+        for i in range(1, args.checkpoints + 1):
+            t = world.advance_to_quiescence(i * args.interval_ms * MS)
+            snap = store.take(f"cp{i}", world.snapshot_providers(),
+                              virtual_time_ns=t, parent=parent,
+                              label=f"{args.world}:{args.seed}")
+            parent = snap.snapshot_id
+            saved = snap.total_bytes - snap.new_chunk_bytes
+            print(f"{snap.snapshot_id:<8} {t / 1e6:>11.1f} "
+                  f"{snap.total_bytes:>8} {snap.new_chunk_bytes:>8} "
+                  f"{100.0 * saved / snap.total_bytes:>6.1f}%")
+        store.save(args.store)
+        print(f"wrote {args.store}")
+        return 0
+
+    try:
+        store = SnapshotStore.load(args.store)
+    except (OSError, ValueError, SnapshotError) as exc:
+        print(f"cannot load snapshot store {args.store}: {exc}")
+        return 1
+
+    if args.action == "inspect":
+        if args.id:
+            manifest = store.manifest(args.id)
+            print(f"snapshot {manifest.snapshot_id}  "
+                  f"t={manifest.virtual_time_ns / 1e6:.1f}ms  "
+                  f"parent={manifest.parent}  label={manifest.label!r}")
+            print(f"{'provider':<24} {'schema':>6} {'bytes':>8} "
+                  f"{'chunks':>7}  digest")
+            for rec in manifest.providers:
+                print(f"{rec.name:<24} {rec.schema_version:>6} "
+                      f"{rec.nbytes:>8} {len(rec.chunks):>7}  "
+                      f"{rec.digest[:16]}")
+            return 0
+        print(f"{'id':<8} {'virtual_ms':>11} {'bytes':>8} {'new':>8} "
+              f"{'parent':<8} label")
+        for sid in store.order:
+            m = store.manifest(sid)
+            print(f"{sid:<8} {m.virtual_time_ns / 1e6:>11.1f} "
+                  f"{m.total_bytes:>8} {m.new_chunk_bytes:>8} "
+                  f"{m.parent or '-':<8} {m.label}")
+        return 0
+
+    if args.action == "diff":
+        import json
+
+        print(json.dumps(store.diff(args.id, args.against),
+                         indent=2, sort_keys=True))
+        return 0
+
+    # restore
+    manifest = store.manifest(args.id)
+    kind, _, seed_str = manifest.label.partition(":")
+    builder = WORLD_BUILDERS.get(kind)
+    if builder is None or not seed_str.isdigit():
+        print(f"snapshot {args.id!r} label {manifest.label!r} does not "
+              f"name a world; only stores written by `repro snapshot "
+              f"take` are restorable here")
+        return 1
+    seed = int(seed_str)
+    world = builder(seed=seed, started=False)
+    store.restore(args.id, world.snapshot_providers())
+    print(f"restored {args.id} into a cold {kind} world at "
+          f"t={world.virtual_now() / 1e6:.1f}ms")
+    print(f"state digest: {world.state_digest()}")
+    if args.verify:
+        replayed = builder(seed=seed)
+        replayed.advance_to(manifest.virtual_time_ns)
+        ok = replayed.state_digest() == world.state_digest()
+        print("replay cross-check:", "OK" if ok else "MISMATCH")
+        return 0 if ok else 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -287,11 +382,35 @@ def main(argv=None) -> int:
     trace.add_argument("--out", metavar="PATH", default="trace.json",
                        help="trace_event JSON output path "
                             "(default: trace.json)")
+    snap = sub.add_parser("snapshot",
+                          help="take/inspect/restore/diff true snapshots "
+                               "of a serializable world")
+    snap.add_argument("action",
+                      choices=("take", "inspect", "restore", "diff"),
+                      help="what to do with the snapshot store")
+    snap.add_argument("--store", metavar="PATH", default="snapshots.json",
+                      help="snapshot store file (default: snapshots.json)")
+    snap.add_argument("--world", default="fig4",
+                      help="world to snapshot with `take` "
+                           "(fig4, fig8, faultstorm; default: fig4)")
+    snap.add_argument("--seed", type=int, default=4,
+                      help="world seed for `take` (default: 4)")
+    snap.add_argument("--checkpoints", type=int, default=3,
+                      help="snapshots to take (default: 3)")
+    snap.add_argument("--interval-ms", type=int, default=1000,
+                      help="virtual ms between snapshots (default: 1000)")
+    snap.add_argument("--id", metavar="ID",
+                      help="snapshot id for inspect/restore/diff")
+    snap.add_argument("--against", metavar="ID",
+                      help="second snapshot id for `diff`")
+    snap.add_argument("--verify", action="store_true",
+                      help="after `restore`, replay from the origin and "
+                           "compare state digests")
     args = parser.parse_args(argv)
     return {"info": cmd_info, "selftest": cmd_selftest,
             "results": cmd_results, "lint": cmd_lint,
             "bench": cmd_bench, "faults": cmd_faults,
-            "trace": cmd_trace}[args.command](args)
+            "trace": cmd_trace, "snapshot": cmd_snapshot}[args.command](args)
 
 
 if __name__ == "__main__":

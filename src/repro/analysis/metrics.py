@@ -65,7 +65,7 @@ def ratio(new: float, base: float) -> float:
 def fault_retry_summary(records: Iterable) -> dict:
     """Aggregate the robustness trace: ``fault.*``, ``retry.*``, aborts.
 
-    Accepts any iterable of :class:`~repro.sim.trace.TraceRecord` (e.g. a
+    Accepts any iterable of :class:`~repro.obs.trace.TraceRecord` (e.g. a
     whole ``tracer.records`` list) and distils the recovery history::
 
         {
@@ -107,7 +107,7 @@ def fault_retry_summary(records: Iterable) -> dict:
 def stage_timing_summary(records: Iterable) -> dict:
     """Aggregate ``checkpoint.stage`` trace records per stage.
 
-    Accepts the records a :class:`~repro.sim.trace.Tracer` collected for
+    Accepts the records a :class:`~repro.obs.trace.Tracer` collected for
     the ``checkpoint.stage`` category (each carrying ``stage`` and
     ``duration_ns`` fields) and returns, per stage::
 

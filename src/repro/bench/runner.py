@@ -340,6 +340,72 @@ def _bench_trace_overhead(golden: Optional[str], quick: bool) -> Dict:
     }
 
 
+def _bench_snapshot_restore(quick: bool) -> Dict:
+    """Restore-then-run vs replay-from-origin: the crossover curve.
+
+    Runs the fig4 snapshot world out to increasing virtual horizons,
+    taking a delta-chained snapshot at each, and times two ways of
+    reaching each horizon in a fresh world: replaying from the origin
+    and restoring the snapshot into a cold world.  Replay cost grows
+    with virtual time; restore cost is O(state) and flat — the recorded
+    crossover is the first horizon where restore wins.  Every pair must
+    agree on the state digest (restore is also an equivalence gate),
+    and second-and-later snapshots must store fewer new chunk bytes
+    than their full size (the delta gate).
+    """
+    from repro.checkpoint.snapshot import SnapshotStore
+    from repro.timetravel.scenarios import build_fig4_world
+    from repro.units import SECOND
+
+    seed = 4
+    horizons = (2, 10, 40) if quick else (2, 10, 40, 90)
+    store = SnapshotStore()
+    world = build_fig4_world(seed=seed)
+    rows: List[Dict] = []
+    parent = None
+    digest_match = True
+    delta_ok = True
+    crossover = None
+    restore_s_last = replay_s_last = 0.0
+    for idx, horizon in enumerate(horizons):
+        t_q = world.advance_to_quiescence(horizon * SECOND)
+        snap = store.take(f"t{horizon}", world.snapshot_providers(),
+                          virtual_time_ns=t_q, parent=parent)
+        parent = snap.snapshot_id
+
+        def replay() -> object:
+            w = build_fig4_world(seed=seed)
+            w.advance_to(t_q)
+            return w
+
+        replay_s, replayed = _time_run(replay)
+        restore_s, restored = _time_run(
+            lambda: world.restore_from(store, snap.snapshot_id))
+        digest_match &= (restored.state_digest()
+                         == replayed.state_digest()
+                         == world.state_digest())
+        if idx > 0:
+            delta_ok &= snap.new_chunk_bytes < snap.total_bytes
+        if crossover is None and restore_s < replay_s:
+            crossover = horizon
+        restore_s_last, replay_s_last = restore_s, replay_s
+        rows.append({
+            "virtual_seconds": horizon,
+            "replay_seconds": round(replay_s, 4),
+            "restore_seconds": round(restore_s, 4),
+            "snapshot_bytes": snap.total_bytes,
+            "new_chunk_bytes": snap.new_chunk_bytes,
+        })
+    return {
+        "fast_seconds": round(restore_s_last, 4),
+        "replay_seconds": round(replay_s_last, 4),
+        "crossover_virtual_seconds": crossover,
+        "horizons": rows,
+        "delta_smaller_than_full": delta_ok,
+        "digest_match": digest_match and delta_ok and crossover is not None,
+    }
+
+
 def _default_profile_path() -> str:
     return os.path.join(_repo_root(), "benchmarks", "results",
                         "PROFILE_sim_core.json")
@@ -406,7 +472,7 @@ def run_profile(out=sys.stdout, json_output: Optional[str] = None,
 #: and *warned* about (the fault-free paths must not pay for the fault
 #: layer; sub-second wall clocks make these too jittery to hard-fail)
 _REGRESSION_WATCH = ("fig4_sleep", "fig5_cpuburn", "fig8_cow_storage",
-                     "ckpt10_coordinated")
+                     "ckpt10_coordinated", "snapshot_restore")
 #: scenarios whose regression FAILS the bench.  The gated quantity is the
 #: fast/legacy *speedup ratio* from the same interleaved best-of-N run,
 #: not the absolute event rate: a loaded or slower host drags both paths
@@ -468,6 +534,10 @@ def run_bench(quick: bool = False, output: Optional[str] = None,
         # sink configurations bound its wall-clock cost.
         "ckpt10_trace_overhead": lambda: _bench_trace_overhead(
             goldens.get("ckpt10_coordinated"), quick),
+        # True-restore gate: restore-then-run must match replay digests
+        # and beat it past the recorded virtual-time crossover, with
+        # delta snapshots smaller than full.
+        "snapshot_restore": lambda: _bench_snapshot_restore(quick),
     }
     if output is None:
         output = os.path.join(_repo_root(), "BENCH_sim_core.json")

@@ -46,7 +46,7 @@ from repro.clocksync.clock import SystemClock
 from repro.errors import CheckpointError, FirewallViolation, StorageError
 from repro.net.delaynode import DelayNode, DelayNodeSnapshot
 from repro.sim.core import Simulator
-from repro.sim.trace import NULL_SPAN, Tracer, maybe_record
+from repro.obs.trace import NULL_SPAN, Tracer, maybe_record
 from repro.units import MS, SECOND
 from repro.xen.checkpoint import CheckpointResult, LocalCheckpointer
 

@@ -39,8 +39,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import CheckpointError, FirewallViolation, StorageError
+from repro.obs.trace import NULL_SPAN, Tracer
 from repro.sim.core import Simulator
-from repro.sim.trace import NULL_SPAN, Tracer
 from repro.units import MS, US, transfer_time_ns
 
 
@@ -153,6 +153,22 @@ class Checkpointable:
     subsystem back to running state from *any* partial progress and be
     idempotent — it is the unit of the coordinator's rollback round.
 
+    Beyond the staged protocol, a provider that owns restorable state
+    implements the DMTCP-style serialization pair (see
+    :mod:`repro.checkpoint.snapshot` and docs/snapshots.md):
+
+    * :meth:`serialize` returns the provider's full state as a
+      JSON-serializable dict (taken at a quiescent instant);
+    * :meth:`restore` re-applies a payload previously produced by
+      ``serialize`` to a freshly built, not-yet-run subsystem;
+    * :attr:`SCHEMA_VERSION` stamps the payload layout — the snapshot
+      store refuses to restore a payload whose recorded version differs
+      from the live provider's (never silently reinterpret old state).
+
+    Lint rule CKPT003 enforces the pairing: overriding ``serialize``
+    without ``restore`` (or ``stage_save`` without a restore-side hook)
+    is a hard error in ``src/repro/checkpoint/`` and ``src/repro/net/``.
+
         >>> class Bell(Checkpointable):
         ...     name = "bell"
         ...     rang = 0
@@ -163,13 +179,39 @@ class Checkpointable:
         1
         >>> bell.stage_save() is None
         True
+        >>> bell.serialize()
+        {}
     """
 
     name = "checkpointable"
 
+    #: payload layout version written into every snapshot manifest; bump
+    #: whenever the dict returned by ``serialize`` changes incompatibly
+    SCHEMA_VERSION = 1
+
     def snapshot_cost_bytes(self) -> int:
         """Storage cost of checkpointing this provider's state now."""
         return 0
+
+    def serialize(self) -> dict:
+        """This provider's full state as a JSON-serializable dict.
+
+        The base provider is stateless, so the payload is empty; any
+        provider with state overrides both this and :meth:`restore`.
+        """
+        return {}
+
+    def restore(self, snapshot: dict) -> None:
+        """Re-apply a payload produced by :meth:`serialize`.
+
+        The base provider accepts only the empty payload it produces; a
+        non-empty payload reaching it means provider registries were
+        mismatched, which must fail loudly rather than drop state.
+        """
+        if snapshot:
+            raise CheckpointError(
+                f"{self.name}: stateless provider given a non-empty "
+                f"snapshot payload ({sorted(snapshot)})")
 
     def stage_prepare(self):
         return None
@@ -419,6 +461,27 @@ class BoundedSkewRetrySuspend(SuspendPolicy):
 
 # ---------------------------------------------------------------------- providers
 
+def check_payload(name: str, snapshot: dict, keys: Tuple[str, ...]) -> None:
+    """Reject a payload whose key set is not exactly ``keys``.
+
+    Restoring from a payload with missing or unknown keys means the
+    snapshot was written by a different provider layout than the one
+    restoring it; partial application would corrupt state silently, so
+    every provider validates shape before touching anything.
+
+        >>> check_payload("clock.n0", {"local_ns": 1},
+        ...               ("local_ns", "steps"))
+        Traceback (most recent call last):
+            ...
+        repro.errors.CheckpointError: clock.n0: payload keys ['local_ns'] != expected ['local_ns', 'steps']
+    """
+    if not isinstance(snapshot, dict) or set(snapshot) != set(keys):
+        got = sorted(snapshot) if isinstance(snapshot, dict) \
+            else type(snapshot).__name__
+        raise CheckpointError(
+            f"{name}: payload keys {got} != expected {sorted(keys)}")
+
+
 class DomainProvider(Checkpointable):
     """A guest domain behind a temporal firewall (§4.1–4.2).
 
@@ -478,6 +541,20 @@ class DomainProvider(Checkpointable):
                 nic.resume()
         self._saved = None
 
+    def serialize(self) -> dict:
+        if self._saved is not None:
+            raise CheckpointError(
+                f"{self.name}: serialize mid-pipeline (save completed but "
+                f"resume has not run); snapshots are taken at quiescent "
+                f"instants only")
+        return {"started": self._started, "precopy": list(self._precopy)}
+
+    def restore(self, snapshot: dict) -> None:
+        check_payload(self.name, snapshot, ("started", "precopy"))
+        self._started = snapshot["started"]
+        self._precopy = tuple(snapshot["precopy"])
+        self._saved = None
+
 
 class DelayNodeProvider(Checkpointable):
     """A Dummynet delay node: freeze pipes, serialize, thaw (§4.4)."""
@@ -510,6 +587,18 @@ class DelayNodeProvider(Checkpointable):
         if self.delay_node.frozen:
             self.delay_node.thaw()
 
+    def serialize(self) -> dict:
+        return {"node": self.delay_node.serialize_state(),
+                "frozen_at": self.frozen_at, "thawed_at": self.thawed_at}
+
+    def restore(self, snapshot: dict) -> None:
+        check_payload(self.name, snapshot, ("node", "frozen_at",
+                                            "thawed_at"))
+        self.delay_node.restore_serialized(snapshot["node"])
+        self.frozen_at = snapshot["frozen_at"]
+        self.thawed_at = snapshot["thawed_at"]
+        self.last_snapshot = None
+
 
 class BranchProvider(Checkpointable):
     """Branching storage joins the checkpoint (§4.5, §5.1).
@@ -537,6 +626,60 @@ class BranchProvider(Checkpointable):
 
     def stage_abort(self):
         self.last_branch_point = None
+
+    def serialize(self) -> dict:
+        return {"branch": self.branch.serialize_state()}
+
+    def restore(self, snapshot: dict) -> None:
+        check_payload(self.name, snapshot, ("branch",))
+        self.branch.restore_state(snapshot["branch"])
+        self.last_branch_point = None
+
+
+class FrontierProvider(Checkpointable):
+    """The simulator's event frontier: virtual clock + sequence counter.
+
+    In a snapshot, the frontier payload is tiny — ``(now, seq)`` — but
+    it must be **restored first**: restoring it clears both event-store
+    lanes and resets the tie-break counter, after which every other
+    provider re-inserts its pending calls with their original
+    ``(when, priority, seq)`` triples.  With the counter reset, events
+    scheduled *after* the restore draw the same sequence numbers a
+    replayed world would, which is what makes restore-then-run
+    bit-identical to replay-then-run.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.name = "sim.frontier"
+
+    def serialize(self) -> dict:
+        return dict(self.sim.frontier_state())
+
+    def restore(self, snapshot: dict) -> None:
+        check_payload(self.name, snapshot, ("now", "seq"))
+        self.sim.restore_frontier(snapshot["now"], snapshot["seq"])
+
+
+class StreamsProvider(Checkpointable):
+    """The experiment's named RNG substreams (`repro.sim.random`).
+
+    Restoring positions every derived stream exactly where the snapshot
+    took it; streams the snapshotted world had never touched are dropped
+    so first use re-derives them from the seed — matching a replayed
+    world's lazy derivation.
+    """
+
+    def __init__(self, streams) -> None:
+        self.streams = streams
+        self.name = "sim.streams"
+
+    def serialize(self) -> dict:
+        return {"streams": self.streams.serialize_state()}
+
+    def restore(self, snapshot: dict) -> None:
+        check_payload(self.name, snapshot, ("streams",))
+        self.streams.restore_state(snapshot["streams"])
 
 
 @dataclass(frozen=True)
@@ -574,6 +717,19 @@ class ClockProvider(Checkpointable):
             frequency_correction_ppm=self.clock.frequency_correction_ppm)
 
     def stage_abort(self):
+        self.last_handoff = None
+
+    def serialize(self) -> dict:
+        return {"node": self.node_name,
+                "clock": self.clock.serialize_state()}
+
+    def restore(self, snapshot: dict) -> None:
+        check_payload(self.name, snapshot, ("node", "clock"))
+        if snapshot["node"] != self.node_name:
+            raise CheckpointError(
+                f"{self.name}: payload belongs to node "
+                f"{snapshot['node']!r}")
+        self.clock.restore_state(snapshot["clock"])
         self.last_handoff = None
 
 
@@ -659,6 +815,22 @@ class NaiveDomainProvider(Checkpointable):
         for nic in self.domain.nics:
             if nic.suspended:
                 nic.resume()
+
+    def serialize(self) -> dict:
+        if self._stopped:
+            raise CheckpointError(
+                f"{self.name}: serialize while suspended; snapshots are "
+                f"taken at quiescent (running) instants")
+        return {"last_downtime_ns": self.last_downtime_ns,
+                "last_replayed": self.last_replayed}
+
+    def restore(self, snapshot: dict) -> None:
+        check_payload(self.name, snapshot, ("last_downtime_ns",
+                                            "last_replayed"))
+        self.last_downtime_ns = snapshot["last_downtime_ns"]
+        self.last_replayed = snapshot["last_replayed"]
+        self._suspended_at = 0
+        self._stopped = False
 
 
 # ---------------------------------------------------------------------- capture

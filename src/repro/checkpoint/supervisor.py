@@ -31,7 +31,7 @@ from repro.checkpoint.pipeline import CheckpointFailure
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.core import Simulator
 from repro.sim.random import derived_rng
-from repro.sim.trace import Tracer, maybe_record
+from repro.obs.trace import Tracer, maybe_record
 from repro.units import MS, SECOND
 
 

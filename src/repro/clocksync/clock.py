@@ -81,6 +81,37 @@ class SystemClock:
         self._rebase(self.read())
         self._freq_correction_ppm = new
 
+    # -- snapshot/restore --------------------------------------------------------
+
+    def serialize_state(self) -> dict:
+        """Discipline state for a checkpoint (the §4.3 clock hand-off)."""
+        return {"local_ns": self.read(),
+                "frequency_correction_ppm": self._freq_correction_ppm,
+                "steps": self.steps, "slews": self.slews}
+
+    def restore_state(self, state: dict) -> None:
+        """Seed this clock from a saved hand-off.
+
+        Must run at the snapshot's simulated instant (the time-travel
+        restore path guarantees that by restoring the event frontier
+        first): re-basing anchors the saved local reading against the
+        oscillator's *current* tick count, so the restored clock reads —
+        and drifts — exactly as the snapshotted one did.
+        """
+        expected = ("local_ns", "frequency_correction_ppm", "steps",
+                    "slews")
+        if not isinstance(state, dict) or set(state) != set(expected):
+            raise ClockError("malformed clock payload")
+        if abs(state["frequency_correction_ppm"]) > 500.0:
+            raise ClockError(
+                f"restored frequency correction "
+                f"{state['frequency_correction_ppm']} ppm out of range")
+        self._freq_correction_ppm = float(
+            state["frequency_correction_ppm"])
+        self._rebase(int(state["local_ns"]))
+        self.steps = state["steps"]
+        self.slews = state["slews"]
+
     # -- scheduling against local time -------------------------------------------
 
     def ns_until_local(self, local_deadline_ns: int) -> int:

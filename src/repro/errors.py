@@ -31,6 +31,15 @@ class CheckpointError(ReproError):
     """A checkpoint could not be taken or restored."""
 
 
+class SnapshotError(CheckpointError):
+    """A serialized snapshot is missing, malformed, or incompatible.
+
+    Raised by the snapshot store before any provider state is mutated:
+    restore is two-phase (validate everything, then apply), so a
+    ``SnapshotError`` guarantees the live system was left untouched.
+    """
+
+
 class NetworkError(ReproError):
     """Invalid network configuration or use."""
 

@@ -19,12 +19,12 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.errors import StorageError
+from repro.errors import CheckpointError, StorageError
 from repro.faults.plan import AgentCrash, FaultPlan
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, maybe_record
 from repro.sim.core import Simulator
 from repro.sim.random import derived_rng
-from repro.sim.trace import Tracer, maybe_record
 
 
 @dataclass(frozen=True)
@@ -250,6 +250,67 @@ class FaultInjector:
                          subscriber=subscriber)
             return True
         return False
+
+    # -- snapshot/restore --------------------------------------------------------
+
+    def serialize_state(self) -> dict:
+        """Substream positions, loss budgets, and injected counts.
+
+        Timed faults (crashes, clock steps) are *not* serialized: they
+        are part of the plan and re-armed by whoever rebuilds the world,
+        exactly as a replay would.  What must survive a restore is the
+        injector's consumable state — where each probabilistic substream
+        stands, how many targeted losses and disk faults remain — so the
+        restored run's future fault decisions match the replayed run's.
+        Cannot serialize while a crash→reboot window is open (live span).
+        """
+        from repro.sim.random import rng_state_to_json
+
+        if self._windows:
+            raise CheckpointError(
+                f"fault injector: open crash windows "
+                f"{sorted(self._windows)} cannot be serialized")
+        return {
+            "seed": self.plan.seed,
+            "rngs": {name: rng_state_to_json(rng.getstate())
+                     for name, rng in sorted(self._rngs.items())},
+            "losses": [b.remaining for b in self._losses],
+            "disk_remaining": list(self._disk_remaining),
+            "injected": dict(sorted(self.injected.items())),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Re-apply a :meth:`serialize_state` payload.
+
+        The injector must interpret the same plan (seed check guards the
+        obvious mismatch).  Substreams present in the payload are
+        re-derived and positioned; live substreams absent from it are
+        dropped so first use re-derives from the seed — matching a
+        replayed world that had not touched them yet.
+        """
+        from repro.sim.random import rng_state_from_json
+
+        expected = ("seed", "rngs", "losses", "disk_remaining",
+                    "injected")
+        if not isinstance(state, dict) or set(state) != set(expected):
+            raise CheckpointError("fault injector: malformed payload")
+        if state["seed"] != self.plan.seed:
+            raise CheckpointError(
+                f"fault injector: plan seed {self.plan.seed} != "
+                f"snapshot seed {state['seed']}")
+        if len(state["losses"]) != len(self._losses) or \
+                len(state["disk_remaining"]) != len(self._disk_remaining):
+            raise CheckpointError(
+                "fault injector: plan shape mismatch (loss/disk counts)")
+        for name in list(self._rngs):
+            if name not in state["rngs"]:
+                del self._rngs[name]
+        for name, rng_state in state["rngs"].items():
+            self._rng(name).setstate(rng_state_from_json(rng_state))
+        for budget, remaining in zip(self._losses, state["losses"]):
+            budget.remaining = remaining
+        self._disk_remaining = list(state["disk_remaining"])
+        self.injected = dict(state["injected"])
 
     # -- disk hook -------------------------------------------------------------
 

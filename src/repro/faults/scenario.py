@@ -24,7 +24,7 @@ from repro.checkpoint import (CheckpointSupervisor, DegradationPolicy,
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import AgentCrash, BusFaultConfig, FaultPlan
 from repro.sim import Simulator
-from repro.sim.trace import Tracer
+from repro.obs.trace import Tracer
 from repro.units import MBPS, MS, SECOND
 
 
@@ -47,7 +47,7 @@ def trace_digest(records) -> str:
     digest is only ever compared between runs of the same code — it is
     not a stored golden.)
 
-        >>> from repro.sim.trace import TraceRecord
+        >>> from repro.obs.trace import TraceRecord
         >>> a = trace_digest([TraceRecord(1, "fault.bus.drop", {})])
         >>> b = trace_digest([TraceRecord(2, "fault.bus.drop", {})])
         >>> (a == trace_digest([TraceRecord(1, "fault.bus.drop", {})]), a == b)

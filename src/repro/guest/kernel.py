@@ -25,7 +25,7 @@ from repro.net.tcp import TCPStack
 from repro.net.udp import UDPStack
 from repro.sim.core import Event, Simulator
 from repro.sim.random import derived_rng
-from repro.sim.trace import Tracer, maybe_record
+from repro.obs.trace import Tracer, maybe_record
 from repro.units import US
 
 

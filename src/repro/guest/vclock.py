@@ -80,3 +80,37 @@ class VirtualClock:
         self.total_hidden_ns += downtime - leak
         self._frozen = False
         return downtime
+
+    # -- snapshot/restore ------------------------------------------------------
+
+    def serialize_state(self) -> dict:
+        """Hidden-time accounting and rebase-RNG position, JSON-safe.
+
+        The rebase RNG state rides along so a restored clock's *next*
+        jitter draw matches the snapshotted world's next draw (the
+        determinism contract of every serialize/restore pair).
+        """
+        from repro.sim.random import rng_state_to_json
+
+        return {"hidden": self._hidden, "frozen": self._frozen,
+                "frozen_value": self._frozen_value,
+                "freezes": self.freezes,
+                "total_hidden_ns": self.total_hidden_ns,
+                "total_rebase_error_ns": self.total_rebase_error_ns,
+                "rng": rng_state_to_json(self.rng.getstate())}
+
+    def restore_state(self, state: dict) -> None:
+        """Re-apply a :meth:`serialize_state` payload (same sim instant)."""
+        from repro.sim.random import rng_state_from_json
+
+        expected = ("hidden", "frozen", "frozen_value", "freezes",
+                    "total_hidden_ns", "total_rebase_error_ns", "rng")
+        if not isinstance(state, dict) or set(state) != set(expected):
+            raise ClockError("malformed virtual-clock payload")
+        self._hidden = state["hidden"]
+        self._frozen = state["frozen"]
+        self._frozen_value = state["frozen_value"]
+        self.freezes = state["freezes"]
+        self.total_hidden_ns = state["total_hidden_ns"]
+        self.total_rebase_error_ns = state["total_rebase_error_ns"]
+        self.rng.setstate(rng_state_from_json(state["rng"]))

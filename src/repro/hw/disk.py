@@ -73,6 +73,42 @@ class Disk:
             t += self.spec.seek_ns + self.spec.rotational_ns
         return t
 
+    # -- snapshot/restore --------------------------------------------------------
+
+    def serialize_state(self) -> dict:
+        """Head position and counters, JSON-safe.
+
+        The head position (``last_lba``) shapes every future request's
+        service time, so restoring it is required for a restored world's
+        I/O timings to match a replayed one's.  The disk must be idle —
+        an in-flight request lives in coroutine frames the snapshot
+        layer cannot capture.
+        """
+        if self._head.count or self._head.queued:
+            raise StorageError(
+                f"disk {self.name}: cannot serialize with I/O in flight")
+        return {"last_lba": self._last_lba, "reads": self.reads,
+                "writes": self.writes, "bytes_read": self.bytes_read,
+                "bytes_written": self.bytes_written, "seeks": self.seeks,
+                "busy_ns": self.busy_ns}
+
+    def restore_state(self, state: dict) -> None:
+        """Re-apply a :meth:`serialize_state` payload to this idle disk."""
+        expected = ("last_lba", "reads", "writes", "bytes_read",
+                    "bytes_written", "seeks", "busy_ns")
+        if not isinstance(state, dict) or set(state) != set(expected):
+            raise StorageError(f"disk {self.name}: malformed payload")
+        if self._head.count or self._head.queued:
+            raise StorageError(
+                f"disk {self.name}: cannot restore with I/O in flight")
+        self._last_lba = state["last_lba"]
+        self.reads = state["reads"]
+        self.writes = state["writes"]
+        self.bytes_read = state["bytes_read"]
+        self.bytes_written = state["bytes_written"]
+        self.seeks = state["seeks"]
+        self.busy_ns = state["busy_ns"]
+
     def _io(self, lba: int, nblocks: int, write: bool):
         if nblocks <= 0:
             raise StorageError(f"nblocks must be positive, got {nblocks}")

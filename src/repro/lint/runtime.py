@@ -261,7 +261,7 @@ def shadow_run(scenario: Callable[[RandomStreams], Any],
 
 
 def trace_digest(tracer) -> str:
-    """Stable hex digest of a :class:`~repro.sim.trace.Tracer`'s records."""
+    """Stable hex digest of a :class:`~repro.obs.trace.Tracer`'s records."""
     h = hashlib.sha256()
     for record in tracer.records:
         h.update(repr((record.time, record.category,

@@ -127,6 +127,33 @@ class DelayNode:
         self._pipe_ab.restore_state(snapshot.forward)
         self._pipe_ba.restore_state(snapshot.reverse)
 
+    # -- JSON serialize/restore ---------------------------------------------------
+
+    def serialize_state(self) -> dict:
+        """Both directional pipes as a JSON-serializable payload.
+
+        The pipes share one derived RNG, so each pipe's payload carries an
+        identical copy of its state — restoring either (both, in practice)
+        leaves the shared stream exactly where the snapshot took it.
+        """
+        return {"name": self.name, "frozen": self._frozen,
+                "forward": self._pipe_ab.serialize_state(),
+                "reverse": self._pipe_ba.serialize_state()}
+
+    def restore_serialized(self, state: dict) -> None:
+        """Re-apply a :meth:`serialize_state` payload to this idle node."""
+        expected = ("name", "frozen", "forward", "reverse")
+        if not isinstance(state, dict) or set(state) != set(expected):
+            raise CheckpointError(
+                f"delay node {self.name}: malformed payload")
+        if state["name"] != self.name:
+            raise CheckpointError(
+                f"delay node {self.name}: payload belongs to "
+                f"{state['name']!r}")
+        self._frozen = bool(state["frozen"])
+        self._pipe_ab.restore_serialized(state["forward"])
+        self._pipe_ba.restore_serialized(state["reverse"])
+
 
 def install_shaped_link(sim: Simulator, host_a: Host, host_b: Host,
                         shape: LinkShape, name: str = "",

@@ -93,7 +93,8 @@ class Pipe:
 
     __slots__ = ("sim", "config", "sink", "rng", "name", "_queue",
                  "_transmitting", "_delay_line", "_batch", "_advance_call",
-                 "_armed_at", "_tx_call", "_delay_call", "_frozen",
+                 "_armed_at", "_armed_seq", "_tx_call", "_tx_seq",
+                 "_delay_call", "_delay_seq", "_frozen",
                  "_bw", "_delay_ns", "_schedule",
                  "submitted", "delivered", "dropped_loss", "dropped_queue",
                  "frozen_arrivals")
@@ -114,13 +115,16 @@ class Pipe:
         self._batch = bool(getattr(sim, "batch_pipes", True))
         self._advance_call: Optional[ScheduledCall] = None
         self._armed_at = -1                 # instant the advance call is armed for
+        self._armed_seq = -1                # its event-store seq (for snapshots)
         # hot-path prebinds: PipeConfig is frozen, so these never go stale
         self._bw = config.bandwidth_bps
         self._delay_ns = config.delay_ns
-        self._schedule = sim.schedule_call
+        self._schedule = sim.schedule_tracked
         # two-call mode state (unused when batching)
         self._tx_call: Optional[ScheduledCall] = None
+        self._tx_seq = -1
         self._delay_call: Optional[ScheduledCall] = None
+        self._delay_seq = -1
         self._frozen = False
         self.submitted = 0
         self.delivered = 0
@@ -183,7 +187,8 @@ class Pipe:
                 return
             call.cancel()
         self._armed_at = due
-        self._advance_call = self._schedule(due, self._advance)
+        self._advance_call, self._armed_seq = self._schedule(due,
+                                                             self._advance)
 
     def _advance(self) -> None:
         """Drain every action due now in one pass, then re-arm once.
@@ -196,6 +201,7 @@ class Pipe:
         """
         self._advance_call = None
         self._armed_at = -1
+        self._armed_seq = -1
         now = self.sim.now
         t = self._transmitting
         if t is not None and t[1] <= now:
@@ -232,14 +238,15 @@ class Pipe:
         tx = transmission_time_ns(packet.wire_bytes, self.config.bandwidth_bps)
         finish = self.sim.now + tx
         self._transmitting = (packet, finish)
-        self._tx_call = self.sim.schedule_call(finish,
-                                               self._finish_transmission)
+        self._tx_call, self._tx_seq = self.sim.schedule_tracked(
+            finish, self._finish_transmission)
 
     def _finish_transmission(self) -> None:
         assert self._transmitting is not None
         packet, _finish = self._transmitting
         self._transmitting = None
         self._tx_call = None
+        self._tx_seq = -1
         if self.config.delay_ns == 0:
             # Fast path: no delay line to ride.
             self.delivered += 1
@@ -253,11 +260,12 @@ class Pipe:
         # whole line is served by one scheduled call armed for its head.
         self._delay_line.append((packet, deliver_at))
         if self._delay_call is None:
-            self._delay_call = self.sim.schedule_call(
+            self._delay_call, self._delay_seq = self.sim.schedule_tracked(
                 self._delay_line[0][1], self._emerge_due)
 
     def _emerge_due(self) -> None:
         self._delay_call = None
+        self._delay_seq = -1
         line = self._delay_line
         now = self.sim.now
         while line and line[0][1] <= now:
@@ -265,8 +273,8 @@ class Pipe:
             self.delivered += 1
             self.sink(packet)
         if line:
-            self._delay_call = self.sim.schedule_call(line[0][1],
-                                                      self._emerge_due)
+            self._delay_call, self._delay_seq = self.sim.schedule_tracked(
+                line[0][1], self._emerge_due)
 
     # -- introspection -------------------------------------------------------------
 
@@ -334,12 +342,15 @@ class Pipe:
             self._advance_call.cancel()
             self._advance_call = None
             self._armed_at = -1
+            self._armed_seq = -1
         if self._tx_call is not None:
             self._tx_call.cancel()
             self._tx_call = None
+            self._tx_seq = -1
         if self._delay_call is not None:
             self._delay_call.cancel()
             self._delay_call = None
+            self._delay_seq = -1
         if self._transmitting is not None:
             packet, finish = self._transmitting
             self._transmitting = (packet, max(0, finish - now))
@@ -402,3 +413,131 @@ class Pipe:
                               (snapshot.transmitting[0].copy(),
                                snapshot.transmitting[1]))
         self._delay_line = deque((p.copy(), r) for p, r in snapshot.delay_line)
+
+    # -- JSON serialize/restore (the snapshot-store payload) -----------------------
+
+    def serialize_state(self) -> dict:
+        """The pipe's full state as a JSON-serializable dict.
+
+        Works frozen (times are remaining-ns, nothing armed) or running
+        (times are absolute instants and every armed call records its
+        exact ``(when, seq)`` event triple for verbatim re-insertion).
+        Packet uids are not preserved across the boundary — restored
+        packets draw fresh ids; nothing orders or digests on uid.
+        """
+        from repro.sim.random import rng_state_to_json
+
+        cfg = self.config
+        tx = self._transmitting
+        return {
+            "name": self.name, "frozen": self._frozen, "batch": self._batch,
+            "config": {"bandwidth_bps": cfg.bandwidth_bps,
+                       "delay_ns": cfg.delay_ns,
+                       "loss_probability": cfg.loss_probability,
+                       "queue_slots": cfg.queue_slots},
+            "queue": [encode_packet(p) for p in self._queue],
+            "transmitting": (None if tx is None
+                             else [encode_packet(tx[0]), tx[1]]),
+            "delay_line": [[encode_packet(p), t]
+                           for p, t in self._delay_line],
+            "calls": {"advance": [self._armed_at, self._armed_seq]
+                      if self._advance_call is not None else None,
+                      "tx": ([self._transmitting[1], self._tx_seq]
+                             if self._tx_call is not None else None),
+                      "delay": ([self._delay_line[0][1], self._delay_seq]
+                                if self._delay_call is not None else None)},
+            "counters": {"submitted": self.submitted,
+                         "delivered": self.delivered,
+                         "dropped_loss": self.dropped_loss,
+                         "dropped_queue": self.dropped_queue,
+                         "frozen_arrivals": self.frozen_arrivals},
+            "rng": rng_state_to_json(self.rng.getstate()),
+        }
+
+    def restore_serialized(self, state: dict) -> None:
+        """Re-apply a :meth:`serialize_state` payload to this empty pipe.
+
+        The pipe must be freshly built (no packets in flight, nothing
+        armed) and structurally identical — same config and scheduling
+        mode.  Armed calls are re-inserted with their original event
+        triples via :meth:`~repro.sim.core.Simulator.restore_call`, so
+        the restored world pops them in replay-identical order.
+        """
+        from repro.sim.core import NORMAL
+        from repro.sim.random import rng_state_from_json
+
+        expected = ("name", "frozen", "batch", "config", "queue",
+                    "transmitting", "delay_line", "calls", "counters",
+                    "rng")
+        if not isinstance(state, dict) or set(state) != set(expected):
+            raise CheckpointError(f"pipe {self.name}: malformed payload")
+        if state["name"] != self.name:
+            raise CheckpointError(
+                f"pipe {self.name}: payload belongs to {state['name']!r}")
+        if state["batch"] != self._batch:
+            raise CheckpointError(
+                f"pipe {self.name}: scheduling-mode mismatch "
+                f"(snapshot batch={state['batch']})")
+        cfg = self.config
+        if state["config"] != {"bandwidth_bps": cfg.bandwidth_bps,
+                               "delay_ns": cfg.delay_ns,
+                               "loss_probability": cfg.loss_probability,
+                               "queue_slots": cfg.queue_slots}:
+            raise CheckpointError(
+                f"pipe {self.name}: configuration mismatch")
+        if self.packets_in_flight or self._advance_call is not None or \
+                self._tx_call is not None or self._delay_call is not None:
+            raise CheckpointError(
+                f"pipe {self.name}: restore requires an idle pipe")
+        self._frozen = bool(state["frozen"])
+        self._queue = [decode_packet(p) for p in state["queue"]]
+        tx = state["transmitting"]
+        self._transmitting = (None if tx is None
+                              else (decode_packet(tx[0]), tx[1]))
+        self._delay_line = deque((decode_packet(p), t)
+                                 for p, t in state["delay_line"])
+        counters = state["counters"]
+        self.submitted = counters["submitted"]
+        self.delivered = counters["delivered"]
+        self.dropped_loss = counters["dropped_loss"]
+        self.dropped_queue = counters["dropped_queue"]
+        self.frozen_arrivals = counters["frozen_arrivals"]
+        self.rng.setstate(rng_state_from_json(state["rng"]))
+        calls = state["calls"]
+        if self._frozen:
+            if any(calls.values()):
+                raise CheckpointError(
+                    f"pipe {self.name}: frozen payload with armed calls")
+            return
+        if calls["advance"] is not None:
+            self._armed_at, self._armed_seq = calls["advance"]
+            self._advance_call = self.sim.restore_call(
+                self._armed_at, NORMAL, self._armed_seq, self._advance)
+        if calls["tx"] is not None:
+            finish, self._tx_seq = calls["tx"]
+            self._tx_call = self.sim.restore_call(
+                finish, NORMAL, self._tx_seq, self._finish_transmission)
+        if calls["delay"] is not None:
+            head_at, self._delay_seq = calls["delay"]
+            self._delay_call = self.sim.restore_call(
+                head_at, NORMAL, self._delay_seq, self._emerge_due)
+
+
+def encode_packet(packet: Packet) -> dict:
+    """A packet as a JSON-serializable dict (uid intentionally dropped)."""
+    return {"src": packet.src, "dst": packet.dst,
+            "protocol": packet.protocol,
+            "payload_bytes": packet.payload_bytes,
+            "headers": dict(packet.headers),
+            "created_at": packet.created_at}
+
+
+def decode_packet(data: dict) -> Packet:
+    """Rebuild a packet from :func:`encode_packet` output (fresh uid)."""
+    expected = ("src", "dst", "protocol", "payload_bytes", "headers",
+                "created_at")
+    if not isinstance(data, dict) or set(data) != set(expected):
+        raise CheckpointError("malformed packet payload")
+    return Packet(data["src"], data["dst"], data["protocol"],
+                  data["payload_bytes"], dict(data["headers"]),
+                  data["created_at"])

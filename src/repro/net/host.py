@@ -16,7 +16,7 @@ from repro.net.interface import Interface
 from repro.net.packet import Packet
 from repro.sim.core import Simulator
 from repro.sim.timers import SimTimerService, TimerService
-from repro.sim.trace import Tracer, maybe_record
+from repro.obs.trace import Tracer, maybe_record
 
 
 class Host:

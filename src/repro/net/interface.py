@@ -16,7 +16,7 @@ from typing import Callable, Optional
 from repro.errors import NetworkError
 from repro.net.packet import Packet
 from repro.sim.core import Simulator
-from repro.sim.trace import Tracer, maybe_record
+from repro.obs.trace import Tracer, maybe_record
 
 
 class Interface:

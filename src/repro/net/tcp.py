@@ -21,10 +21,10 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
-from repro.errors import NetworkError
+from repro.errors import CheckpointError, NetworkError
 from repro.net.host import Host
 from repro.net.packet import Packet
-from repro.sim.trace import maybe_record
+from repro.obs.trace import maybe_record
 from repro.units import MS, SECOND
 
 MSS = 1448                      # bytes of payload per full segment
@@ -536,6 +536,158 @@ class TCPConnection:
             self.on_receive(nbytes)
         if not self.auto_consume:
             self.recv_buffered += nbytes
+
+    # ------------------------------------------------------------- serialize
+
+    def _timer_remaining(self, handle) -> Optional[int]:
+        """Nanoseconds until an armed timer fires, if its deadline is
+        knowable.
+
+        Inside a guest the timer service is the kernel's virtual wheel,
+        whose entries expose their virtual deadline; a bare
+        :class:`~repro.sim.timers.SimTimerService` handle does not, in
+        which case the caller falls back to a nominal re-arm."""
+        if handle is None or handle.fired or handle.cancelled:
+            return None
+        deadline = getattr(handle._call, "vdeadline", None)
+        if deadline is None:
+            return None
+        return max(0, deadline - self.host.timers.now())
+
+    def serialize_state(self) -> dict:
+        """The connection's protocol state as a JSON-serializable dict.
+
+        Cannot serialize mid-recovery-episode (an open observability
+        span has live references into the tracer); snapshot scenarios
+        take checkpoints at quiescent instants, where no episode is
+        open.  Timer deadlines are captured when the timer service
+        exposes them (the guest wheel does); otherwise the restore
+        re-arms at the nominal interval.
+        """
+        if self._recovery_span is not None:
+            raise CheckpointError(
+                f"{self!r}: cannot serialize during a loss-recovery "
+                f"episode")
+        s = self.stats
+        return {
+            "state": self.state, "local_port": self.local_port,
+            "remote_addr": self.remote_addr,
+            "remote_port": self.remote_port,
+            "snd_una": self.snd_una, "snd_nxt": self.snd_nxt,
+            "snd_max": self.snd_max, "send_queue": self.send_queue,
+            "cwnd": self.cwnd, "ssthresh": self.ssthresh,
+            "peer_window": self.peer_window,
+            "dupack_count": self.dupack_count,
+            "recovery_point": self._recovery_point,
+            "in_fast_recovery": self._in_fast_recovery,
+            "segment_times": [[end, sent_at, rexmit] for end,
+                              (sent_at, rexmit) in
+                              sorted(self._segment_times.items())],
+            "ca_accumulator": self._ca_accumulator,
+            "rcv_nxt": self.rcv_nxt,
+            "unacked_segments": self._unacked_segments,
+            "recv_buffer_capacity": self.recv_buffer_capacity,
+            "recv_buffered": self.recv_buffered,
+            "ooo": [[a, b] for a, b in self._ooo],
+            "bytes_delivered": self.bytes_delivered,
+            "srtt": self.srtt, "rttvar": self.rttvar, "rto": self.rto,
+            "rto_backoff": self._rto_backoff,
+            "recovery_goal": self._recovery_goal,
+            "auto_consume": self.auto_consume,
+            "fin_sent": self.fin_sent,
+            "fin_received": self.fin_received,
+            "timers": {"rto": self._timer_remaining(self._rto_timer),
+                       "rto_armed": self._rto_timer is not None and not
+                       self._rto_timer.fired and not
+                       self._rto_timer.cancelled,
+                       "delack": self._timer_remaining(self._delack_timer),
+                       "delack_armed": self._delack_timer is not None
+                       and not self._delack_timer.fired and not
+                       self._delack_timer.cancelled},
+            "stats": {"segments_sent": s.segments_sent,
+                      "segments_received": s.segments_received,
+                      "bytes_acked": s.bytes_acked,
+                      "retransmits": s.retransmits,
+                      "timeouts": s.timeouts,
+                      "fast_retransmits": s.fast_retransmits,
+                      "dupacks_received": s.dupacks_received,
+                      "dupacks_sent": s.dupacks_sent,
+                      "zero_window_advertisements":
+                      s.zero_window_advertisements,
+                      "rtt_samples": s.rtt_samples},
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Re-apply a :meth:`serialize_state` payload to this connection.
+
+        The connection must address the same four-tuple.  Armed timers
+        are re-created at their captured remaining delay when the
+        snapshot recorded one, else at the nominal interval (RTO/delayed
+        ack) — a documented approximation for non-wheel timer services.
+        """
+        expected = ("state", "local_port", "remote_addr", "remote_port",
+                    "snd_una", "snd_nxt", "snd_max", "send_queue",
+                    "cwnd", "ssthresh", "peer_window", "dupack_count",
+                    "recovery_point", "in_fast_recovery",
+                    "segment_times", "ca_accumulator", "rcv_nxt",
+                    "unacked_segments", "recv_buffer_capacity",
+                    "recv_buffered", "ooo", "bytes_delivered", "srtt",
+                    "rttvar", "rto", "rto_backoff", "recovery_goal",
+                    "auto_consume", "fin_sent", "fin_received",
+                    "timers", "stats")
+        if not isinstance(state, dict) or set(state) != set(expected):
+            raise CheckpointError(f"{self!r}: malformed payload")
+        if (state["local_port"], state["remote_addr"],
+                state["remote_port"]) != self._key():
+            raise CheckpointError(
+                f"{self!r}: payload addresses a different connection")
+        self._cancel_rto()
+        if self._delack_timer is not None:
+            self._delack_timer.cancel()
+            self._delack_timer = None
+        self.state = state["state"]
+        self.snd_una = state["snd_una"]
+        self.snd_nxt = state["snd_nxt"]
+        self.snd_max = state["snd_max"]
+        self.send_queue = state["send_queue"]
+        self.cwnd = state["cwnd"]
+        self.ssthresh = state["ssthresh"]
+        self.peer_window = state["peer_window"]
+        self.dupack_count = state["dupack_count"]
+        self._recovery_point = state["recovery_point"]
+        self._in_fast_recovery = state["in_fast_recovery"]
+        self._segment_times = {end: (sent_at, rexmit) for
+                               end, sent_at, rexmit in
+                               state["segment_times"]}
+        self._ca_accumulator = state["ca_accumulator"]
+        self.rcv_nxt = state["rcv_nxt"]
+        self._unacked_segments = state["unacked_segments"]
+        self.recv_buffer_capacity = state["recv_buffer_capacity"]
+        self.recv_buffered = state["recv_buffered"]
+        self._ooo = [(a, b) for a, b in state["ooo"]]
+        self.bytes_delivered = state["bytes_delivered"]
+        self.srtt = state["srtt"]
+        self.rttvar = state["rttvar"]
+        self.rto = state["rto"]
+        self._rto_backoff = state["rto_backoff"]
+        self._recovery_goal = state["recovery_goal"]
+        self.auto_consume = state["auto_consume"]
+        self.fin_sent = state["fin_sent"]
+        self.fin_received = state["fin_received"]
+        self._recovery_span = None
+        self.stats = TCPStats(**state["stats"])
+        timers = state["timers"]
+        if timers["rto_armed"]:
+            delay = timers["rto"]
+            if delay is None:
+                delay = min(MAX_RTO_NS, self.rto * self._rto_backoff)
+            self._rto_timer = self.host.timers.call_in(delay, self._on_rto)
+        if timers["delack_armed"]:
+            delay = timers["delack"]
+            if delay is None:
+                delay = DELACK_TIMEOUT_NS
+            self._delack_timer = self.host.timers.call_in(
+                delay, self._on_delack_timer)
 
     def _key(self) -> tuple:
         return (self.local_port, self.remote_addr, self.remote_port)

@@ -6,7 +6,7 @@ from repro.sim.process import Interrupt, Process
 from repro.sim.primitives import AllOf, AnyOf, Condition
 from repro.sim.resources import Container, Request, Resource, Store
 from repro.sim.random import RandomStreams, derived_rng
-from repro.sim.trace import TraceRecord, Tracer, maybe_record
+from repro.obs.trace import TraceRecord, Tracer, maybe_record
 
 __all__ = [
     "Event", "ScheduledCall", "Simulator", "Timeout", "URGENT", "NORMAL",

@@ -362,6 +362,22 @@ class Simulator:
         ev.callbacks.append(lambda _e: handle._event_fire(_e))
         return handle
 
+    def schedule_tracked(self, when: int, fn: Callable[[], None],
+                         priority: int = NORMAL
+                         ) -> "tuple[ScheduledCall, int]":
+        """Schedule ``fn()`` and also return the entry's sequence number.
+
+        The ``(when, priority, seq)`` triple fully determines this
+        entry's position in the pop order, so a snapshot layer that
+        records the triple can re-insert the pending call *verbatim* in a
+        restored world (:meth:`restore_call`) — tie-breaking then matches
+        a from-origin replay bit for bit.  Sequence numbers are consumed
+        identically on the fast and legacy paths, so the returned seq is
+        the entry's seq in both modes.
+        """
+        handle = self.schedule_call(when, fn, priority)
+        return handle, self._seq
+
     def schedule_fn(self, when: int, fn: Callable[[], None],
                     priority: int = NORMAL) -> None:
         """Fire-and-forget fast path: pushes the bare callable itself.
@@ -443,6 +459,62 @@ class Simulator:
     def pending_count(self) -> int:
         """Entries currently stored, cancelled tombstones included."""
         return len(self._heap) + len(self._tail)
+
+    # -- snapshot/restore of the event frontier --------------------------------
+
+    def frontier_state(self) -> "dict[str, int]":
+        """The clock and sequence counter, for snapshot manifests.
+
+        The *entries* of the frontier are not serialized here — callables
+        cannot be; each component that owns a pending call records its
+        own ``(when, priority, seq)`` triple (via :meth:`schedule_tracked`)
+        and re-inserts it at restore with :meth:`restore_call`.
+        """
+        return {"now": self.now, "seq": self._seq}
+
+    def restore_frontier(self, now: int, seq: int) -> None:
+        """Reset the store to a snapshot's clock and sequence counter.
+
+        Clears both lanes (a freshly built world may hold constructor
+        scheduling that the snapshot instant has already consumed); the
+        owning components then re-insert their live entries with
+        :meth:`restore_call`.  Events scheduled *after* the restore draw
+        sequence numbers continuing from ``seq``, so tie-breaking of new
+        work matches a replayed world exactly.
+        """
+        if self._running:
+            raise SimulationError("cannot restore a running simulator")
+        if now < 0 or seq < 0:
+            raise SimulationError(
+                f"invalid frontier (now={now}, seq={seq})")
+        self._heap.clear()
+        self._tail.clear()
+        self._dead = 0
+        self.now = now
+        self._seq = seq
+
+    def restore_call(self, when: int, priority: int, seq: int,
+                     fn: Callable[[], None]) -> ScheduledCall:
+        """Re-insert one pending call with its *original* ordering triple.
+
+        Used only by restore paths: the triple must have been recorded at
+        arming time in the snapshotted world (see :meth:`schedule_tracked`),
+        and :meth:`restore_frontier` must already have set the sequence
+        counter at or past ``seq``.  The entry goes to the heap lane —
+        out-of-order inserts are exactly what that lane absorbs — and the
+        counter is *not* advanced, so subsequently scheduled events keep
+        their replay-identical numbering.
+        """
+        if when < self.now:
+            raise SimulationError(
+                f"cannot restore a call at {when} before now={self.now}")
+        if seq > self._seq:
+            raise SimulationError(
+                f"restored seq {seq} is ahead of the frontier counter "
+                f"{self._seq}; restore_frontier first")
+        handle = ScheduledCall(self, fn)
+        heappush(self._heap, (when, priority, seq, handle))
+        return handle
 
     # -- execution ------------------------------------------------------------
 

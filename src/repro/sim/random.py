@@ -10,7 +10,27 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict
+from typing import Dict, List
+
+from repro.errors import CheckpointError
+
+
+def rng_state_to_json(state) -> List:
+    """Encode ``random.Random.getstate()`` as a JSON-serializable list.
+
+    The Mersenne Twister state is ``(version, tuple-of-ints, gauss_next)``
+    — tuples become lists; everything else is already JSON-safe.
+    """
+    version, internal, gauss_next = state
+    return [version, list(internal), gauss_next]
+
+
+def rng_state_from_json(data) -> tuple:
+    """Decode a list produced by :func:`rng_state_to_json`."""
+    if not (isinstance(data, list) and len(data) == 3
+            and isinstance(data[1], list)):
+        raise CheckpointError(f"malformed RNG state: {type(data).__name__}")
+    return (data[0], tuple(data[1]), data[2])
 
 
 class RandomStreams:
@@ -35,6 +55,36 @@ class RandomStreams:
         digest = hashlib.sha256(
             f"{self.seed}:fork:{name}".encode("utf-8")).digest()
         return RandomStreams(int.from_bytes(digest[:8], "big"))
+
+    # -- snapshot/restore ------------------------------------------------------
+
+    def serialize_state(self) -> dict:
+        """Every instantiated substream's exact generator position."""
+        return {"seed": self.seed,
+                "streams": {name: rng_state_to_json(rng.getstate())
+                            for name, rng in sorted(self._streams.items())}}
+
+    def restore_state(self, state: dict) -> None:
+        """Re-position every substream from :meth:`serialize_state` output.
+
+        Substreams the snapshot knows but this factory has not handed out
+        yet are instantiated (so their next draw matches the snapshotted
+        world's next draw); substreams handed out since the snapshot but
+        absent from it are rewound to their derived-seed origin, exactly
+        the state a replayed world would have before first use.
+        """
+        if not isinstance(state, dict) or set(state) != {"seed", "streams"}:
+            raise CheckpointError("malformed RandomStreams payload")
+        if state["seed"] != self.seed:
+            raise CheckpointError(
+                f"RandomStreams seed mismatch: snapshot {state['seed']}, "
+                f"live {self.seed}")
+        snapshot = state["streams"]
+        for name in list(self._streams):
+            if name not in snapshot:
+                del self._streams[name]     # recreate lazily at derived seed
+        for name, encoded in snapshot.items():
+            self.stream(name).setstate(rng_state_from_json(encoded))
 
 
 def derived_rng(name: str, seed: int = 0) -> random.Random:

@@ -1,15 +1,25 @@
-"""Compatibility shim: the tracer now lives in :mod:`repro.obs.trace`.
+"""Deprecated compatibility shim: the tracer lives in :mod:`repro.obs.trace`.
 
 The original flat list tracer grew into the full observability layer
-(:mod:`repro.obs`: spans, sinks, metrics, timeline export).  Existing
-imports of ``repro.sim.trace`` keep working — everything here is a
-re-export — but new code should import from :mod:`repro.obs` directly.
+(:mod:`repro.obs`: spans, sinks, metrics, timeline export).  Importing
+this module emits a :class:`DeprecationWarning`; everything here is a
+re-export, so switching an import of ``repro.sim.trace`` to
+``repro.obs.trace`` (or ``repro.obs``) is a pure rename.  No code in
+this repository imports the shim any more — it survives one release
+cycle for out-of-tree users only.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.obs.trace import (NULL_SPAN, Span, SpanRecord, TraceRecord,
                              Tracer, maybe_record, verify_span_nesting)
+
+warnings.warn(
+    "repro.sim.trace is deprecated; import from repro.obs.trace "
+    "(or repro.obs) instead",
+    DeprecationWarning, stacklevel=2)
 
 __all__ = [
     "NULL_SPAN", "Span", "SpanRecord", "TraceRecord", "Tracer",

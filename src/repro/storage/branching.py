@@ -345,6 +345,71 @@ class BranchStore:
         self._blocks_since_metadata = 0
         return dropped
 
+    # ------------------------------------------------------------------ snapshot
+
+    def serialize_state(self) -> dict:
+        """Full mutable state of the branch as a JSON-serializable dict.
+
+        Extends :meth:`take_checkpoint` (log map only) with the I/O
+        statistics and the read-before-write coverage set, so a restored
+        branch is indistinguishable from the snapshotted one to every
+        observer — including the benchmarks that digest ``stats``.  The
+        golden image and aggregated delta are immutable and re-created by
+        world construction; only their sizes are recorded, for
+        validation.
+        """
+        stats = self.stats
+        return {
+            "name": self.name,
+            "cow_mode": self.config.cow_mode.value,
+            "nblocks": self.nblocks,
+            "aggregated_blocks": len(self.aggregated_index),
+            "log_head": self._log_head,
+            "blocks_since_metadata": self._blocks_since_metadata,
+            "log_index": [[vba, off] for vba, off
+                          in sorted(self.log_index.items())],
+            "rbw_covered": sorted(self._rbw_covered),
+            "stats": {
+                "log_appends": stats.log_appends,
+                "in_place_log_writes": stats.in_place_log_writes,
+                "metadata_writes": stats.metadata_writes,
+                "read_before_write_blocks": stats.read_before_write_blocks,
+                "reads_from_current": stats.reads_from_current,
+                "reads_from_aggregated": stats.reads_from_aggregated,
+                "reads_from_base": stats.reads_from_base,
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Re-apply a :meth:`serialize_state` payload to this branch.
+
+        The branch must be structurally identical to the snapshotted one
+        (same name, COW mode, and geometry) — restoring across different
+        volumes would silently remap blocks, so that fails loudly.
+        """
+        expected = ("name", "cow_mode", "nblocks", "aggregated_blocks",
+                    "log_head", "blocks_since_metadata", "log_index",
+                    "rbw_covered", "stats")
+        if not isinstance(state, dict) or set(state) != set(expected):
+            raise StorageError(f"{self.name}: malformed branch payload")
+        if state["name"] != self.name:
+            raise StorageError(
+                f"{self.name}: payload belongs to branch {state['name']!r}")
+        if state["cow_mode"] != self.config.cow_mode.value:
+            raise StorageError(
+                f"{self.name}: COW mode mismatch ({state['cow_mode']!r} "
+                f"vs {self.config.cow_mode.value!r})")
+        if state["nblocks"] != self.nblocks or \
+                state["aggregated_blocks"] != len(self.aggregated_index):
+            raise StorageError(f"{self.name}: volume geometry mismatch")
+        if state["log_head"] > self.log_extent.nblocks:
+            raise StorageError(f"{self.name}: log head beyond extent")
+        self.log_index = {vba: off for vba, off in state["log_index"]}
+        self._log_head = state["log_head"]
+        self._blocks_since_metadata = state["blocks_since_metadata"]
+        self._rbw_covered = set(state["rbw_covered"])
+        self.stats = BranchStats(**state["stats"])
+
     def _check(self, vba: int, nblocks: int) -> None:
         if nblocks <= 0 or vba < 0 or vba + nblocks > self.nblocks:
             raise StorageError(

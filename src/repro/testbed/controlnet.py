@@ -21,7 +21,7 @@ from repro.clocksync.clock import SystemClock
 from repro.clocksync.ntp import NTPClient, NTPServer, PathDelayModel
 from repro.sim.core import Simulator
 from repro.sim.random import derived_rng
-from repro.sim.trace import Tracer
+from repro.obs.trace import Tracer
 from repro.storage.channel import ByteChannel
 from repro.units import MB, US
 

@@ -27,7 +27,7 @@ from repro.net.link import Link
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.core import Simulator
 from repro.sim.random import RandomStreams
-from repro.sim.trace import Tracer
+from repro.obs.trace import Tracer
 from repro.storage.branching import BranchConfig, BranchStore
 from repro.storage.channel import ByteChannel
 from repro.storage.ext3 import Ext3Filesystem

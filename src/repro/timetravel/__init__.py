@@ -3,6 +3,13 @@
 from repro.timetravel.controller import (Perturbation, ReplayableRun,
                                          TimeTravelController)
 from repro.timetravel.explorer import Choice, Exploration, StateExplorer
+from repro.timetravel.machines import (LossyChannelMachine, SleeperMachine,
+                                       StorageWriterMachine, TickMachine,
+                                       WheelSleeperMachine, chain_digest)
+from repro.timetravel.scenarios import (WORLD_BUILDERS, SnapshotWorld,
+                                        build_faultstorm_world,
+                                        build_fig4_world, build_fig8_world,
+                                        world_factory)
 from repro.timetravel.knobs import (STANDARD_KNOBS,
                                     apply_standard_perturbation,
                                     interrupt_skew, packet_drop,
@@ -18,5 +25,9 @@ __all__ = [
     "apply_standard_perturbation", "interrupt_skew", "packet_drop",
     "packet_reorder", "state_mutate", "ExperimentRecorder",
     "RecordedCheckpoint", "CheckpointTree", "TreeNode", "Builder",
-    "ExperimentHandle", "ReplayableExperiment",
+    "ExperimentHandle", "ReplayableExperiment", "SnapshotWorld",
+    "WORLD_BUILDERS", "world_factory", "build_fig4_world",
+    "build_fig8_world", "build_faultstorm_world", "TickMachine",
+    "SleeperMachine", "StorageWriterMachine", "WheelSleeperMachine",
+    "LossyChannelMachine", "chain_digest",
 ]

@@ -1,14 +1,33 @@
-"""Time-travel sessions (§6): rollback and (non-deterministic) replay.
+"""Time-travel sessions (§6): restore-then-run with replay fallback.
 
 The paper's prototype captures a run by frequent checkpointing and
 implements backward navigation by restarting the experiment from a saved
-image.  A Python simulation cannot serialize live generator coroutines, so
-we substitute the *other* classical implementation of the same interface:
-**deterministic re-execution**.  The simulator is bit-for-bit reproducible
-given a seed and a perturbation list, so restoring a checkpoint means
-rebuilding the world and replaying it to the checkpoint's virtual time —
-exactly what deterministic-replay time-travel systems (TTVM, ReVirt) do
-from a log.  Observable semantics match the paper:
+image.  This controller implements **both** classical realizations of
+that interface and picks per navigation:
+
+* **True snapshot/restore** — when the run exposes
+  ``snapshot_providers()`` (see :mod:`repro.timetravel.scenarios`), each
+  checkpoint also serializes every provider into a
+  :class:`~repro.checkpoint.snapshot.SnapshotStore` (content-hash
+  chunked, deduplicated, delta-accounted).  ``travel_to`` then restores
+  the nearest eligible snapshot into a freshly built cold world and runs
+  forward — O(state + distance-from-snapshot), not O(history).
+* **Deterministic re-execution** — the original fallback: rebuild the
+  world with the target's perturbation history and replay from the
+  origin, exactly what deterministic-replay time-travel systems (TTVM,
+  ReVirt) do from a log.  It remains the cross-check oracle:
+  :meth:`TimeTravelController.verify_restore` asserts both paths land on
+  bit-identical state digests.
+
+A snapshot is *eligible* for a target node only when its captured
+perturbation history equals the target's full history: arming an extra
+perturbation after a restore would consume an event-store sequence
+number the snapshotted world never drew, shifting every later tie-break
+against the replayed world.  Navigating to nodes recorded before a
+later-added perturbation therefore replays; checkpoints taken after the
+perturbation snapshot the full history and restore again.
+
+Observable semantics match the paper either way:
 
 * backward navigation lands at the checkpoint's state (verified by state
   digests in the tests);
@@ -23,7 +42,9 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence
 
 from repro.checkpoint.pipeline import SnapshotCapture, capture_run_snapshot
-from repro.errors import StorageError, TimeTravelError
+from repro.checkpoint.snapshot import SnapshotStore
+from repro.errors import (CheckpointError, SnapshotError, StorageError,
+                          TimeTravelError)
 from repro.timetravel.tree import CheckpointTree, TreeNode
 
 
@@ -70,6 +91,15 @@ class TimeTravelController:
         self.active_run: ReplayableRun = factory(seed, [])
         #: node_id -> what the pipeline captured at that checkpoint
         self.captures: Dict[int, SnapshotCapture] = {}
+        #: serialized provider snapshots, delta-chained parent -> child
+        self.snapshots = SnapshotStore()
+        #: node_id -> snapshot id in :attr:`snapshots`
+        self.snapshot_ids: Dict[int, str] = {}
+        #: node_id -> perturbation history the snapshot was taken under
+        self._snapshot_histories: Dict[int, tuple] = {}
+        #: how navigations were served: restore / replay / restore failed
+        self.restore_stats: Dict[str, int] = {
+            "restores": 0, "replays": 0, "fallbacks": 0}
         capture = capture_run_snapshot(self.active_run)
         root = self.tree.add(None, self.active_run.virtual_now(),
                              label="origin",
@@ -77,6 +107,7 @@ class TimeTravelController:
         self.captures[root.node_id] = capture
         self._position: TreeNode = root
         self._pending_perturbations: List[Perturbation] = []
+        self._maybe_snapshot(root)
 
     # ------------------------------------------------------------------ recording
 
@@ -122,24 +153,94 @@ class TimeTravelController:
         self.captures[node.node_id] = capture
         self._pending_perturbations = []
         self._position = node
+        self._maybe_snapshot(node)
         return node
+
+    def _maybe_snapshot(self, node: TreeNode) -> None:
+        """Serialize the run into the snapshot store, if it supports it.
+
+        Runs that expose ``snapshot_providers()`` get a true snapshot,
+        delta-chained to the nearest ancestor snapshot so unchanged
+        chunks are shared.  A run that declines (not quiescent, a
+        provider mid-operation) simply gets no snapshot — deterministic
+        replay still covers the node, so this never raises.
+        """
+        providers_fn = getattr(self.active_run, "snapshot_providers", None)
+        if providers_fn is None:
+            return
+        parent_sid: Optional[str] = None
+        for ancestor in reversed(self.tree.path_to(node.node_id)[:-1]):
+            sid = self.snapshot_ids.get(ancestor.node_id)
+            if sid is not None:
+                parent_sid = sid
+                break
+        try:
+            snap = self.snapshots.take(
+                f"node{node.node_id}", providers_fn(),
+                virtual_time_ns=node.virtual_time_ns,
+                parent=parent_sid, label=node.label)
+        except (CheckpointError, SnapshotError):
+            return
+        self.snapshot_ids[node.node_id] = snap.snapshot_id
+        self._snapshot_histories[node.node_id] = tuple(
+            self.tree.perturbations_along(node.node_id))
 
     # ------------------------------------------------------------------ navigation
 
     def travel_to(self, node_id: int) -> ReplayableRun:
         """Rollback (or fast-forward) to a checkpoint in the tree.
 
-        Rebuilds the world with the checkpoint's perturbation history and
-        replays to its virtual time; the active run continues from there.
+        Prefers restore-then-run: restore the deepest eligible ancestor
+        snapshot into a cold world and run forward the remaining virtual
+        time — O(state + distance), independent of how long the run has
+        executed.  Falls back to rebuilding the world with the
+        checkpoint's perturbation history and replaying from the origin
+        when no snapshot is eligible or the restore fails validation.
         """
         node = self.tree.node(node_id)
         history = self.tree.perturbations_along(node_id)
-        run = self.factory(self.seed, history)
-        run.advance_to(node.virtual_time_ns)
+        run = self._try_restore(node, history)
+        if run is not None:
+            self.restore_stats["restores"] += 1
+        else:
+            self.restore_stats["replays"] += 1
+            run = self.factory(self.seed, history)
+            run.advance_to(node.virtual_time_ns)
         self.active_run = run
         self._position = node
         self._pending_perturbations = []
         return run
+
+    def _try_restore(self, node: TreeNode,
+                     history: List[Perturbation]) -> Optional[ReplayableRun]:
+        """Restore the deepest eligible snapshot at or above ``node``.
+
+        A snapshot is eligible only when its captured perturbation
+        history equals the target's *full* history: arming a missing
+        perturbation after the restore would draw a fresh event-store
+        sequence number and diverge from the replayed world's
+        tie-breaking.  Validation failures (corrupted chunks, schema
+        drift, non-cold target) count as fallbacks and leave replay to
+        serve the navigation; they never surface partial state.
+        """
+        restore_fn = getattr(self.active_run, "restore_from", None)
+        if restore_fn is None:
+            return None
+        target_history = tuple(history)
+        for ancestor in reversed(self.tree.path_to(node.node_id)):
+            sid = self.snapshot_ids.get(ancestor.node_id)
+            if sid is None:
+                continue
+            if self._snapshot_histories[ancestor.node_id] != target_history:
+                continue
+            try:
+                run = restore_fn(self.snapshots, sid)
+                run.advance_to(node.virtual_time_ns)
+                return run
+            except (CheckpointError, SnapshotError, TimeTravelError):
+                self.restore_stats["fallbacks"] += 1
+                return None
+        return None
 
     def perturb(self, perturbation: Perturbation) -> None:
         """Inject a change into the *current* replay (relaxed determinism).
@@ -164,3 +265,26 @@ class TimeTravelController:
         first = self.travel_to(node_id).state_digest()
         second = self.travel_to(node_id).state_digest()
         return first == second
+
+    def verify_restore(self, node_id: int) -> bool:
+        """Cross-check restore-then-run against replay-from-origin.
+
+        Restores the deepest eligible snapshot and runs to ``node_id``'s
+        virtual time, replays a second world from the origin with the
+        same perturbation history, and compares state digests.  The
+        digest commits to every provider's serialized payload — machine
+        histories, RNG positions, and the pending-event frontier — so
+        agreement means the two worlds are observably the same world.
+        Raises :class:`TimeTravelError` when no snapshot is eligible
+        (there is nothing to verify against).
+        """
+        node = self.tree.node(node_id)
+        history = self.tree.perturbations_along(node_id)
+        restored = self._try_restore(node, history)
+        if restored is None:
+            raise TimeTravelError(
+                f"no eligible snapshot for node {node_id}; "
+                f"nothing to cross-check")
+        replayed = self.factory(self.seed, history)
+        replayed.advance_to(node.virtual_time_ns)
+        return restored.state_digest() == replayed.state_digest()

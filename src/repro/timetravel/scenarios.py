@@ -1,0 +1,326 @@
+"""Fully serializable time-travel worlds (the restore==replay gates).
+
+Each builder here assembles a :class:`SnapshotWorld` — a closed system
+whose complete state is held by plain-method providers, so a
+:class:`~repro.checkpoint.snapshot.SnapshotStore` can serialize it at
+any quiescent instant and restore it into a freshly built ("cold") copy
+in O(state) time.  The three worlds echo the paper's evaluation rigs:
+
+* :func:`build_fig4_world` — sleeper workloads under virtualized guest
+  time (virtual clock, tagged timer wheel, NTP-style system clock);
+* :func:`build_fig8_world` — random COW writers against branching
+  storage on a seek-modelled disk;
+* :func:`build_faultstorm_world` — bus clients battered by a seeded
+  fault injector (the ``ckpt10_faultstorm`` plan's probabilistic part).
+
+The worlds implement the :class:`~repro.timetravel.controller`
+``ReplayableRun`` protocol plus the snapshot extensions
+(``snapshot_providers``/``restore_from``), so the same world drives
+both replay-from-origin and restore-then-run; the acceptance tests
+assert the two produce bit-identical state digests.
+
+Provider order matters and is fixed at construction:
+:class:`~repro.checkpoint.pipeline.FrontierProvider` is always first
+(restoring it clears the event store and resets the sequence counter),
+machines follow (each re-inserts its armed call with its original
+triple), and wheel providers come after the machines whose callbacks
+they resolve.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.checkpoint.pipeline import Checkpointable, ClockProvider, \
+    FrontierProvider
+from repro.checkpoint.snapshot import SnapshotStore, canonical_bytes
+from repro.errors import CheckpointError, TimeTravelError
+from repro.sim.core import Simulator
+from repro.timetravel.machines import DiskProvider, InjectorProvider, \
+    LossyChannelMachine, PerturbationProvider, SleeperMachine, \
+    StorageWriterMachine, VClockProvider, WheelProvider, \
+    WheelSleeperMachine
+from repro.units import MB, MS, SECOND
+
+
+class SnapshotWorld:
+    """A closed, fully serializable experiment world.
+
+    ``machines`` drive all activity; ``providers`` (frontier first)
+    cover every byte of mutable state.  ``cold_builder`` rebuilds an
+    identical *unstarted* world — the restore target.
+    """
+
+    def __init__(self, sim: Simulator, kind: str,
+                 providers: Sequence[Checkpointable],
+                 machines: Sequence, cold_builder: Callable[[], "SnapshotWorld"],
+                 perturbations: Sequence = ()) -> None:
+        self.sim = sim
+        self.kind = kind
+        self.machines = list(machines)
+        self._by_name: Dict[str, object] = {
+            m.machine: m for m in self.machines}
+        self.perturbation_log: List[tuple] = []
+        self._perturbations = PerturbationProvider(sim, self._apply_perturbation)
+        self.providers = [providers[0], self._perturbations,
+                          *providers[1:]]
+        if not isinstance(self.providers[0], FrontierProvider):
+            raise TimeTravelError(
+                f"{kind}: first provider must be the event frontier")
+        self._cold_builder = cold_builder
+        self.armed_perturbations: List = []
+        for pert in perturbations:
+            self.add_perturbation(pert)
+
+    # -- ReplayableRun protocol ---------------------------------------------------
+
+    def virtual_now(self) -> int:
+        return self.sim.now
+
+    def advance_to(self, virtual_ns: int) -> None:
+        if virtual_ns < self.sim.now:
+            raise TimeTravelError(
+                f"{self.kind}: advance_to({virtual_ns}) is in the past "
+                f"(now={self.sim.now})")
+        if virtual_ns > self.sim.now:
+            self.sim.run(until=virtual_ns)
+
+    def state_digest(self) -> str:
+        """SHA-256 over every provider's canonical serialized payload.
+
+        This commits to machine histories (their chained digests), RNG
+        positions, component state, *and* the event frontier including
+        pending-call triples — the strongest possible "these two worlds
+        are the same world" statement the snapshot layer can make.
+        """
+        payload = {p.name: p.serialize() for p in self.providers}
+        return hashlib.sha256(canonical_bytes(payload)).hexdigest()
+
+    def snapshot_bytes(self) -> int:
+        return sum(len(canonical_bytes(p.serialize()))
+                   for p in self.providers)
+
+    # -- snapshot extensions -------------------------------------------------------
+
+    def snapshot_providers(self) -> List[Checkpointable]:
+        """Ordered provider registry for the snapshot store."""
+        self.assert_quiescent()
+        return list(self.providers)
+
+    def checkpointables(self) -> List[Checkpointable]:
+        """Same registry, for the staged checkpoint pipeline."""
+        return list(self.providers)
+
+    def assert_quiescent(self) -> None:
+        """Fail loudly if untracked events are pending.
+
+        Every pending event must belong to a machine or an armed
+        perturbation; anything else (say, a storage coroutine still in
+        flight) would be silently dropped by a restore, so taking a
+        snapshot now must be refused rather than produce a snapshot
+        that lies.
+        """
+        tracked = sum(1 for m in self.machines
+                      if getattr(m, "armed", False))
+        tracked += len(self._perturbations.pending)
+        tracked += sum(getattr(m, "wheel").pending_count
+                       for m in self.machines if hasattr(m, "wheel"))
+        if self.sim.pending_count != tracked:
+            raise CheckpointError(
+                f"{self.kind}: {self.sim.pending_count} pending events "
+                f"but only {tracked} tracked by providers; snapshot at "
+                f"a quiescent instant instead")
+
+    def advance_to_quiescence(self, virtual_ns: int,
+                              step_ns: int = MS,
+                              max_steps: int = 500) -> int:
+        """Advance to ``virtual_ns``, then creep forward until quiescent.
+
+        Worlds with coroutine-backed activity (fig8's storage writes)
+        are not snapshot-safe at arbitrary instants; this nudges the
+        clock in ``step_ns`` increments until every pending event is
+        provider-tracked, and returns the quiescent time.  Determinism
+        makes the result reproducible: a probe world with the same seed
+        and history finds the same instant.
+        """
+        self.advance_to(virtual_ns)
+        for _ in range(max_steps):
+            try:
+                self.assert_quiescent()
+                return self.sim.now
+            except CheckpointError:
+                self.sim.run(until=self.sim.now + step_ns)
+        raise CheckpointError(
+            f"{self.kind}: no quiescent instant within "
+            f"{max_steps * step_ns}ns of {virtual_ns}")
+
+    def restore_from(self, store: SnapshotStore,
+                     snapshot_id: str) -> "SnapshotWorld":
+        """Build a cold copy of this world and restore a snapshot into it."""
+        world = self._cold_builder()
+        store.restore(snapshot_id, world.snapshot_providers())
+        return world
+
+    # -- perturbations ---------------------------------------------------------------
+
+    def add_perturbation(self, pert) -> None:
+        """Arm a :class:`~repro.timetravel.controller.Perturbation`."""
+        if pert.name not in self._by_name:
+            raise TimeTravelError(
+                f"{self.kind}: perturbation targets unknown machine "
+                f"{pert.name!r} (have {sorted(self._by_name)})")
+        self._perturbations.arm(pert.at_virtual_ns, pert.name, pert.payload)
+        self.armed_perturbations.append(pert)
+
+    def _apply_perturbation(self, target: str, payload, at_ns: int) -> None:
+        machine = self._by_name.get(target)
+        if machine is None:
+            raise TimeTravelError(
+                f"{self.kind}: perturbation fired for unknown machine "
+                f"{target!r}")
+        machine.note_perturbation(at_ns, payload)
+        self.perturbation_log.append((at_ns, target))
+
+
+# -- world builders -----------------------------------------------------------------
+
+
+def build_fig4_world(seed: int = 4, perturbations: Sequence = (),
+                     started: bool = True) -> SnapshotWorld:
+    """Sleeper loops under virtualized guest time (the Figure 4 rig).
+
+    Two plain sleepers plus one sleeper driven through a tagged virtual
+    timer wheel (dispatch slack drawn from the wheel RNG), a guest
+    virtual clock, and a zero-drift NTP-style system clock with a
+    non-trivial initial offset.
+    """
+    from repro.clocksync.clock import SystemClock
+    from repro.guest.timer import VirtualTimerWheel
+    from repro.guest.vclock import VirtualClock
+    from repro.hw.tsc import Oscillator
+    from repro.sim.random import derived_rng
+
+    sim = Simulator()
+    vclock = VirtualClock(sim, rng=derived_rng("fig4.vclock", seed),
+                          rebase_jitter_ns=0)
+    wheel = VirtualTimerWheel(sim, vclock,
+                              rng=derived_rng("fig4.wheel", seed),
+                              name="fig4")
+    clock = SystemClock(sim, Oscillator(sim, drift_ppm=0.0),
+                        initial_offset_ns=1_500_000 + seed)
+    sleepers = [SleeperMachine(sim, f"sleep{i}", seed=seed + i,
+                               mean_ns=(7 + 3 * i) * MS)
+                for i in range(2)]
+    wheel_sleeper = WheelSleeperMachine(sim, "wsleep", wheel, seed=seed,
+                                        mean_ns=9 * MS)
+    machines = [*sleepers, wheel_sleeper]
+    resolver = dict(wheel_sleeper.resolver_entries())
+    providers = [FrontierProvider(sim), VClockProvider(vclock, "fig4"),
+                 ClockProvider(clock, "fig4"), *machines,
+                 WheelProvider(wheel, resolver)]
+    world = SnapshotWorld(
+        sim, "fig4", providers, machines,
+        cold_builder=lambda: build_fig4_world(seed, (), started=False),
+        perturbations=perturbations)
+    if started:
+        for machine in machines:
+            machine.start()
+    return world
+
+
+def build_fig8_world(seed: int = 8, perturbations: Sequence = (),
+                     started: bool = True) -> SnapshotWorld:
+    """Random COW writers on branching storage (the Figure 8 rig)."""
+    from repro.hw import Disk, DiskSpec
+    from repro.storage import BranchConfig, VolumeManager
+    from repro.units import GB
+
+    sim = Simulator()
+    disk = Disk(sim, DiskSpec(capacity_bytes=4 * GB), name="fig8")
+    manager = VolumeManager(sim, disk)
+    golden = manager.create_golden("img", 60_000)
+    branch = manager.create_branch("b", golden, config=BranchConfig(),
+                                   log_blocks=60_000,
+                                   aggregated_blocks=60_000)
+    from repro.checkpoint.pipeline import BranchProvider
+
+    writers = [StorageWriterMachine(sim, f"writer{i}", branch,
+                                    span_blocks=2048, period_ns=40 * MS,
+                                    seed=seed + i)
+               for i in range(2)]
+    pacer = SleeperMachine(sim, "pacer", seed=seed + 9, mean_ns=13 * MS)
+    machines = [*writers, pacer]
+    providers = [FrontierProvider(sim), DiskProvider(disk),
+                 BranchProvider(branch), *machines]
+    world = SnapshotWorld(
+        sim, "fig8", providers, machines,
+        cold_builder=lambda: build_fig8_world(seed, (), started=False),
+        perturbations=perturbations)
+    if started:
+        # Stagger writers so their coroutine-backed writes never overlap
+        # a quiescence point with another writer's tick.
+        for machine in machines:
+            machine.start()
+    return world
+
+
+def build_faultstorm_world(seed: int = 1, perturbations: Sequence = (),
+                           started: bool = True) -> SnapshotWorld:
+    """Bus clients under the fault storm's probabilistic plan.
+
+    The ``ckpt10_faultstorm`` plan's probabilistic faults (10% message
+    loss plus duplicates, delay spikes, and ack losses) drive every
+    injector substream; the machines' digests commit to each verdict,
+    so a restored injector must reproduce the replayed run's entire
+    future fault sequence to pass the digest gate.
+    """
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import BusFaultConfig, FaultPlan
+
+    sim = Simulator()
+    plan = FaultPlan(seed=seed,
+                     bus=BusFaultConfig(loss_prob=0.10,
+                                        duplicate_prob=0.05,
+                                        delay_spike_prob=0.03,
+                                        delay_spike_ns=2 * MS,
+                                        ack_loss_prob=0.08))
+    injector = FaultInjector(sim, plan)
+    channels = [LossyChannelMachine(sim, f"chan{i}", injector,
+                                    period_ns=(11 + 2 * i) * MS,
+                                    seed=seed + i)
+                for i in range(3)]
+    pacer = SleeperMachine(sim, "pacer", seed=seed + 7, mean_ns=8 * MS)
+    machines = [*channels, pacer]
+    providers = [FrontierProvider(sim), InjectorProvider(injector),
+                 *machines]
+    world = SnapshotWorld(
+        sim, "faultstorm", providers, machines,
+        cold_builder=lambda: build_faultstorm_world(seed, (),
+                                                    started=False),
+        perturbations=perturbations)
+    if started:
+        for machine in machines:
+            machine.start()
+    return world
+
+
+WORLD_BUILDERS: Dict[str, Callable] = {
+    "fig4": build_fig4_world,
+    "fig8": build_fig8_world,
+    "faultstorm": build_faultstorm_world,
+}
+
+
+def world_factory(kind: str):
+    """A ``RunFactory`` for :class:`TimeTravelController` over one world."""
+    builder = WORLD_BUILDERS.get(kind)
+    if builder is None:
+        raise TimeTravelError(
+            f"unknown snapshot world {kind!r} "
+            f"(have {sorted(WORLD_BUILDERS)})")
+
+    def factory(seed: int, perturbations: Sequence) -> SnapshotWorld:
+        return builder(seed=seed, perturbations=perturbations)
+
+    return factory

@@ -22,7 +22,7 @@ from repro.hw.tsc import GuestTSC
 from repro.net.interface import Interface
 from repro.sim.core import Simulator
 from repro.sim.random import derived_rng
-from repro.sim.trace import Tracer
+from repro.obs.trace import Tracer
 from repro.units import MB, MS
 from repro.xen.devices import VirtualBlockDevice, VirtualNIC
 from repro.xen.xenbus import XenBus

@@ -17,7 +17,7 @@ from repro.errors import CheckpointError, StorageError
 from repro.hw import Disk, DiskSpec, Machine
 from repro.net import LinkShape, Packet, install_shaped_link
 from repro.sim import RandomStreams, Simulator
-from repro.sim.trace import Tracer
+from repro.obs.trace import Tracer
 from repro.storage import VolumeManager
 from repro.units import GB, MB, MBPS, MS, SECOND, US
 from repro.xen import Hypervisor, LocalCheckpointer

@@ -8,7 +8,7 @@ from repro.faults import (NO_FAULT, AgentCrash, BusFaultConfig, ClockStep,
                           DiskFault, FaultInjector, FaultPlan, MessageLoss)
 from repro.hw import Machine
 from repro.sim import RandomStreams, Simulator
-from repro.sim.trace import Tracer
+from repro.obs.trace import Tracer
 from repro.units import MS, SECOND
 
 

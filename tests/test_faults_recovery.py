@@ -12,7 +12,7 @@ from repro.hw import Machine
 from repro.net import LinkShape, install_shaped_link
 from repro.clocksync import NTPClient, NTPServer
 from repro.sim import RandomStreams, Simulator
-from repro.sim.trace import Tracer
+from repro.obs.trace import Tracer
 from repro.units import MB, MBPS, MS, SECOND
 from repro.xen import Hypervisor, LocalCheckpointer
 

@@ -1,0 +1,255 @@
+"""Restore-under-adversity acceptance tests (ISSUE 8).
+
+The tentpole claim: restoring a snapshot into a cold world and running
+forward is observably the *same world* as replaying from the origin —
+bit-identical state digests on the guest-time rig (fig4), the branching
+storage rig (fig8), and a seeded fault storm, at 1, 2, and N checkpoints
+deep, with and without perturbations.  And the failure half: a snapshot
+that cannot be restored exactly (corrupt chunks, version skew, not
+quiescent) must be refused loudly, never partially applied — the
+controller then falls back to deterministic replay.
+"""
+
+import pytest
+
+from repro.checkpoint.snapshot import SnapshotStore
+from repro.errors import CheckpointError, SnapshotError, TimeTravelError
+from repro.timetravel import (Perturbation, TimeTravelController,
+                              world_factory)
+from repro.timetravel.scenarios import WORLD_BUILDERS
+from repro.units import MS, SECOND
+
+WORLDS = sorted(WORLD_BUILDERS)
+
+
+def quiescent_times(kind, seed, targets, perturbations=()):
+    """Snapshot-safe instants near each target time, found by probing.
+
+    Determinism makes the probe transferable: any world built with the
+    same seed and perturbation history reaches the same quiescent
+    instants.
+    """
+    probe = WORLD_BUILDERS[kind](seed=seed,
+                                 perturbations=list(perturbations))
+    return [probe.advance_to_quiescence(t) for t in targets]
+
+
+# -- restore == replay, straight line ------------------------------------------
+
+
+@pytest.mark.parametrize("kind", WORLDS)
+def test_restore_equals_replay_at_depths_1_2_n(kind):
+    seed = 5
+    times = quiescent_times(kind, seed,
+                            [1 * SECOND, 2 * SECOND, 3 * SECOND,
+                             4 * SECOND, 5 * SECOND])
+    store = SnapshotStore()
+    world = WORLD_BUILDERS[kind](seed=seed)
+    parent = None
+    for i, t in enumerate(times):
+        world.advance_to(t)
+        snap = store.take(f"d{i}", world.snapshot_providers(),
+                          virtual_time_ns=t, parent=parent)
+        parent = snap.snapshot_id
+    # depth 1, 2, and N=5: restore each snapshot cold and run to the end
+    horizon = times[-1]
+    for i in (0, 1, len(times) - 1):
+        restored = world.restore_from(store, f"d{i}")
+        assert restored.virtual_now() == times[i]
+        restored.advance_to(horizon)
+        replayed = WORLD_BUILDERS[kind](seed=seed)
+        replayed.advance_to(horizon)
+        assert restored.state_digest() == replayed.state_digest(), \
+            f"{kind}: depth {i} diverged"
+
+
+@pytest.mark.parametrize("kind", WORLDS)
+def test_delta_snapshots_smaller_than_full(kind):
+    seed = 5
+    times = quiescent_times(kind, seed, [1 * SECOND, 2 * SECOND])
+    store = SnapshotStore()
+    world = WORLD_BUILDERS[kind](seed=seed)
+    world.advance_to(times[0])
+    first = store.take("d0", world.snapshot_providers(),
+                       virtual_time_ns=times[0])
+    world.advance_to(times[1])
+    second = store.take("d1", world.snapshot_providers(),
+                        virtual_time_ns=times[1], parent="d0")
+    assert first.new_chunk_bytes == first.total_bytes
+    assert second.new_chunk_bytes < second.total_bytes
+
+
+# -- restore == replay, with perturbations -------------------------------------
+
+
+@pytest.mark.parametrize("kind", WORLDS)
+def test_restore_equals_replay_with_pending_perturbation(kind):
+    seed = 5
+    target = "pacer" if kind != "fig4" else "sleep0"
+    pert = Perturbation(at_virtual_ns=1 * SECOND + 500 * MS, name=target,
+                       payload={"poke": 1})
+    t_snap, = quiescent_times(kind, seed, [1 * SECOND],
+                              perturbations=[pert])
+    store = SnapshotStore()
+    world = WORLD_BUILDERS[kind](seed=seed, perturbations=[pert])
+    world.advance_to(t_snap)                 # perturbation still pending
+    store.take("s", world.snapshot_providers(), virtual_time_ns=t_snap)
+    restored = world.restore_from(store, "s")
+    restored.advance_to(3 * SECOND)          # fires after the restore
+    replayed = WORLD_BUILDERS[kind](seed=seed, perturbations=[pert])
+    replayed.advance_to(3 * SECOND)
+    assert restored.state_digest() == replayed.state_digest()
+    assert restored.perturbation_log == replayed.perturbation_log
+    assert restored.perturbation_log == [(pert.at_virtual_ns, target)]
+
+
+# -- the controller: restore-then-run with replay fallback ---------------------
+
+
+def controller_with_chain(kind, seed=3, n=3):
+    times = quiescent_times(kind, seed,
+                            [i * SECOND for i in range(1, n + 1)])
+    ctl = TimeTravelController(world_factory(kind), seed=seed)
+    nodes = []
+    for t in times:
+        ctl.run_to(t)
+        nodes.append(ctl.checkpoint())
+    return ctl, nodes
+
+
+@pytest.mark.parametrize("kind", WORLDS)
+def test_controller_serves_navigation_from_snapshots(kind):
+    ctl, nodes = controller_with_chain(kind)
+    assert all(n.node_id in ctl.snapshot_ids for n in nodes)
+    for node in (nodes[0], nodes[2], nodes[1]):
+        run = ctl.travel_to(node.node_id)
+        assert run.virtual_now() == node.virtual_time_ns
+    assert ctl.restore_stats == {"restores": 3, "replays": 0,
+                                 "fallbacks": 0}
+    # the oracle: restore-then-run == replay-from-origin, per node
+    for node in nodes:
+        assert ctl.verify_restore(node.node_id)
+
+
+@pytest.mark.parametrize("kind", WORLDS)
+def test_controller_branches_restore_after_perturbed_checkpoint(kind):
+    ctl, nodes = controller_with_chain(kind)
+    target = "pacer" if kind != "fig4" else "sleep0"
+    ctl.travel_to(nodes[0].node_id)
+    pert = Perturbation(at_virtual_ns=1 * SECOND + 700 * MS, name=target,
+                       payload="branch")
+    probe = WORLD_BUILDERS[kind](seed=3, perturbations=[pert])
+    t_branch = probe.advance_to_quiescence(2 * SECOND + 500 * MS)
+    ctl.perturb(pert)
+    ctl.run_to(t_branch)
+    branch = ctl.checkpoint(label="branched")
+    # the branch checkpoint snapshots the full history, so navigating to
+    # it restores; so does the pre-perturbation trunk via its own chain
+    before = ctl.restore_stats["restores"]
+    ctl.travel_to(branch.node_id)
+    ctl.travel_to(nodes[1].node_id)
+    assert ctl.restore_stats["restores"] == before + 2
+    assert ctl.restore_stats["replays"] == 0
+    assert ctl.verify_restore(branch.node_id)
+    # the perturbation fired *before* the branch snapshot, so a restored
+    # world carries its effect inside the machine digests rather than in
+    # the (process-lifetime) perturbation log — but a replay from the
+    # origin re-fires it, and verify_restore above proved the two agree
+    replayed = WORLD_BUILDERS[kind](seed=3, perturbations=[pert])
+    replayed.advance_to(t_branch)
+    assert replayed.perturbation_log == [(pert.at_virtual_ns, target)]
+
+
+def test_controller_falls_back_to_replay_on_corruption():
+    ctl, nodes = controller_with_chain("fig4")
+    # corrupt every stored snapshot's first chunk
+    for sid in list(ctl.snapshots.order):
+        rec = ctl.snapshots.manifest(sid).providers[0]
+        ctl.snapshots.chunks.corrupt(rec.chunks[0])
+    run = ctl.travel_to(nodes[1].node_id)
+    assert run.virtual_now() == nodes[1].virtual_time_ns
+    assert ctl.restore_stats["fallbacks"] == 1
+    assert ctl.restore_stats["replays"] == 1
+    # replay still lands on the recorded state
+    assert ctl.verify_reproducibility(nodes[1].node_id)
+
+
+def test_controller_without_snapshot_support_replays():
+    class Bare:
+        """Implements only the ReplayableRun protocol."""
+
+        def __init__(self, seed, history):
+            self.now, self.seed = 0, seed
+            self.history = list(history)
+
+        def virtual_now(self):
+            return self.now
+
+        def advance_to(self, t):
+            self.now = t
+
+        def state_digest(self):
+            return (self.seed, self.now, tuple(self.history))
+
+        def snapshot_bytes(self):
+            return 64
+
+    ctl = TimeTravelController(Bare, seed=1)
+    ctl.run_to(5)
+    node = ctl.checkpoint()
+    assert ctl.snapshot_ids == {}
+    ctl.travel_to(node.node_id)
+    assert ctl.restore_stats == {"restores": 0, "replays": 1,
+                                 "fallbacks": 0}
+
+
+# -- refusal paths -------------------------------------------------------------
+
+
+def test_snapshot_refused_when_not_quiescent():
+    world = WORLD_BUILDERS["fig8"](seed=5)
+    t_q = world.advance_to_quiescence(1 * SECOND)
+    store = SnapshotStore()
+    store.take("ok", world.snapshot_providers(), virtual_time_ns=t_q)
+    # creep forward until a storage write is in flight, then refuse
+    for _ in range(500):
+        world.sim.run(until=world.sim.now + MS)
+        try:
+            world.assert_quiescent()
+        except CheckpointError:
+            break
+    else:
+        pytest.skip("no in-flight write found in 500ms of virtual time")
+    with pytest.raises(CheckpointError):
+        world.snapshot_providers()
+
+
+def test_restore_requires_a_cold_world():
+    world = WORLD_BUILDERS["fig4"](seed=5)
+    t_q = world.advance_to_quiescence(1 * SECOND)
+    store = SnapshotStore()
+    store.take("s", world.snapshot_providers(), virtual_time_ns=t_q)
+    # restoring into the *running* world must fail: its machines have
+    # ticked and its event store is populated
+    with pytest.raises((CheckpointError, TimeTravelError)):
+        store.restore("s", world.snapshot_providers())
+
+
+def test_schema_skew_refused_and_replay_covers(monkeypatch):
+    ctl, nodes = controller_with_chain("fig4", n=2)
+    # simulate a version bump of one provider between take and restore
+    world = ctl.active_run
+    monkeypatch.setattr(type(world.providers[2]), "SCHEMA_VERSION", 2)
+    with pytest.raises(SnapshotError):
+        world.restore_from(ctl.snapshots,
+                           ctl.snapshot_ids[nodes[0].node_id])
+    run = ctl.travel_to(nodes[0].node_id)       # falls back to replay
+    assert run.virtual_now() == nodes[0].virtual_time_ns
+    assert ctl.restore_stats["fallbacks"] == 1
+
+
+def test_perturbation_unknown_machine_rejected():
+    with pytest.raises(TimeTravelError):
+        WORLD_BUILDERS["fig4"](
+            seed=5,
+            perturbations=[Perturbation(at_virtual_ns=MS, name="nope")])
