@@ -24,7 +24,14 @@ Subcommands:
                   take delta-chained snapshots of a running world,
                   inspect/diff their manifests, and restore one into a
                   cold world with an optional replay cross-check
-                  (docs/snapshots.md)
+                  (docs/snapshots.md).  Durable actions: ``run`` a world
+                  against a crash-safe on-disk store (``--durable DIR``,
+                  ``--resume`` re-attaches after process death, exits 3
+                  on an injected ``--kill-at`` crash), ``fsck`` a store
+                  (``--repair`` applies the fixes), and ``crashmatrix``
+                  — kill a run at every durability barrier and prove
+                  recovery + resume land on the uninterrupted digest
+                  (docs/durability.md)
 """
 
 from __future__ import annotations
@@ -235,11 +242,102 @@ def cmd_faults(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_snapshot_durable(args) -> int:
+    """The crash-safe actions of ``repro snapshot`` (docs/durability.md)."""
+    from repro.checkpoint.durable import CRASH_POINTS, DurableSnapshotStore
+    from repro.errors import SimulatedCrash
+    from repro.faults.plan import FaultPlan, ProcessCrash
+    from repro.timetravel.resume import crash_matrix, run_durable
+    from repro.units import MS
+
+    root = args.durable
+    if not root:
+        print(f"--durable DIR is required for `{args.action}`")
+        return 1
+    fsync = not args.no_fsync
+
+    if args.action == "fsck":
+        store = DurableSnapshotStore(root, fsync=fsync)
+        report = store.recover() if args.repair else store.fsck()
+        verb = "repaired" if args.repair else "would repair"
+        print(f"durable store {root} "
+              f"({'read-only scan' if not args.repair else 'repaired'})")
+        print(f"  committed : {report.committed}")
+        if report.completed:
+            print(f"  completed : {report.completed} (commit landed, "
+                  f"journal {verb})")
+        if report.rolled_back:
+            print(f"  rolled back: {report.rolled_back} (save died before "
+                  f"its commit point)")
+        for sid, why in report.damaged:
+            fallback = store.nearest_intact(sid)
+            print(f"  damaged   : {sid} ({why}; nearest intact: "
+                  f"{fallback or 'none — replay from origin'})")
+        if report.quarantined:
+            print(f"  quarantined: {report.quarantined}")
+        print(f"  torn files {verb}: {report.torn_files_removed}  "
+              f"orphan chunks {verb}: {report.orphan_chunks_removed}")
+        print("fsck:", "CLEAN" if report.clean else
+              ("REPAIRED" if args.repair else "NEEDS REPAIR"))
+        return 0 if (report.clean or args.repair) else 1
+
+    if args.action == "crashmatrix":
+        result = crash_matrix(args.world, root, steps=args.checkpoints,
+                              step_ns=args.interval_ms * MS, fsync=fsync)
+        print(f"crash matrix: {args.world}, {args.checkpoints} "
+              f"checkpoints, baseline {result['baseline_digest'][:16]}…")
+        print(f"{'crash point':<28} {'crashed':>7} {'atomic':>6} "
+              f"{'committed':>9} {'resume':>6}")
+        for entry in result["points"]:
+            print(f"{entry['point']:<28} "
+                  f"{'yes' if entry['crashed'] else 'NO':>7} "
+                  f"{'yes' if entry['atomic'] else 'NO':>6} "
+                  f"{len(entry['committed_after_recovery']):>9} "
+                  f"{'OK' if entry['resumed_digest_match'] else 'FAIL':>6}")
+        print("crash matrix:", "OK" if result["ok"] else "FAILED")
+        return 0 if result["ok"] else 1
+
+    # run
+    plan = None
+    if args.kill_at:
+        if args.kill_at not in CRASH_POINTS:
+            print(f"unknown crash point {args.kill_at!r} "
+                  f"(have {', '.join(CRASH_POINTS)})")
+            return 1
+        plan = FaultPlan(process_crashes=(
+            ProcessCrash(at_point=args.kill_at,
+                         during_save=args.kill_during),))
+    try:
+        result = run_durable(args.world, root, steps=args.checkpoints,
+                             step_ns=args.interval_ms * MS, fsync=fsync,
+                             seed=args.seed, plan=plan,
+                             resume=args.resume)
+    except SimulatedCrash as exc:
+        print(f"process died mid-save: {exc}")
+        print(f"the store under {root} holds every snapshot committed "
+              f"before the crash; re-run with --resume to continue")
+        return 3
+    stats = result["restore_stats"]
+    if args.resume and stats["resumes"]:
+        print(f"resumed from the deepest durable snapshot "
+              f"(restores={stats['restores']}, "
+              f"degraded={stats['degraded']})")
+    print(f"committed: {result['committed']}")
+    print(f"virtual time: {result['virtual_now'] / 1e6:.1f}ms  "
+          f"chunk files: {result['durability']['chunk_files']}  "
+          f"fsync: {result['durability']['fsync']}")
+    print(f"state digest: {result['digest']}")
+    return 0
+
+
 def cmd_snapshot(args) -> int:
     from repro.checkpoint.snapshot import SnapshotStore
     from repro.errors import SnapshotError
     from repro.timetravel.scenarios import WORLD_BUILDERS
     from repro.units import MS
+
+    if args.action in ("run", "fsck", "crashmatrix"):
+        return _cmd_snapshot_durable(args)
 
     if args.action == "take":
         builder = WORLD_BUILDERS.get(args.world)
@@ -386,8 +484,11 @@ def main(argv=None) -> int:
                           help="take/inspect/restore/diff true snapshots "
                                "of a serializable world")
     snap.add_argument("action",
-                      choices=("take", "inspect", "restore", "diff"),
-                      help="what to do with the snapshot store")
+                      choices=("take", "inspect", "restore", "diff",
+                               "run", "fsck", "crashmatrix"),
+                      help="what to do with the snapshot store; run/"
+                           "fsck/crashmatrix operate on a crash-safe "
+                           "on-disk store (--durable DIR)")
     snap.add_argument("--store", metavar="PATH", default="snapshots.json",
                       help="snapshot store file (default: snapshots.json)")
     snap.add_argument("--world", default="fig4",
@@ -406,6 +507,24 @@ def main(argv=None) -> int:
     snap.add_argument("--verify", action="store_true",
                       help="after `restore`, replay from the origin and "
                            "compare state digests")
+    snap.add_argument("--durable", metavar="DIR",
+                      help="root directory of the crash-safe store "
+                           "(run/fsck/crashmatrix)")
+    snap.add_argument("--resume", action="store_true",
+                      help="with `run`: re-attach to the deepest durable "
+                           "snapshot a prior (killed) process committed")
+    snap.add_argument("--no-fsync", action="store_true",
+                      help="skip physical fsync barriers (keeps the "
+                           "commit ordering; CI speed mode)")
+    snap.add_argument("--kill-at", metavar="POINT",
+                      help="with `run`: inject a process death at this "
+                           "durability crash point (exit code 3)")
+    snap.add_argument("--kill-during", type=int, default=0, metavar="N",
+                      help="restrict --kill-at to the Nth checkpoint "
+                           "save (default: 0 = any)")
+    snap.add_argument("--repair", action="store_true",
+                      help="with `fsck`: apply the repairs instead of a "
+                           "read-only scan")
     args = parser.parse_args(argv)
     return {"info": cmd_info, "selftest": cmd_selftest,
             "results": cmd_results, "lint": cmd_lint,

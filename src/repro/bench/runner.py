@@ -406,6 +406,77 @@ def _bench_snapshot_restore(quick: bool) -> Dict:
     }
 
 
+def _bench_snapshot_durable(quick: bool) -> Dict:
+    """Durable-store overhead vs the in-memory store, plus a cold recover.
+
+    Runs the same fig4 checkpoint cadence three ways — in-memory
+    ``SnapshotStore``, ``DurableSnapshotStore`` with fsync, and with
+    fsync off (barrier ordering only, the CI crash-model configuration)
+    — and records the overhead of the journaled on-disk commit protocol
+    (docs/durability.md).  A fresh process then ``recover()``s the
+    synced store and cold-restores the deepest snapshot; its digest
+    must match the live world's (durability is also an equivalence
+    gate).  ``fast_seconds`` is the fsync-off time: that is what CI
+    pays in the crash matrix, and it is far less jittery on shared
+    containers than physical fsync latency.
+    """
+    import shutil
+    import tempfile
+
+    from repro.checkpoint.durable import DurableSnapshotStore
+    from repro.checkpoint.snapshot import SnapshotStore
+    from repro.timetravel.scenarios import build_fig4_world
+    from repro.units import MS
+
+    seed = 4
+    steps = 4 if quick else 8
+    step_ns = 250 * MS
+
+    def cadence(store):
+        world = build_fig4_world(seed=seed)
+        parent = None
+        for i in range(1, steps + 1):
+            t_q = world.advance_to_quiescence(i * step_ns)
+            snap = store.take(f"t{i}", world.snapshot_providers(),
+                              virtual_time_ns=t_q, parent=parent)
+            parent = snap.snapshot_id
+        return world
+
+    memory_s, _ = _time_run(lambda: cadence(SnapshotStore()))
+    root_sync = tempfile.mkdtemp(prefix="bench-durable-sync-")
+    root_nosync = tempfile.mkdtemp(prefix="bench-durable-nosync-")
+    try:
+        fsync_s, live = _time_run(
+            lambda: cadence(DurableSnapshotStore(root_sync, fsync=True)))
+        nosync_s, _ = _time_run(
+            lambda: cadence(DurableSnapshotStore(root_nosync, fsync=False)))
+        # A "fresh process": a second store over the same directory must
+        # recover clean and cold-restore to the live world's digest.
+        recovered = DurableSnapshotStore(root_sync, fsync=True)
+        report = recovered.recover()
+        recover_clean = report.clean and len(report.committed) == steps
+        cold = live.restore_from(recovered, f"t{steps}")
+        digest_match = (recover_clean
+                        and cold.state_digest() == live.state_digest())
+    finally:
+        shutil.rmtree(root_sync, ignore_errors=True)
+        shutil.rmtree(root_nosync, ignore_errors=True)
+
+    def pct(s: float) -> Optional[float]:
+        return round(100.0 * (s - memory_s) / memory_s, 1) if memory_s else None
+
+    return {
+        "fast_seconds": round(nosync_s, 4),
+        "memory_seconds": round(memory_s, 4),
+        "fsync_seconds": round(fsync_s, 4),
+        "checkpoints": steps,
+        "nosync_overhead_pct": pct(nosync_s),
+        "fsync_overhead_pct": pct(fsync_s),
+        "recover_clean": recover_clean,
+        "digest_match": digest_match,
+    }
+
+
 def _default_profile_path() -> str:
     return os.path.join(_repo_root(), "benchmarks", "results",
                         "PROFILE_sim_core.json")
@@ -472,7 +543,8 @@ def run_profile(out=sys.stdout, json_output: Optional[str] = None,
 #: and *warned* about (the fault-free paths must not pay for the fault
 #: layer; sub-second wall clocks make these too jittery to hard-fail)
 _REGRESSION_WATCH = ("fig4_sleep", "fig5_cpuburn", "fig8_cow_storage",
-                     "ckpt10_coordinated", "snapshot_restore")
+                     "ckpt10_coordinated", "snapshot_restore",
+                     "snapshot_durable")
 #: scenarios whose regression FAILS the bench.  The gated quantity is the
 #: fast/legacy *speedup ratio* from the same interleaved best-of-N run,
 #: not the absolute event rate: a loaded or slower host drags both paths
@@ -538,6 +610,9 @@ def run_bench(quick: bool = False, output: Optional[str] = None,
         # and beat it past the recorded virtual-time crossover, with
         # delta snapshots smaller than full.
         "snapshot_restore": lambda: _bench_snapshot_restore(quick),
+        # Durability gate: the journaled on-disk store's overhead vs the
+        # in-memory store, and a cold recover + restore digest check.
+        "snapshot_durable": lambda: _bench_snapshot_durable(quick),
     }
     if output is None:
         output = os.path.join(_repo_root(), "BENCH_sim_core.json")

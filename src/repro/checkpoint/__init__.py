@@ -19,17 +19,20 @@ from repro.checkpoint.supervisor import (CheckpointSupervisor,
                                          RetryDecision, RetryThenAbort)
 from repro.checkpoint.baselines import (NaiveCheckpointer, RemusCheckpointer,
                                         UncoordinatedRunner)
+from repro.checkpoint.durable import (CRASH_POINTS, DurableSnapshotStore,
+                                      FsckReport, SAVE_CRASH_POINTS)
 
 __all__ = [
     "AgentFailure", "Barrier", "BoundedSkewRetrySuspend", "BranchProvider",
-    "BusMessage", "Checkpointable", "CheckpointFailure", "CheckpointPipeline",
-    "CheckpointSupervisor", "ClockHandoff", "ClockProvider",
-    "CoordinatedResult", "Coordinator", "DeadlineSuspend", "DegradationPolicy",
-    "DelayNodeAgent", "DelayNodeProvider", "DomainProvider", "FailFast",
+    "BusMessage", "CRASH_POINTS", "Checkpointable", "CheckpointFailure",
+    "CheckpointPipeline", "CheckpointSupervisor", "ClockHandoff",
+    "ClockProvider", "CoordinatedResult", "Coordinator", "DeadlineSuspend",
+    "DegradationPolicy", "DelayNodeAgent", "DelayNodeProvider",
+    "DomainProvider", "DurableSnapshotStore", "FailFast", "FsckReport",
     "ImmediateSuspend", "NaiveCheckpointer", "NaiveDomainProvider",
     "NodeAgent", "NotificationBus", "ProceedWithoutDelayNodes",
     "ReliabilityConfig", "RemusCheckpointer", "RetryDecision",
-    "RetryThenAbort", "SnapshotCapture", "Stage", "StageFailed",
-    "StageTiming", "SuspendPolicy", "UncoordinatedRunner",
+    "RetryThenAbort", "SAVE_CRASH_POINTS", "SnapshotCapture", "Stage",
+    "StageFailed", "StageTiming", "SuspendPolicy", "UncoordinatedRunner",
     "capture_run_snapshot",
 ]

@@ -32,6 +32,7 @@ from __future__ import annotations
 import base64
 import hashlib
 import json
+import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -406,15 +407,33 @@ class SnapshotStore:
         return store
 
     def save(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(self.to_json(), fh, indent=1, sort_keys=True)
+        """Write the store to ``path`` atomically (temp + fsync + rename).
+
+        A crash mid-save leaves either the previous file intact or a
+        ``.tmp`` sibling beside it — never a torn store file that a
+        later :meth:`load` would half-parse.
+        """
+        blob = json.dumps(self.to_json(), indent=1,
+                          sort_keys=True).encode("utf-8")
+        tmp = path + ".tmp"
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o666)
+        try:
+            os.write(fd, blob)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, path)
 
     @classmethod
     def load(cls, path: str) -> "SnapshotStore":
-        with open(path, "r", encoding="utf-8") as fh:
-            try:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
                 data = json.load(fh)
-            except ValueError as exc:
-                raise SnapshotError(
-                    f"unreadable store file {path}: {exc}") from exc
+        except OSError as exc:
+            raise SnapshotError(
+                f"cannot read store file {path}: {exc}") from exc
+        except ValueError as exc:
+            raise SnapshotError(
+                f"unreadable store file {path}: truncated or not a "
+                f"snapshot store ({exc})") from exc
         return cls.from_json(data)

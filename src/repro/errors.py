@@ -40,6 +40,18 @@ class SnapshotError(CheckpointError):
     """
 
 
+class SimulatedCrash(ReproError):
+    """An injected process death at a named durability crash point.
+
+    Raised by the :class:`~repro.faults.plan.ProcessCrash` fault (via
+    ``FaultInjector.process_crash_check``) exactly where a real crash
+    would kill the writer mid-save.  Library code never catches it —
+    retry policies see only ``StorageError``/``OSError`` — so it always
+    propagates to the harness, which then exercises recovery on a fresh
+    :class:`~repro.checkpoint.durable.DurableSnapshotStore`.
+    """
+
+
 class NetworkError(ReproError):
     """Invalid network configuration or use."""
 

@@ -10,10 +10,10 @@ digests stay bit-identical.
 from repro.faults.injector import NO_FAULT, DeliveryVerdict, FaultInjector
 from repro.faults.plan import (AgentCrash, BusFaultConfig, ClockStep,
                                DelayNodeFailure, DiskFault, FaultPlan,
-                               MessageLoss)
+                               MessageLoss, ProcessCrash)
 
 __all__ = [
     "AgentCrash", "BusFaultConfig", "ClockStep", "DeliveryVerdict",
     "DelayNodeFailure", "DiskFault", "FaultInjector", "FaultPlan",
-    "MessageLoss", "NO_FAULT",
+    "MessageLoss", "NO_FAULT", "ProcessCrash",
 ]

@@ -19,7 +19,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.errors import CheckpointError, StorageError
+from repro.errors import CheckpointError, SimulatedCrash, StorageError
 from repro.faults.plan import AgentCrash, FaultPlan
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer, maybe_record
@@ -75,6 +75,13 @@ class FaultInjector:
         self._losses = [_LossBudget(s) for s in self.plan.message_losses]
         self._disk_remaining: List[int] = [f.max_failures
                                            for f in self.plan.disk_faults]
+        #: remaining kills per ProcessCrash spec (harness-side state,
+        #: like timed faults: re-armed by whoever rebuilds the world)
+        self._crash_remaining: List[int] = [c.count for c in
+                                            self.plan.process_crashes]
+        #: 1-based counter of durable save operations seen (for
+        #: ``ProcessCrash.during_save`` targeting)
+        self._saves_seen = 0
         self._agents: Dict[str, object] = {}
         self._clocks: Dict[str, object] = {}
         self._armed = False
@@ -106,6 +113,19 @@ class FaultInjector:
 
     def register_store(self, store) -> None:
         """Attach this injector to a :class:`BranchStore` (disk faults)."""
+        store.faults = self
+
+    def register_durable_store(self, store) -> None:
+        """Attach this injector to a durable snapshot store.
+
+        Wires both fault classes the durable write path consumes:
+        :class:`~repro.faults.plan.ProcessCrash` fires through the
+        store's ``crash_hook`` at named durability barriers, and
+        :class:`~repro.faults.plan.DiskFault` entries with
+        ``store="durable"`` raise transient I/O errors inside the
+        store's retried write path.
+        """
+        store.crash_hook = self.process_crash_check
         store.faults = self
 
     def bind_experiment(self, experiment) -> None:
@@ -311,6 +331,38 @@ class FaultInjector:
             budget.remaining = remaining
         self._disk_remaining = list(state["disk_remaining"])
         self.injected = dict(state["injected"])
+
+    # -- process-death hook ------------------------------------------------------
+
+    def process_crash_check(self, point: str) -> None:
+        """Raise :class:`SimulatedCrash` if a matching kill is armed.
+
+        Called by :class:`~repro.checkpoint.durable.DurableSnapshotStore`
+        at every named durability barrier.  ``point == "save.begin"``
+        advances the save counter so ``during_save`` targeting works;
+        a spec with ``during_save=0`` matches any save.  The budgets are
+        harness-side consumables (not serialized with the injector):
+        a restored world re-arms them from its plan, exactly as timed
+        faults are re-armed.
+        """
+        if not self.enabled:
+            return
+        if point == "save.begin":
+            self._saves_seen += 1
+        for i, spec in enumerate(self.plan.process_crashes):
+            if self._crash_remaining[i] <= 0:
+                continue
+            if spec.at_point != point:
+                continue
+            if spec.during_save and spec.during_save != self._saves_seen:
+                continue
+            self._crash_remaining[i] -= 1
+            self._record("fault.process.crash", point=point,
+                         save=self._saves_seen, at_ns=self.sim.now,
+                         remaining=self._crash_remaining[i])
+            raise SimulatedCrash(
+                f"injected process death at crash point {point!r} "
+                f"(save #{self._saves_seen}, fault #{i})")
 
     # -- disk hook -------------------------------------------------------------
 

@@ -122,6 +122,29 @@ class DiskFault:
 
 
 @dataclass(frozen=True)
+class ProcessCrash:
+    """Kill the snapshot writer at a named durability crash point.
+
+    ``at_point`` names one of the registered barriers of the durable
+    save/restore path (see ``repro.checkpoint.durable.CRASH_POINTS``);
+    the injector raises :class:`~repro.errors.SimulatedCrash` the first
+    ``count`` times that barrier is reached, modelling a process that
+    dies at exactly that instruction.  ``during_save`` restricts the
+    kill to the Nth save operation (1-based; 0 = any save), so a plan
+    can let early checkpoints commit and murder a later one.
+
+        >>> ProcessCrash(at_point="save.manifest.prepared").count
+        1
+        >>> ProcessCrash(at_point="save.begin", during_save=3).during_save
+        3
+    """
+
+    at_point: str
+    count: int = 1
+    during_save: int = 0
+
+
+@dataclass(frozen=True)
 class ClockStep:
     """Step a node's system clock by ``step_ns`` at ``at_ns`` (NTP upset).
 
@@ -153,10 +176,11 @@ class FaultPlan:
     delay_failures: Tuple[DelayNodeFailure, ...] = ()
     disk_faults: Tuple[DiskFault, ...] = ()
     clock_steps: Tuple[ClockStep, ...] = ()
+    process_crashes: Tuple[ProcessCrash, ...] = ()
 
     @property
     def active(self) -> bool:
         """Whether this plan injects anything at all."""
         return bool(self.bus.active or self.message_losses or self.crashes
                     or self.delay_failures or self.disk_faults
-                    or self.clock_steps)
+                    or self.clock_steps or self.process_crashes)

@@ -17,6 +17,8 @@ from repro.timetravel.knobs import (STANDARD_KNOBS,
 from repro.timetravel.recorder import ExperimentRecorder, RecordedCheckpoint
 from repro.timetravel.replayable import (Builder, ExperimentHandle,
                                          ReplayableExperiment)
+from repro.timetravel.resume import (DEFAULT_SEEDS, crash_matrix,
+                                     run_durable)
 from repro.timetravel.tree import CheckpointTree, TreeNode
 
 __all__ = [
@@ -29,5 +31,6 @@ __all__ = [
     "WORLD_BUILDERS", "world_factory", "build_fig4_world",
     "build_fig8_world", "build_faultstorm_world", "TickMachine",
     "SleeperMachine", "StorageWriterMachine", "WheelSleeperMachine",
-    "LossyChannelMachine", "chain_digest",
+    "LossyChannelMachine", "chain_digest", "DEFAULT_SEEDS",
+    "crash_matrix", "run_durable",
 ]

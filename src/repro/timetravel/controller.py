@@ -84,22 +84,30 @@ class TimeTravelController:
     """Drives one time-travel session over a reproducible experiment."""
 
     def __init__(self, factory: RunFactory, seed: int = 0,
-                 storage_budget_bytes: Optional[int] = None) -> None:
+                 storage_budget_bytes: Optional[int] = None, *,
+                 snapshots: Optional[SnapshotStore] = None,
+                 resume: bool = False) -> None:
         self.factory = factory
         self.seed = seed
         self.tree = CheckpointTree(storage_budget_bytes)
         self.active_run: ReplayableRun = factory(seed, [])
         #: node_id -> what the pipeline captured at that checkpoint
         self.captures: Dict[int, SnapshotCapture] = {}
-        #: serialized provider snapshots, delta-chained parent -> child
-        self.snapshots = SnapshotStore()
+        #: serialized provider snapshots, delta-chained parent -> child.
+        #: Pass a (recovered) ``DurableSnapshotStore`` to make the
+        #: session's checkpoints survive process death.
+        self.snapshots = snapshots if snapshots is not None \
+            else SnapshotStore()
         #: node_id -> snapshot id in :attr:`snapshots`
         self.snapshot_ids: Dict[int, str] = {}
         #: node_id -> perturbation history the snapshot was taken under
         self._snapshot_histories: Dict[int, tuple] = {}
-        #: how navigations were served: restore / replay / restore failed
+        #: how navigations were served: restore / replay / restore
+        #: failed / re-attached after process death / damaged snapshots
+        #: skipped for an intact ancestor
         self.restore_stats: Dict[str, int] = {
-            "restores": 0, "replays": 0, "fallbacks": 0}
+            "restores": 0, "replays": 0, "fallbacks": 0,
+            "resumes": 0, "degraded": 0}
         capture = capture_run_snapshot(self.active_run)
         root = self.tree.add(None, self.active_run.virtual_now(),
                              label="origin",
@@ -107,7 +115,10 @@ class TimeTravelController:
         self.captures[root.node_id] = capture
         self._position: TreeNode = root
         self._pending_perturbations: List[Perturbation] = []
-        self._maybe_snapshot(root)
+        if resume and self.snapshots.order:
+            self._resume_from_store(root)
+        else:
+            self._maybe_snapshot(root)
 
     # ------------------------------------------------------------------ recording
 
@@ -168,15 +179,17 @@ class TimeTravelController:
         providers_fn = getattr(self.active_run, "snapshot_providers", None)
         if providers_fn is None:
             return
+        damaged = getattr(self.snapshots, "is_damaged", None)
         parent_sid: Optional[str] = None
         for ancestor in reversed(self.tree.path_to(node.node_id)[:-1]):
             sid = self.snapshot_ids.get(ancestor.node_id)
-            if sid is not None:
-                parent_sid = sid
-                break
+            if sid is None or (damaged is not None and damaged(sid)):
+                continue                # delta-chain to an intact parent
+            parent_sid = sid
+            break
         try:
             snap = self.snapshots.take(
-                f"node{node.node_id}", providers_fn(),
+                self._fresh_sid(node.node_id), providers_fn(),
                 virtual_time_ns=node.virtual_time_ns,
                 parent=parent_sid, label=node.label)
         except (CheckpointError, SnapshotError):
@@ -184,6 +197,61 @@ class TimeTravelController:
         self.snapshot_ids[node.node_id] = snap.snapshot_id
         self._snapshot_histories[node.node_id] = tuple(
             self.tree.perturbations_along(node.node_id))
+
+    def _fresh_sid(self, node_id: int) -> str:
+        """A snapshot id not already claimed in the (possibly resumed)
+        store.  A fresh in-memory store never collides; a durable store
+        resumed across generations can hold leftover ids from a prior
+        life (e.g. a damaged on-disk snapshot that was not grafted into
+        this session's tree), so suffix until free."""
+        damaged = getattr(self.snapshots, "is_damaged", None)
+        sid = f"node{node_id}"
+        generation = 0
+        while sid in self.snapshots.manifests or \
+                (damaged is not None and damaged(sid)):
+            generation += 1
+            sid = f"node{node_id}r{generation}"
+        return sid
+
+    def _resume_from_store(self, root: TreeNode) -> None:
+        """Re-attach this session to snapshots a prior process committed.
+
+        Grafts every committed snapshot of :attr:`snapshots` (already
+        :meth:`~repro.checkpoint.durable.DurableSnapshotStore.recover`-ed
+        by the caller) into the checkpoint tree along its recorded
+        parent links, then restores the deepest one into a cold world —
+        the run continues where the dead process last durably committed
+        instead of replaying from the origin.  Manifests do not record
+        perturbation histories, so resume covers unperturbed histories
+        (snapshots of perturbed branches would fail eligibility and be
+        served by replay anyway — the perturbations themselves died with
+        the prior process).
+        """
+        resume_fn = getattr(self.snapshots, "resume_manifests", None)
+        manifests = resume_fn() if resume_fn is not None else \
+            [self.snapshots.manifests[sid] for sid in self.snapshots.order]
+        sid_to_node: Dict[str, int] = {}
+        deepest = root
+        for manifest in manifests:
+            sid = manifest.snapshot_id
+            if manifest.parent is None and \
+                    manifest.virtual_time_ns == root.virtual_time_ns:
+                node = root            # the prior life's origin snapshot
+            else:
+                parent_node = sid_to_node.get(manifest.parent,
+                                              root.node_id)
+                node = self.tree.add(parent_node,
+                                     manifest.virtual_time_ns,
+                                     label=manifest.label,
+                                     snapshot_bytes=manifest.total_bytes)
+            sid_to_node[sid] = node.node_id
+            self.snapshot_ids[node.node_id] = sid
+            self._snapshot_histories[node.node_id] = ()
+            if node.virtual_time_ns >= deepest.virtual_time_ns:
+                deepest = node
+        self.restore_stats["resumes"] += 1
+        if deepest is not root:
+            self.travel_to(deepest.node_id)
 
     # ------------------------------------------------------------------ navigation
 
@@ -226,12 +294,19 @@ class TimeTravelController:
         restore_fn = getattr(self.active_run, "restore_from", None)
         if restore_fn is None:
             return None
+        is_damaged = getattr(self.snapshots, "is_damaged", None)
         target_history = tuple(history)
         for ancestor in reversed(self.tree.path_to(node.node_id)):
             sid = self.snapshot_ids.get(ancestor.node_id)
             if sid is None:
                 continue
             if self._snapshot_histories[ancestor.node_id] != target_history:
+                continue
+            if is_damaged is not None and is_damaged(sid):
+                # durable store flagged this snapshot unusable during
+                # recovery (broken delta chain) — degrade to the nearest
+                # intact ancestor instead of failing the restore
+                self.restore_stats["degraded"] += 1
                 continue
             try:
                 run = restore_fn(self.snapshots, sid)

@@ -125,7 +125,8 @@ def test_controller_serves_navigation_from_snapshots(kind):
         run = ctl.travel_to(node.node_id)
         assert run.virtual_now() == node.virtual_time_ns
     assert ctl.restore_stats == {"restores": 3, "replays": 0,
-                                 "fallbacks": 0}
+                                 "fallbacks": 0, "resumes": 0,
+                                 "degraded": 0}
     # the oracle: restore-then-run == replay-from-origin, per node
     for node in nodes:
         assert ctl.verify_restore(node.node_id)
@@ -200,7 +201,8 @@ def test_controller_without_snapshot_support_replays():
     assert ctl.snapshot_ids == {}
     ctl.travel_to(node.node_id)
     assert ctl.restore_stats == {"restores": 0, "replays": 1,
-                                 "fallbacks": 0}
+                                 "fallbacks": 0, "resumes": 0,
+                                 "degraded": 0}
 
 
 # -- refusal paths -------------------------------------------------------------
