@@ -20,6 +20,15 @@ Subcommands:
 * ``trace``     — run a scenario with full tracing and export the span
                   timeline as Chrome/Perfetto ``trace_event`` JSON
                   (open in ``ui.perfetto.dev``; see docs/observability.md)
+* ``scenario``  — run one declarative scenario file (TOML/JSON, see
+                  docs/scenarios.md): validate, compile into a testbed,
+                  run, and print the digest; ``--race`` adds the event-
+                  race detector, ``--check-digest`` gates on a golden
+* ``sweep``     — expand a sweep file's parameter grid (seeds x
+                  topologies x fault storms x checkpoint policies) and
+                  run every expansion in worker processes; aggregates
+                  digests/failures into a JSON + human report and
+                  fails on any digest disagreement between repeats
 * ``snapshot``  — true snapshot/restore over the serializable worlds:
                   take delta-chained snapshots of a running world,
                   inspect/diff their manifests, and restore one into a
@@ -144,9 +153,65 @@ def cmd_lint(args) -> int:
 def cmd_bench(args) -> int:
     from repro.bench import run_bench, run_profile
 
+    if args.scenario_file:
+        from repro.bench.runner import run_scenario_bench
+
+        return run_scenario_bench(args.scenario_file, quick=args.quick)
     if args.profile:
         return run_profile(json_output=args.output)
     return run_bench(quick=args.quick, output=args.output)
+
+
+def cmd_scenario(args) -> int:
+    from repro.errors import ScenarioError
+    from repro.testbed.compile import run_scenario_file
+
+    try:
+        result = run_scenario_file(args.file, race=args.race)
+    except ScenarioError as exc:
+        print(f"scenario error: {exc}")
+        return 2
+    if args.json:
+        import json
+
+        print(json.dumps({
+            "name": result.name, "recipe": result.recipe,
+            "digest": result.digest,
+            "virtual_now_ns": result.virtual_now_ns,
+            "details": result.details, "races": result.races},
+            indent=2, sort_keys=True, default=str))
+    else:
+        print(f"scenario {result.name}: ran to "
+              f"t={result.virtual_now_ns / 1e9:.3f}s")
+        for key, value in sorted(result.details.items()):
+            print(f"  {key}: {value}")
+        print(f"digest [{result.recipe}]: {result.digest}")
+    if args.race:
+        print("races:", result.races if result.races else "none")
+        if result.races:
+            print(result.race_report)
+            return 1
+    if args.check_digest and result.digest != args.check_digest:
+        print(f"digest MISMATCH: expected {args.check_digest}")
+        return 1
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.errors import ScenarioError
+    from repro.sweep import human_report, run_sweep_file
+
+    try:
+        report = run_sweep_file(args.file, processes=args.processes,
+                                out=args.out)
+    except ScenarioError as exc:
+        print(f"sweep error: {exc}")
+        return 2
+    if not args.quiet:
+        print(human_report(report))
+    if args.out:
+        print(f"report -> {args.out}")
+    return 0 if report["ok"] else 1
 
 
 #: scenarios ``repro trace`` can run with a tracer attached.  fig8 is
@@ -461,6 +526,33 @@ def main(argv=None) -> int:
                        help="profile the event loop instead: hot-spot "
                             "attribution + trace record counts, written "
                             "as a JSON report")
+    bench.add_argument("--scenario-file", metavar="PATH",
+                       help="bench a declarative scenario file instead of "
+                            "the built-in registry: run it in both "
+                            "scheduling modes (or twice, for survival "
+                            "digests) and assert the digests agree")
+    scenario = sub.add_parser("scenario",
+                              help="run one declarative scenario file "
+                                   "(docs/scenarios.md)")
+    scenario.add_argument("file", help="scenario .toml/.json path")
+    scenario.add_argument("--race", action="store_true",
+                          help="run under the event-race detector "
+                               "(non-zero exit on findings)")
+    scenario.add_argument("--json", action="store_true",
+                          help="machine-readable result")
+    scenario.add_argument("--check-digest", metavar="HEX",
+                          help="fail unless the run digest equals HEX")
+    sweep = sub.add_parser("sweep",
+                           help="run a parameter-grid sweep of one "
+                                "scenario across worker processes")
+    sweep.add_argument("file", help="sweep .toml/.json path")
+    sweep.add_argument("--processes", type=int, metavar="N",
+                       help="worker processes (default: sweep file / CPUs; "
+                            "1 = inline)")
+    sweep.add_argument("--out", metavar="PATH",
+                       help="write the aggregated JSON report here")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress the human report")
     faults = sub.add_parser("faults",
                             help="seeded fault-storm survival + determinism")
     faults.add_argument("--nodes", type=int, default=10,
@@ -529,7 +621,8 @@ def main(argv=None) -> int:
     return {"info": cmd_info, "selftest": cmd_selftest,
             "results": cmd_results, "lint": cmd_lint,
             "bench": cmd_bench, "faults": cmd_faults,
-            "trace": cmd_trace, "snapshot": cmd_snapshot}[args.command](args)
+            "trace": cmd_trace, "snapshot": cmd_snapshot,
+            "scenario": cmd_scenario, "sweep": cmd_sweep}[args.command](args)
 
 
 if __name__ == "__main__":

@@ -64,3 +64,29 @@ def experiment_digest(experiment) -> str:
 def _hash_index(index: dict) -> str:
     blob = ",".join(f"{k}:{v}" for k, v in sorted(index.items()))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def hash_parts(parts) -> str:
+    """SHA-256 over the canonical JSON form of a digest-part list.
+
+    The scenario digests (hand-wired and DSL-compiled alike) are built
+    by collecting tuples into a list and hashing it through here, so the
+    serialization is part of the golden-digest contract.
+    """
+    blob = json.dumps(parts, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def checkpoint_result_parts(results) -> list:
+    """Digest parts for a sequence of local-checkpoint results."""
+    return [("ckpt", r.downtime_ns, r.freeze_window_ns, r.thaw_window_ns,
+             r.clock_frozen_at_ns, r.clock_thawed_at_ns,
+             r.memory_copied_bytes, r.dirty_copied_bytes, r.replayed_packets)
+            for r in results]
+
+
+def coordinated_result_parts(results) -> list:
+    """Digest parts for a sequence of coordinated-checkpoint results."""
+    return [("coord", r.suspend_skew_ns, r.resume_skew_ns,
+             r.core_packets_captured, r.endpoint_packets_replayed,
+             r.wall_duration_ns) for r in results]

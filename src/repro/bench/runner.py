@@ -715,3 +715,57 @@ def run_bench(quick: bool = False, output: Optional[str] = None,
         print("bench FAILED: digests diverged or throughput regressed",
               file=out)
     return 0 if ok else 1
+
+
+def run_scenario_bench(path: str, quick: bool = False,
+                       out=None) -> int:
+    """``repro bench --scenario-file``: bench one declarative scenario.
+
+    Applies the registry's equivalence discipline to an unregistered
+    DSL file (docs/scenarios.md): testbed scenarios run once on the
+    optimized scheduler and once on the legacy Event path and must
+    produce the same digest; survival-digest scenarios and snapshot
+    worlds build their own rigs, so they run twice with identical
+    inputs and must be run-to-run deterministic.  Returns non-zero on
+    any digest divergence.  ``quick`` is accepted for CLI symmetry;
+    scenario parameters come from the file and are never scaled down.
+    """
+    del quick  # parameters live in the scenario file
+    if out is None:
+        out = sys.stdout
+    from repro.errors import ScenarioError
+    from repro.testbed.compile import compile_scenario
+    from repro.testbed.dsl import load_scenario
+
+    try:
+        spec = load_scenario(path)
+        compiled = compile_scenario(spec)
+    except ScenarioError as exc:
+        print(f"scenario error: {exc}", file=out)
+        return 2
+    recipe = ("world" if spec.kind == "world" else spec.digest_recipe)
+    if spec.kind == "world" or recipe == "survival":
+        # These rigs build their own simulator / exercise recovery
+        # machinery, not the scheduler: the comparison is run-to-run.
+        first_s, first = _time_run(lambda: compiled.run())
+        second_s, second = _time_run(lambda: compiled.run())
+        match = first.digest == second.digest
+        print(f"{spec.name} [{recipe}]: run1 {first_s:.3f}s, "
+              f"run2 {second_s:.3f}s", file=out)
+        print(f"  digest run1: {first.digest}", file=out)
+        print(f"  digest run2: {second.digest}", file=out)
+        print("run-to-run determinism:",
+              "OK" if match else "MISMATCH", file=out)
+        return 0 if match else 1
+    fast_s, fast = _time_run(lambda: compiled.run(sim=make_sim(**FAST)))
+    legacy_s, legacy = _time_run(
+        lambda: compiled.run(sim=make_sim(**LEGACY)))
+    match = fast.digest == legacy.digest
+    print(f"{spec.name} [{recipe}]: fast {fast_s:.3f}s, "
+          f"legacy {legacy_s:.3f}s, "
+          f"speedup {legacy_s / fast_s:.2f}x", file=out)
+    print(f"  digest fast:   {fast.digest}", file=out)
+    print(f"  digest legacy: {legacy.digest}", file=out)
+    print("fast/legacy equivalence:", "OK" if match else "MISMATCH",
+          file=out)
+    return 0 if match else 1

@@ -12,13 +12,15 @@ tests assert is identical across modes.
 from __future__ import annotations
 
 import hashlib
-import json
 from typing import Optional, Tuple
 
-from repro.analysis.digest import branch_digest, experiment_digest
+from repro.analysis.digest import (branch_digest, checkpoint_result_parts,
+                                   experiment_digest, hash_parts)
 from repro.sim import Simulator
 from repro.sim.random import RandomStreams
 from repro.sim.timers import SimTimerService
+from repro.testbed.schedule import (periodic_coordinated_checkpoints,
+                                    periodic_local_checkpoints)
 from repro.units import GB, GBPS, MB, MBPS, MS, SECOND, US
 
 
@@ -175,20 +177,12 @@ def build_fig7_rig(sim: Simulator, num_nodes: int = 4,
 
 def _periodic_checkpoints(sim: Simulator, experiment, period_ns: int,
                           count: int, start_at_ns: int) -> list:
-    results: list = []
-
-    def loop():
-        if start_at_ns > sim.now:
-            yield sim.timeout(start_at_ns - sim.now)
-        for _ in range(count):
-            next_at = sim.now + period_ns
-            result = yield experiment.coordinator.checkpoint_scheduled()
-            results.append(result)
-            if next_at > sim.now:
-                yield sim.timeout(next_at - sim.now)
-
-    sim.process(loop())
-    return results
+    # Shared with the scenario-DSL compiler: the generator shape is part
+    # of the golden-digest contract (see repro/testbed/schedule.py).
+    return periodic_coordinated_checkpoints(sim, experiment,
+                                            period_ns=period_ns,
+                                            count=count,
+                                            start_at_ns=start_at_ns)
 
 
 def run_fig6(sim: Simulator, run_seconds: int = 20, num_ckpts: int = 3,
@@ -244,8 +238,7 @@ def run_fig7(sim: Simulator, run_seconds: int = 25, num_ckpts: int = 3,
 
 
 def _hash_parts(parts) -> str:
-    blob = json.dumps(parts, sort_keys=True, default=str)
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return hash_parts(parts)
 
 
 def build_single_node_rig(sim: Simulator, seed: int, memory: int = 128 * MB,
@@ -265,27 +258,13 @@ def build_single_node_rig(sim: Simulator, seed: int, memory: int = 128 * MB,
 
 def _periodic_local_checkpoints(sim: Simulator, checkpointer, period_ns: int,
                                 count: int, start_at_ns: int) -> list:
-    results: list = []
-
-    def loop():
-        if start_at_ns > sim.now:
-            yield sim.timeout(start_at_ns - sim.now)
-        for _ in range(count):
-            next_at = sim.now + period_ns
-            result = yield from checkpointer.run()
-            results.append(result)
-            if next_at > sim.now:
-                yield sim.timeout(next_at - sim.now)
-
-    sim.process(loop())
-    return results
+    return periodic_local_checkpoints(sim, checkpointer,
+                                      period_ns=period_ns, count=count,
+                                      start_at_ns=start_at_ns)
 
 
 def _checkpoint_result_parts(results) -> list:
-    return [("ckpt", r.downtime_ns, r.freeze_window_ns, r.thaw_window_ns,
-             r.clock_frozen_at_ns, r.clock_thawed_at_ns,
-             r.memory_copied_bytes, r.dirty_copied_bytes, r.replayed_packets)
-            for r in results]
+    return checkpoint_result_parts(results)
 
 
 def run_fig4(sim: Simulator, iterations: int = 600, num_ckpts: int = 3,

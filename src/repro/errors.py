@@ -68,5 +68,23 @@ class SwapError(TestbedError):
     """Stateful swap-out/swap-in failure."""
 
 
+class ScenarioError(TestbedError):
+    """A declarative scenario file is malformed or inconsistent.
+
+    Raised by :mod:`repro.testbed.dsl` during parse/validate — always
+    *before* any simulator object is constructed — and carries the
+    positional path of the offending key (e.g. ``nodes[1].memory_mb``)
+    so authors can fix the file without reading the schema source.
+    """
+
+    def __init__(self, message: str, path: str = "",
+                 source: str = "") -> None:
+        self.path = path
+        self.source = source
+        prefix = f"{source}: " if source else ""
+        at = f"{path}: " if path else ""
+        super().__init__(f"{prefix}{at}{message}")
+
+
 class TimeTravelError(ReproError):
     """Invalid time-travel navigation."""

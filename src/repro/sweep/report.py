@@ -1,0 +1,56 @@
+"""Human-readable rendering of a sweep report dict.
+
+    >>> text = human_report({
+    ...     "sweep": "demo", "scenario": "fig4.toml", "grid_points": 1,
+    ...     "repeat": 2, "processes": 2, "wall_s": 0.5, "failures": 0,
+    ...     "disagreements": [], "ok": True,
+    ...     "runs": [{"run": 0, "ok": True, "digest": "ab" * 32,
+    ...               "point": {"scenario.seed": 4}, "repeat": 0,
+    ...               "wall_s": 0.2, "recipe": "local-parts"}]})
+    >>> print(text.splitlines()[0])
+    sweep demo: 1 grid point(s) x 2 repeat(s), 1 run(s) on 2 worker(s)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+
+def _point_label(point: Dict[str, Any]) -> str:
+    if not point:
+        return "(no matrix)"
+    return " ".join(f"{k}={v}" for k, v in sorted(point.items()))
+
+
+def human_report(report: Dict[str, Any]) -> str:
+    """Render one :func:`~repro.sweep.runner.run_sweep` report."""
+    lines: List[str] = [
+        f"sweep {report['sweep']}: {report['grid_points']} grid point(s) "
+        f"x {report['repeat']} repeat(s), {len(report['runs'])} run(s) "
+        f"on {report['processes']} worker(s)",
+        f"scenario: {report['scenario']}",
+        f"wall: {report['wall_s']:.2f}s",
+        "",
+    ]
+    for run in report["runs"]:
+        label = _point_label(run["point"])
+        if run.get("ok"):
+            lines.append(
+                f"  run {run['run']:>3}  [{run['recipe']}] "
+                f"{run['digest'][:16]}  {label}"
+                f"  (repeat {run['repeat']}, {run['wall_s']:.2f}s)")
+        else:
+            lines.append(
+                f"  run {run['run']:>3}  FAILED  {label}: {run['error']}")
+    lines.append("")
+    if report["disagreements"]:
+        lines.append("DIGEST DISAGREEMENTS (determinism broken):")
+        for item in report["disagreements"]:
+            lines.append(f"  {_point_label(item['point'])}: "
+                         f"{len(item['digests'])} distinct digests over "
+                         f"runs {item['runs']}")
+    lines.append(
+        f"result: {'OK' if report['ok'] else 'FAILED'} "
+        f"({report['failures']} failure(s), "
+        f"{len(report['disagreements'])} disagreement(s))")
+    return "\n".join(lines)

@@ -15,8 +15,15 @@ from repro.testbed.nfs import (IdentityTransducer, NFSAttributes, NFSClient,
                                NFSServer, TimestampTransducer)
 from repro.testbed.nsfile import NSFileParser, parse_ns_file
 from repro.testbed.services import DNSRecord, DNSServer, rpc
+from repro.testbed.dsl import (ScenarioSpec, load_scenario, parse_scenario,
+                               substitute_placeholders)
+from repro.testbed.compile import (CompiledScenario, ScenarioResult,
+                                   compile_scenario, run_scenario_file)
 
 __all__ = [
+    "CompiledScenario", "ScenarioResult", "ScenarioSpec",
+    "compile_scenario", "load_scenario", "parse_scenario",
+    "run_scenario_file", "substitute_placeholders",
     "CONTROL_NET_BULK_RATE", "ControlNetwork", "AllocatedNode", "Emulab",
     "Experiment", "TestbedConfig", "EventAgent", "EventScheduler",
     "FiredEvent", "SchedulerPlacement", "ActivitySample", "IdlePolicy",

@@ -1,0 +1,156 @@
+"""The ``repro sweep`` fleet runner: grids, overrides, agreement."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.sweep import (expand_grid, human_report, load_sweep, run_sweep,
+                         run_sweep_file, set_path)
+from repro.sweep.grid import SweepPlan
+
+SCENARIO_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "examples", "scenarios")
+
+
+def test_cross_product_sorted_and_stable():
+    points = expand_grid({"b": [1, 2], "a": ["x", "y"]})
+    assert points == [{"a": "x", "b": 1}, {"a": "x", "b": 2},
+                      {"a": "y", "b": 1}, {"a": "y", "b": 2}]
+
+
+def test_empty_matrix_is_one_point():
+    assert expand_grid({}) == [{}]
+
+
+def test_set_path_nested_and_indexed():
+    doc = {"workloads": [{"iterations": 600}]}
+    set_path(doc, "workloads[0].iterations", 100)
+    set_path(doc, "checkpoints.count", 2)
+    assert doc == {"workloads": [{"iterations": 100}],
+                   "checkpoints": {"count": 2}}
+
+
+def test_set_path_out_of_range():
+    with pytest.raises(ScenarioError, match="out of range"):
+        set_path({"nodes": [{}]}, "nodes[3].x", 1)
+
+
+def test_malformed_path():
+    with pytest.raises(ScenarioError, match="malformed"):
+        set_path({}, "a..b", 1)
+
+
+def test_load_example_sweep_file():
+    plan = load_sweep(os.path.join(SCENARIO_DIR, "sweep_example.toml"))
+    assert plan.total_runs == 8
+    assert plan.repeat == 2
+    assert os.path.basename(plan.scenario_path) == "fig4.toml"
+
+
+def test_load_missing_scenario_file(tmp_path):
+    path = tmp_path / "s.toml"
+    path.write_text('[sweep]\nname = "x"\nscenario = "ghost.toml"\n')
+    with pytest.raises(ScenarioError, match="not found"):
+        load_sweep(str(path))
+
+
+def test_load_unknown_table_rejected(tmp_path):
+    path = tmp_path / "s.toml"
+    path.write_text('[sweep]\nscenario = "x.toml"\n[grids]\n')
+    with pytest.raises(ScenarioError, match="unknown table"):
+        load_sweep(str(path))
+
+
+def test_load_bad_repeat(tmp_path):
+    scenario = tmp_path / "sc.toml"
+    scenario.write_text('[scenario]\nname = "x"\n')
+    path = tmp_path / "s.toml"
+    path.write_text('[sweep]\nscenario = "sc.toml"\nrepeat = 0\n')
+    with pytest.raises(ScenarioError, match="sweep.repeat"):
+        load_sweep(str(path))
+
+
+def small_plan(repeat: int = 2) -> SweepPlan:
+    return SweepPlan(
+        name="smoke",
+        scenario_path=os.path.join(SCENARIO_DIR, "fig4.toml"),
+        matrix={"workloads[0].iterations": [150, 300],
+                "checkpoints.start_ms": [500, 1000]},
+        overrides={"nodes[0].memory_mb": 64},
+        repeat=repeat)
+
+
+def test_grid_runs_with_digest_agreement():
+    report = run_sweep(small_plan(), processes=1)
+    assert report["ok"] is True
+    assert len(report["runs"]) == 8
+    assert report["grid_points"] == 4
+    digests = {r["digest"] for r in report["runs"]}
+    assert len(digests) == 4  # one per grid point, repeats agree
+    assert all(r["ok"] for r in report["runs"])
+
+
+def test_multiprocess_pool_matches_inline():
+    inline = run_sweep(small_plan(repeat=1), processes=1)
+    pooled = run_sweep(small_plan(repeat=1), processes=2)
+    assert ([r["digest"] for r in inline["runs"]]
+            == [r["digest"] for r in pooled["runs"]])
+    assert pooled["processes"] == 2
+
+
+def test_failures_reported_not_raised():
+    plan = SweepPlan(
+        name="broken",
+        scenario_path=os.path.join(SCENARIO_DIR, "fig4.toml"),
+        matrix={"checkpoints.mode": ["local", "telepathic"]})
+    report = run_sweep(plan, processes=1)
+    assert report["ok"] is False
+    assert report["failures"] == 1
+    failed = [r for r in report["runs"] if not r["ok"]]
+    assert "telepathic" in failed[0]["error"]
+
+
+def test_report_file_and_human_rendering(tmp_path):
+    out = tmp_path / "report.json"
+    report = run_sweep_file(
+        os.path.join(SCENARIO_DIR, "sweep_example.toml"),
+        processes=1, out=str(out))
+    assert report["ok"] is True
+    assert len(report["runs"]) == 8
+    on_disk = json.loads(out.read_text())
+    assert on_disk["sweep"] == report["sweep"]
+    text = human_report(report)
+    assert "result: OK" in text
+    assert "8 run(s)" in text
+
+
+def test_human_report_renders_failures():
+    report = run_sweep(SweepPlan(
+        name="broken",
+        scenario_path=os.path.join(SCENARIO_DIR, "fig4.toml"),
+        matrix={"checkpoints.mode": ["telepathic"]}), processes=1)
+    text = human_report(report)
+    assert "FAILED" in text and "telepathic" in text
+
+
+def test_sweep_cli_end_to_end(tmp_path, capsys):
+    from repro.__main__ import main
+
+    out = tmp_path / "report.json"
+    code = main(["sweep",
+                 os.path.join(SCENARIO_DIR, "sweep_example.toml"),
+                 "--processes", "1", "--out", str(out)])
+    assert code == 0
+    assert out.exists()
+    assert "result: OK" in capsys.readouterr().out
+
+
+def test_sweep_cli_scenario_error(tmp_path, capsys):
+    from repro.__main__ import main
+
+    bad = tmp_path / "bad.toml"
+    bad.write_text("[sweep]\n")
+    assert main(["sweep", str(bad)]) == 2
+    assert "sweep error" in capsys.readouterr().out

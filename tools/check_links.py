@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Relative-link checker for the repo's markdown documentation.
 
-Scans ``README.md`` and ``docs/*.md`` for inline markdown links
+Scans ``README.md``, ``docs/*.md``, and the ``#`` comment lines of
+``examples/scenarios/*.toml`` for inline markdown links
 (``[text](target)``), ignores absolute URLs and mailto links, and
 verifies that every *relative* target resolves to a real file — and,
 when the target carries a ``#fragment``, that the destination document
@@ -43,9 +44,11 @@ def github_slug(heading: str) -> str:
 
 
 def doc_files(root: Path) -> list[Path]:
-    """The markdown set under the docs gate: top README + docs/*.md."""
+    """The set under the docs gate: top README, docs/*.md, and the
+    shipped scenario files (whose comments link back into docs/)."""
     files = [root / "README.md"]
     files += sorted((root / "docs").glob("*.md"))
+    files += sorted((root / "examples" / "scenarios").glob("*.toml"))
     return [f for f in files if f.is_file()]
 
 
@@ -53,6 +56,11 @@ def check_file(md: Path, root: Path) -> list[str]:
     """Return one diagnostic string per broken relative link in *md*."""
     problems = []
     text = md.read_text(encoding="utf-8")
+    if md.suffix == ".toml":
+        # Only comment lines carry prose links; a link-shaped string
+        # inside a TOML value is data, not documentation.
+        text = "\n".join(line for line in text.splitlines()
+                         if line.lstrip().startswith("#"))
     for match in LINK_RE.finditer(text):
         target = match.group(1)
         if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
